@@ -1,0 +1,75 @@
+// E9 — Ablations of the implementation's design decisions (DESIGN.md §4):
+//   (1) union-size memoization across sample() calls,
+//   (2) membership-oracle amortization via stored reach profiles,
+//   (3) sample-list recycling under calibrated constants,
+//   (4) the support-perturbation branch (Alg. 3 lines 16-19).
+// Each row flips exactly one flag on the same instance and seed.
+
+#include <cmath>
+
+#include "automata/generators.hpp"
+#include "bench_common.hpp"
+
+using namespace nfacount;
+using namespace nfacount::bench;
+
+namespace {
+
+struct Config {
+  const char* name;
+  bool memoize;
+  bool amortize;
+  bool recycle;
+  bool perturb;
+};
+
+void AblationTable(const Nfa& nfa, int n, const char* label) {
+  Section(std::string("E9: ablations on ") + label);
+  const double truth = ExactOrNeg(nfa, n);
+  Row({"config", "seconds", "relerr", "au_trials", "memb_checks", "starved"},
+      16);
+  const Config configs[] = {
+      {"baseline", true, true, true, true},
+      {"no_memoize", false, true, true, true},
+      {"no_amortize", true, false, true, true},
+      {"no_recycle", true, true, false, true},
+      {"no_perturb", true, true, true, false},
+      {"all_off", false, false, false, false},
+  };
+  for (const Config& c : configs) {
+    CountOptions options = DefaultOptions(4242);
+    options.memoize_unions = c.memoize;
+    options.amortize_oracle = c.amortize;
+    options.recycle_samples = c.recycle;
+    options.perturb_support = c.perturb;
+    TimedRun run = RunFpras(nfa, n, options);
+    double relerr =
+        truth > 0 ? std::abs(run.estimate / truth - 1.0) : run.estimate;
+    Row({c.name, Fmt(run.seconds, "%.4f"), Fmt(relerr, "%.4f"),
+         FmtInt(run.diag.appunion_trials), FmtInt(run.diag.membership_checks),
+         FmtInt(run.diag.starvations)},
+        16);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E9 — design-choice ablations (one flag per row)\n");
+
+  // Sized so the unmemoized configurations stay under ~30 s.
+  Rng rng(9);
+  Nfa random_nfa = RandomNfa(6, 0.3, 0.25, rng);
+  AblationTable(random_nfa, 8, "random m=6 n=8");
+
+  Nfa substring = SubstringNfa(Word{1, 0, 1, 1});
+  AblationTable(substring, 12, "substring('1011') n=12");
+
+  std::printf(
+      "\nReading guide: no_memoize multiplies AppUnion trials (the n^10 term\n"
+      "without sharing); no_amortize multiplies membership cost; no_recycle\n"
+      "exposes starvation bias whenever trial demand exceeds list length;\n"
+      "no_perturb is statistically invisible at these sizes (the branch fires\n"
+      "w.p. eta/2n) — it exists for the coupling analysis, not performance.\n");
+  return 0;
+}

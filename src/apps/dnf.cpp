@@ -1,0 +1,173 @@
+#include "apps/dnf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "counting/union_mc.hpp"
+
+namespace nfacount {
+
+Dnf::Dnf(int num_vars) : num_vars_(num_vars) { assert(num_vars >= 0); }
+
+Status Dnf::AddClause(DnfClause clause) {
+  for (int v : clause.positive) {
+    if (v < 0 || v >= num_vars_) return Status::Invalid("positive var out of range");
+  }
+  for (int v : clause.negative) {
+    if (v < 0 || v >= num_vars_) return Status::Invalid("negative var out of range");
+    if (std::find(clause.positive.begin(), clause.positive.end(), v) !=
+        clause.positive.end()) {
+      return Status::Invalid("clause contains x and not-x");
+    }
+  }
+  std::sort(clause.positive.begin(), clause.positive.end());
+  clause.positive.erase(
+      std::unique(clause.positive.begin(), clause.positive.end()),
+      clause.positive.end());
+  std::sort(clause.negative.begin(), clause.negative.end());
+  clause.negative.erase(
+      std::unique(clause.negative.begin(), clause.negative.end()),
+      clause.negative.end());
+  clauses_.push_back(std::move(clause));
+  return Status::Ok();
+}
+
+bool Dnf::SatisfiesClause(int i, const std::vector<bool>& assignment) const {
+  const DnfClause& c = clauses_[i];
+  for (int v : c.positive) {
+    if (!assignment[v]) return false;
+  }
+  for (int v : c.negative) {
+    if (assignment[v]) return false;
+  }
+  return true;
+}
+
+bool Dnf::Evaluate(const std::vector<bool>& assignment) const {
+  assert(static_cast<int>(assignment.size()) == num_vars_);
+  for (int i = 0; i < num_clauses(); ++i) {
+    if (SatisfiesClause(i, assignment)) return true;
+  }
+  return false;
+}
+
+BigUint Dnf::ClauseModelCount(int i) const {
+  const DnfClause& c = clauses_[i];
+  const int free_vars =
+      num_vars_ - static_cast<int>(c.positive.size() + c.negative.size());
+  assert(free_vars >= 0);
+  return BigUint::Pow2(static_cast<uint32_t>(free_vars));
+}
+
+std::string Dnf::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_clauses(); ++i) {
+    if (i) out += " | ";
+    out += "(";
+    bool first = true;
+    for (int v : clauses_[i].positive) {
+      if (!first) out += "&";
+      out += "x" + std::to_string(v);
+      first = false;
+    }
+    for (int v : clauses_[i].negative) {
+      if (!first) out += "&";
+      out += "!x" + std::to_string(v);
+      first = false;
+    }
+    out += ")";
+  }
+  return out.empty() ? "false" : out;
+}
+
+Result<BigUint> ExactDnfCount(const Dnf& dnf, int max_vars) {
+  if (dnf.num_vars() > max_vars) {
+    return Status::ResourceExhausted("exact DNF count over " +
+                                     std::to_string(dnf.num_vars()) + " vars");
+  }
+  const int v = dnf.num_vars();
+  BigUint count;
+  std::vector<bool> assignment(v, false);
+  const uint64_t total = uint64_t{1} << v;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    for (int i = 0; i < v; ++i) assignment[i] = (mask >> i) & 1;
+    if (dnf.Evaluate(assignment)) count += BigUint(1);
+  }
+  return count;
+}
+
+namespace {
+
+/// AppUnionResample input for one clause: T_i = satisfying assignments.
+struct ClauseInput {
+  const Dnf* dnf;
+  int clause_index;
+  double size;  // exact |T_i| as double
+
+  double size_estimate() const { return size; }
+
+  std::vector<bool> Draw(Rng& rng) const {
+    // Uniform member of T_i: fix the literals, flip fair coins elsewhere.
+    std::vector<bool> assignment(dnf->num_vars());
+    for (int v = 0; v < dnf->num_vars(); ++v) assignment[v] = rng.Bernoulli(0.5);
+    const DnfClause& c = dnf->clause(clause_index);
+    for (int v : c.positive) assignment[v] = true;
+    for (int v : c.negative) assignment[v] = false;
+    return assignment;
+  }
+
+  bool Contains(const std::vector<bool>& assignment) const {
+    return dnf->SatisfiesClause(clause_index, assignment);
+  }
+};
+
+}  // namespace
+
+Result<DnfCountResult> KarpLubyDnfCount(const Dnf& dnf, double eps, double delta,
+                                        Rng& rng) {
+  if (!(eps > 0.0)) return Status::Invalid("eps must be > 0");
+  if (!(delta > 0.0 && delta < 1.0)) return Status::Invalid("delta in (0,1)");
+  if (dnf.num_clauses() == 0) return DnfCountResult{0.0, 0};
+
+  std::vector<ClauseInput> inputs;
+  inputs.reserve(dnf.num_clauses());
+  for (int i = 0; i < dnf.num_clauses(); ++i) {
+    inputs.push_back(ClauseInput{&dnf, i, dnf.ClauseModelCount(i).ToDouble()});
+  }
+  std::vector<const ClauseInput*> ptrs;
+  for (const auto& in : inputs) ptrs.push_back(&in);
+
+  AppUnionParams params;
+  params.eps = eps;
+  params.delta = delta;
+  params.eps_sz = 0.0;  // clause sizes are exact
+  AppUnionOutcome outcome = AppUnionResample(ptrs, params, rng);
+  return DnfCountResult{outcome.estimate, outcome.trials};
+}
+
+Result<Nfa> DnfToNfa(const Dnf& dnf) {
+  const int v = dnf.num_vars();
+  if (v == 0) return Status::Invalid("DNF must have at least one variable");
+  Nfa out(2);
+  StateId start = out.AddState();
+  out.SetInitial(start);
+  for (int i = 0; i < dnf.num_clauses(); ++i) {
+    const DnfClause& c = dnf.clause(i);
+    // allowed[j] bitmask: bit b set if symbol b allowed at position j.
+    std::vector<int> allowed(v, 0b11);
+    for (int var : c.positive) allowed[var] = 0b10;  // must read 1
+    for (int var : c.negative) allowed[var] = 0b01;  // must read 0
+    StateId prev = start;
+    for (int j = 0; j < v; ++j) {
+      StateId next = out.AddState();
+      if (allowed[j] & 0b01) out.AddTransition(prev, Symbol{0}, next);
+      if (allowed[j] & 0b10) out.AddTransition(prev, Symbol{1}, next);
+      prev = next;
+    }
+    out.AddAccepting(prev);
+  }
+  return out;
+}
+
+}  // namespace nfacount

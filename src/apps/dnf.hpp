@@ -1,0 +1,83 @@
+// DNF model counting and its linear encoding into #NFA.
+//
+// This is the bridge between probabilistic query evaluation (apps/pqe.*) and
+// the counting core: the lineage of a self-join-free query is a monotone DNF
+// whose model count, divided by 2^{#vars}, is the query probability. A DNF
+// over V variables with k clauses becomes an NFA with k·V + 1 states reading
+// the assignment as a V-bit word — the reduction is linear in the lineage
+// size, matching the paper's point that reductions to #NFA are cheap and the
+// counting algorithm is the bottleneck.
+//
+// Also hosts the classic Karp-Luby DNF counter [12] (fresh-draw union
+// estimation), which doubles as a test oracle for AppUnion.
+
+#ifndef NFACOUNT_APPS_DNF_HPP_
+#define NFACOUNT_APPS_DNF_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/nfa.hpp"
+#include "util/bigint.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// One conjunctive clause: all `positive` vars true AND all `negative` vars
+/// false. Variables are indices in [0, num_vars).
+struct DnfClause {
+  std::vector<int> positive;
+  std::vector<int> negative;
+};
+
+/// A DNF formula (disjunction of conjunctive clauses).
+class Dnf {
+ public:
+  explicit Dnf(int num_vars);
+
+  /// Adds a clause; rejects out-of-range or contradictory (x ∧ ¬x) literals.
+  Status AddClause(DnfClause clause);
+
+  int num_vars() const { return num_vars_; }
+  int num_clauses() const { return static_cast<int>(clauses_.size()); }
+  const DnfClause& clause(int i) const { return clauses_[i]; }
+
+  /// Evaluates under `assignment` (bit i = variable i).
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+  /// True if `assignment` satisfies clause `i`.
+  bool SatisfiesClause(int i, const std::vector<bool>& assignment) const;
+
+  /// Number of assignments satisfying clause i: 2^(V − |literals|).
+  BigUint ClauseModelCount(int i) const;
+
+  std::string ToString() const;
+
+ private:
+  int num_vars_;
+  std::vector<DnfClause> clauses_;
+};
+
+/// Exact model count by enumeration over 2^V assignments. Fails when
+/// V > max_vars.
+Result<BigUint> ExactDnfCount(const Dnf& dnf, int max_vars = 26);
+
+/// Classic Karp-Luby (ε,δ) DNF model counter with fresh draws.
+struct DnfCountResult {
+  double estimate = 0.0;
+  int64_t trials = 0;
+};
+Result<DnfCountResult> KarpLubyDnfCount(const Dnf& dnf, double eps, double delta,
+                                        Rng& rng);
+
+/// Linear DNF → NFA encoding: the NFA accepts exactly the length-V words that
+/// are satisfying assignments (bit i of the word = variable i), so
+/// |L(A_V)| = #models. States: one shared start + one chain of V states per
+/// clause; accepting = chain ends.
+Result<Nfa> DnfToNfa(const Dnf& dnf);
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_APPS_DNF_HPP_

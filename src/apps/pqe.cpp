@@ -1,0 +1,299 @@
+#include "apps/pqe.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+#include "automata/reduce.hpp"
+
+namespace nfacount {
+
+ProbGraphDb::ProbGraphDb(int num_nodes, int num_relations)
+    : num_nodes_(num_nodes), num_relations_(num_relations) {
+  assert(num_nodes >= 1 && num_relations >= 1);
+  by_src_.assign(num_relations,
+                 std::vector<std::vector<int>>(static_cast<size_t>(num_nodes)));
+}
+
+Result<int> ProbGraphDb::AddFact(int relation, int src, int dst) {
+  return AddFactWithProb(relation, src, dst, DyadicProb::Half());
+}
+
+Result<int> ProbGraphDb::AddFactWithProb(int relation, int src, int dst,
+                                         DyadicProb prob) {
+  if (relation < 0 || relation >= num_relations_) {
+    return Status::Invalid("relation out of range");
+  }
+  if (src < 0 || src >= num_nodes_ || dst < 0 || dst >= num_nodes_) {
+    return Status::Invalid("node out of range");
+  }
+  if (prob.bits < 1 || prob.bits > 20) {
+    return Status::Invalid("probability denominator bits must be in [1, 20]");
+  }
+  if (prob.numerator < 1 || prob.numerator > (1u << prob.bits)) {
+    return Status::Invalid("probability numerator out of (0, 1]");
+  }
+  int id = static_cast<int>(facts_.size());
+  facts_.push_back(Fact{relation, src, dst, prob});
+  by_src_[relation][src].push_back(id);
+  return id;
+}
+
+bool ProbGraphDb::HasNonUniformProbs() const {
+  for (const Fact& f : facts_) {
+    if (f.prob.bits != 1 || f.prob.numerator != 1) return true;
+  }
+  return false;
+}
+
+const std::vector<int>& ProbGraphDb::FactsFrom(int relation, int src) const {
+  return by_src_[relation][src];
+}
+
+Status ValidatePathQuery(const ProbGraphDb& db, const PathQuery& query) {
+  if (query.relations.empty()) return Status::Invalid("empty path query");
+  std::set<int> seen;
+  for (int r : query.relations) {
+    if (r < 0 || r >= db.num_relations()) {
+      return Status::Invalid("query relation out of range");
+    }
+    if (!seen.insert(r).second) {
+      return Status::Invalid("query is not self-join-free (repeated relation)");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Dnf> LineageDnf(const ProbGraphDb& db, const PathQuery& query,
+                       int64_t max_clauses) {
+  NFA_RETURN_NOT_OK(ValidatePathQuery(db, query));
+  const int k = static_cast<int>(query.relations.size());
+  Dnf dnf(db.num_facts());
+
+  // Enumerate homomorphisms: node sequences a0..ak with matching facts.
+  // Clauses are edge-id sets; dedup (two paths may reuse the same facts in
+  // different orders only if ids coincide — set semantics).
+  std::set<std::vector<int>> clauses;
+  std::vector<int> path_edges;
+
+  // DFS over positions; start nodes are all nodes.
+  struct Frame {
+    int node;
+    size_t next_fact_idx;
+  };
+  for (int start = 0; start < db.num_nodes(); ++start) {
+    std::vector<Frame> stack;
+    stack.push_back(Frame{start, 0});
+    path_edges.clear();
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const int depth = static_cast<int>(stack.size()) - 1;
+      if (depth == k) {
+        std::vector<int> clause = path_edges;
+        std::sort(clause.begin(), clause.end());
+        clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+        clauses.insert(std::move(clause));
+        if (static_cast<int64_t>(clauses.size()) > max_clauses) {
+          return Status::ResourceExhausted("lineage exceeds clause budget");
+        }
+        stack.pop_back();
+        if (!path_edges.empty()) path_edges.pop_back();
+        continue;
+      }
+      const auto& facts = db.FactsFrom(query.relations[depth], top.node);
+      if (top.next_fact_idx >= facts.size()) {
+        stack.pop_back();
+        if (!path_edges.empty()) path_edges.pop_back();
+        continue;
+      }
+      int fact_id = facts[top.next_fact_idx++];
+      path_edges.push_back(fact_id);
+      stack.push_back(Frame{db.fact(fact_id).dst, 0});
+    }
+  }
+
+  for (const auto& clause_vars : clauses) {
+    DnfClause clause;
+    clause.positive = clause_vars;
+    NFA_RETURN_NOT_OK(dnf.AddClause(std::move(clause)));
+  }
+  return dnf;
+}
+
+Result<double> ExactPqe(const ProbGraphDb& db, const PathQuery& query,
+                        int max_facts) {
+  return ExactPqeWeighted(db, query, max_facts);
+}
+
+Result<PqeResult> ApproxPqe(const ProbGraphDb& db, const PathQuery& query,
+                            const CountOptions& options) {
+  if (db.HasNonUniformProbs()) {
+    return Status::Invalid(
+        "database has non-1/2 probabilities; use ApproxPqeWeighted");
+  }
+  Dnf dnf(0);
+  NFA_ASSIGN_OR_RETURN(dnf, LineageDnf(db, query));
+  PqeResult out;
+  out.lineage_clauses = dnf.num_clauses();
+  if (dnf.num_clauses() == 0 || db.num_facts() == 0) {
+    out.probability = 0.0;
+    return out;
+  }
+  Nfa nfa(2);
+  NFA_ASSIGN_OR_RETURN(nfa, DnfToNfa(dnf));
+  out.nfa_states = nfa.num_states();
+  // The clause chains share suffix structure: quotient before counting
+  // (language-preserving, and FPRAS cost grows with m).
+  ReductionResult reduced = ReduceNfa(nfa);
+  out.reduced_states = reduced.reduced_states;
+  NFA_ASSIGN_OR_RETURN(out.count,
+                       ApproxCount(reduced.nfa, dnf.num_vars(), options));
+  out.probability = out.count.estimate / std::pow(2.0, dnf.num_vars());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Dyadic probabilities via threshold gadgets
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Appends, onto `cur`, a gadget reading one b-bit block. When
+/// `threshold` < 0 the block is unconstrained (any bits); otherwise only
+/// block values strictly below `threshold` continue (the classic MSB-first
+/// comparator: a "tight" rail that tracks equality with the threshold's
+/// prefix and a "free" rail once strictly below). Returns the continuation
+/// state after the block.
+StateId AppendBlockGadget(Nfa& nfa, StateId cur, int bits, int64_t threshold) {
+  if (threshold < 0 || threshold >= (int64_t{1} << bits)) {
+    // Unconstrained block (or threshold 2^b: every value passes).
+    for (int j = 0; j < bits; ++j) {
+      StateId next = nfa.AddState();
+      nfa.AddTransition(cur, Symbol{0}, next);
+      nfa.AddTransition(cur, Symbol{1}, next);
+      cur = next;
+    }
+    return cur;
+  }
+  StateId tight = cur;  // "equal to the threshold's prefix so far"
+  StateId free = -1;    // "already strictly below"
+  for (int j = 0; j < bits; ++j) {
+    const int cbit = static_cast<int>((threshold >> (bits - 1 - j)) & 1);
+    const bool last = (j == bits - 1);
+    StateId next_free = -1;
+    if (free >= 0 || (tight >= 0 && cbit == 1)) {
+      next_free = nfa.AddState();
+    }
+    StateId next_tight = -1;
+    if (!last && tight >= 0) {
+      next_tight = nfa.AddState();
+    }
+    if (free >= 0) {
+      nfa.AddTransition(free, Symbol{0}, next_free);
+      nfa.AddTransition(free, Symbol{1}, next_free);
+    }
+    if (tight >= 0) {
+      if (cbit == 1) {
+        nfa.AddTransition(tight, Symbol{0}, next_free);
+        if (next_tight >= 0) nfa.AddTransition(tight, Symbol{1}, next_tight);
+        // Reading 1 on the last position would mean "equal": rejected.
+      } else {
+        if (next_tight >= 0) nfa.AddTransition(tight, Symbol{0}, next_tight);
+        // Reading 1 exceeds the threshold: rejected (no edge).
+      }
+    }
+    tight = next_tight;
+    free = next_free;
+  }
+  // threshold >= 1 guarantees the free rail exists by the end.
+  assert(free >= 0);
+  return free;
+}
+
+}  // namespace
+
+Result<WeightedPqeInstance> BuildWeightedPqeNfa(const ProbGraphDb& db,
+                                                const PathQuery& query,
+                                                int64_t max_clauses) {
+  Dnf dnf(0);
+  NFA_ASSIGN_OR_RETURN(dnf, LineageDnf(db, query, max_clauses));
+
+  WeightedPqeInstance out;
+  out.clauses = dnf.num_clauses();
+  for (int i = 0; i < db.num_facts(); ++i) {
+    out.word_length += db.fact(i).prob.bits;
+  }
+  if (out.clauses == 0 || out.word_length == 0) {
+    return Status::NotFound("query has no homomorphism (probability 0)");
+  }
+
+  Nfa nfa(2);
+  StateId start = nfa.AddState();
+  nfa.SetInitial(start);
+  for (int c = 0; c < dnf.num_clauses(); ++c) {
+    const DnfClause& clause = dnf.clause(c);
+    StateId cur = start;
+    for (int fact_id = 0; fact_id < db.num_facts(); ++fact_id) {
+      const ProbGraphDb::Fact& fact = db.fact(fact_id);
+      const bool constrained =
+          std::binary_search(clause.positive.begin(), clause.positive.end(),
+                             fact_id) &&
+          fact.prob.numerator < (1u << fact.prob.bits);
+      cur = AppendBlockGadget(nfa, cur, fact.prob.bits,
+                              constrained ? fact.prob.numerator : -1);
+    }
+    nfa.AddAccepting(cur);
+  }
+  out.nfa = std::move(nfa);
+  return out;
+}
+
+Result<double> ExactPqeWeighted(const ProbGraphDb& db, const PathQuery& query,
+                                int max_facts) {
+  Dnf dnf(0);
+  NFA_ASSIGN_OR_RETURN(dnf, LineageDnf(db, query));
+  const int f = db.num_facts();
+  if (dnf.num_clauses() == 0 || f == 0) return 0.0;
+  if (f > max_facts) {
+    return Status::ResourceExhausted("exact weighted PQE over " +
+                                     std::to_string(f) + " facts");
+  }
+  double total = 0.0;
+  std::vector<bool> world(f);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << f); ++mask) {
+    double world_prob = 1.0;
+    for (int i = 0; i < f; ++i) {
+      world[i] = (mask >> i) & 1;
+      const double p = db.fact(i).prob.Value();
+      world_prob *= world[i] ? p : (1.0 - p);
+    }
+    if (world_prob > 0.0 && dnf.Evaluate(world)) total += world_prob;
+  }
+  return total;
+}
+
+Result<PqeResult> ApproxPqeWeighted(const ProbGraphDb& db,
+                                    const PathQuery& query,
+                                    const CountOptions& options) {
+  PqeResult out;
+  Result<WeightedPqeInstance> instance = BuildWeightedPqeNfa(db, query);
+  if (!instance.ok()) {
+    if (instance.status().code() == StatusCode::kNotFound) {
+      out.probability = 0.0;  // no homomorphism
+      return out;
+    }
+    return instance.status();
+  }
+  out.lineage_clauses = instance->clauses;
+  out.nfa_states = instance->nfa.num_states();
+  ReductionResult reduced = ReduceNfa(instance->nfa);
+  out.reduced_states = reduced.reduced_states;
+  NFA_ASSIGN_OR_RETURN(
+      out.count, ApproxCount(reduced.nfa, instance->word_length, options));
+  out.probability =
+      out.count.estimate / std::pow(2.0, instance->word_length);
+  return out;
+}
+
+}  // namespace nfacount

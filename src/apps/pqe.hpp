@@ -1,0 +1,145 @@
+// Probabilistic query evaluation (PQE) for self-join-free path queries over
+// tuple-independent graph databases — the first application the paper's
+// introduction motivates (via van Bremen & Meel, PODS'23).
+//
+// Pipeline:  (probabilistic DB, path query)
+//              → lineage DNF (one variable per uncertain edge,
+//                 one clause per homomorphism of the path)
+//              → NFA via the linear DnfToNfa encoding
+//              → Pr[Q] = |L(A_V)| / 2^V  via the FPRAS.
+//
+// Probability model: facts added with AddFact() hold with probability 1/2
+// (one lineage Boolean per fact — the uniform-subgraph distribution); facts
+// added with AddFactWithProb() carry an arbitrary dyadic probability c/2^b,
+// realized in the reduction by giving the fact a b-bit block and a threshold
+// gadget "block value < c" in the NFA (the reduction stays linear: 2b states
+// per constrained block per clause).
+
+#ifndef NFACOUNT_APPS_PQE_HPP_
+#define NFACOUNT_APPS_PQE_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/dnf.hpp"
+#include "fpras/estimator.hpp"
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// A dyadic probability numerator / 2^bits, with 1 <= numerator <= 2^bits.
+struct DyadicProb {
+  uint32_t numerator = 1;
+  int bits = 1;
+
+  double Value() const {
+    return static_cast<double>(numerator) / static_cast<double>(1u << bits);
+  }
+  static DyadicProb Half() { return DyadicProb{1, 1}; }
+};
+
+/// A probabilistic graph database over binary relations R_0..R_{r-1}: facts
+/// are labeled edges, each present independently with its own (dyadic)
+/// probability.
+class ProbGraphDb {
+ public:
+  ProbGraphDb(int num_nodes, int num_relations);
+
+  /// Adds fact R_relation(src, dst) with probability 1/2; returns the
+  /// edge/lineage-variable id.
+  Result<int> AddFact(int relation, int src, int dst);
+
+  /// Adds a fact with an arbitrary dyadic probability.
+  Result<int> AddFactWithProb(int relation, int src, int dst, DyadicProb prob);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_relations() const { return num_relations_; }
+  int num_facts() const { return static_cast<int>(facts_.size()); }
+
+  struct Fact {
+    int relation;
+    int src;
+    int dst;
+    DyadicProb prob;
+  };
+  const Fact& fact(int id) const { return facts_[id]; }
+
+  /// True if any fact has a probability other than 1/2.
+  bool HasNonUniformProbs() const;
+
+  /// Facts of `relation` leaving `src` (fact ids).
+  const std::vector<int>& FactsFrom(int relation, int src) const;
+
+ private:
+  int num_nodes_;
+  int num_relations_;
+  std::vector<Fact> facts_;
+  // by_src_[relation][src] -> fact ids
+  std::vector<std::vector<std::vector<int>>> by_src_;
+};
+
+/// Self-join-free path query  Q(x0..xk): R_{r1}(x0,x1) ∧ ... ∧ R_{rk}(x_{k-1},xk),
+/// all variables existentially quantified, all relations distinct.
+struct PathQuery {
+  std::vector<int> relations;
+};
+
+/// Validates a query against a database (relation ids in range, self-join
+/// freeness).
+Status ValidatePathQuery(const ProbGraphDb& db, const PathQuery& query);
+
+/// Lineage of the query: one clause {edge vars along the path} per
+/// homomorphism, deduplicated. Fails if more than `max_clauses` distinct
+/// clauses arise.
+Result<Dnf> LineageDnf(const ProbGraphDb& db, const PathQuery& query,
+                       int64_t max_clauses = 1 << 20);
+
+/// Exact Pr[Q] by exact lineage model counting (2^{#facts} enumeration).
+Result<double> ExactPqe(const ProbGraphDb& db, const PathQuery& query,
+                        int max_facts = 26);
+
+/// Result of the approximate pipeline.
+struct PqeResult {
+  double probability = 0.0;       ///< estimate of Pr[Q]
+  int lineage_clauses = 0;        ///< homomorphism count after dedup
+  int nfa_states = 0;             ///< raw #NFA instance size (1 + clauses·vars)
+  int reduced_states = 0;         ///< after bisimulation quotient (what runs)
+  CountEstimate count;            ///< underlying FPRAS output
+};
+
+/// Approximate Pr[Q] via lineage → NFA → FPRAS (ε,δ apply to the count, and
+/// hence to the probability, multiplicatively). Requires uniform (1/2)
+/// probabilities; use ApproxPqeWeighted for dyadic ones.
+Result<PqeResult> ApproxPqe(const ProbGraphDb& db, const PathQuery& query,
+                            const CountOptions& options = CountOptions());
+
+// ---------------------------------------------------------------------------
+// Dyadic probabilities (threshold-gadget reduction)
+// ---------------------------------------------------------------------------
+
+/// The weighted #NFA instance for a query: the NFA reads one b_i-bit block
+/// per fact (MSB first); fact i is "present" iff its block value is strictly
+/// below numerator_i, which happens with probability exactly c_i/2^{b_i}
+/// under uniform bits. Then Pr[Q] = |L(A_B)| / 2^B with B = Σ b_i.
+struct WeightedPqeInstance {
+  Nfa nfa{2};
+  int word_length = 0;  ///< B
+  int clauses = 0;      ///< lineage clause count
+};
+Result<WeightedPqeInstance> BuildWeightedPqeNfa(const ProbGraphDb& db,
+                                                const PathQuery& query,
+                                                int64_t max_clauses = 1 << 20);
+
+/// Exact Pr[Q] under dyadic probabilities by possible-world enumeration
+/// (2^{#facts} worlds, each weighted by its product probability).
+Result<double> ExactPqeWeighted(const ProbGraphDb& db, const PathQuery& query,
+                                int max_facts = 22);
+
+/// Approximate Pr[Q] under dyadic probabilities via the threshold-gadget
+/// reduction and the FPRAS.
+Result<PqeResult> ApproxPqeWeighted(const ProbGraphDb& db, const PathQuery& query,
+                                    const CountOptions& options = CountOptions());
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_APPS_PQE_HPP_

@@ -1,0 +1,40 @@
+// Words and alphabets. The paper works over Σ = {0,1} and notes all results
+// extend to any fixed constant-size alphabet; the library is generic in the
+// alphabet size (symbols are dense indices 0..k-1).
+
+#ifndef NFACOUNT_AUTOMATA_ALPHABET_HPP_
+#define NFACOUNT_AUTOMATA_ALPHABET_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// A symbol is a dense index in [0, alphabet_size).
+using Symbol = uint8_t;
+
+/// A word is a sequence of symbols; words compare lexicographically.
+using Word = std::vector<Symbol>;
+
+/// Maximum supported alphabet size ("arbitrary but fixed constant size").
+inline constexpr int kMaxAlphabetSize = 36;
+
+/// Renders symbol `s` as a character: 0-9 then a-z.
+char SymbolToChar(Symbol s);
+
+/// Parses a character into a symbol index; returns -1 if not a valid symbol.
+int CharToSymbol(char c);
+
+/// Renders a word, e.g. {0,1,1} -> "011". The empty word renders as "".
+std::string WordToString(const Word& word);
+
+/// Parses a word; every character must be a valid symbol strictly below
+/// `alphabet_size`.
+Result<Word> ParseWord(const std::string& text, int alphabet_size);
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_AUTOMATA_ALPHABET_HPP_

@@ -1,0 +1,231 @@
+#include "automata/dfa.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+namespace nfacount {
+
+Dfa::Dfa(int num_states, int alphabet_size)
+    : num_states_(num_states),
+      alphabet_size_(alphabet_size),
+      accepting_(num_states),
+      next_(static_cast<size_t>(num_states) * alphabet_size, -1) {
+  assert(num_states >= 1);
+  assert(alphabet_size >= 1 && alphabet_size <= kMaxAlphabetSize);
+}
+
+void Dfa::SetTransition(StateId from, Symbol symbol, StateId to) {
+  assert(from >= 0 && from < num_states_);
+  assert(to >= 0 && to < num_states_);
+  assert(symbol < alphabet_size_);
+  next_[static_cast<size_t>(from) * alphabet_size_ + symbol] = to;
+}
+
+bool Dfa::Accepts(const Word& word) const {
+  StateId q = initial_;
+  for (Symbol s : word) q = Next(q, s);
+  return accepting_.Test(q);
+}
+
+Status Dfa::Validate() const {
+  if (initial_ < 0 || initial_ >= num_states_) {
+    return Status::Invalid("DFA initial state unset");
+  }
+  for (StateId t : next_) {
+    if (t < 0) return Status::Invalid("DFA has unassigned transitions");
+  }
+  return Status::Ok();
+}
+
+BigUint Dfa::CountWordsOfLength(int n) const {
+  return CountWordsUpToLength(n).back();
+}
+
+std::vector<BigUint> Dfa::CountWordsUpToLength(int n) const {
+  assert(initial_ >= 0);
+  assert(n >= 0);
+  // counts[q] = number of words of the current length leading initial -> q.
+  std::vector<BigUint> counts(num_states_);
+  counts[initial_] = BigUint(1);
+  std::vector<BigUint> out;
+  out.reserve(n + 1);
+
+  auto accepted_total = [&]() {
+    BigUint total;
+    accepting_.ForEachSet([&](int q) { total += counts[q]; });
+    return total;
+  };
+
+  out.push_back(accepted_total());
+  for (int step = 1; step <= n; ++step) {
+    std::vector<BigUint> next_counts(num_states_);
+    for (StateId q = 0; q < num_states_; ++q) {
+      if (counts[q].IsZero()) continue;
+      for (int a = 0; a < alphabet_size_; ++a) {
+        next_counts[Next(q, static_cast<Symbol>(a))] += counts[q];
+      }
+    }
+    counts = std::move(next_counts);
+    out.push_back(accepted_total());
+  }
+  return out;
+}
+
+Nfa Dfa::ToNfa() const {
+  Nfa out(alphabet_size_);
+  out.AddStates(num_states_);
+  out.SetInitial(initial_);
+  accepting_.ForEachSet([&](int q) { out.AddAccepting(q); });
+  for (StateId q = 0; q < num_states_; ++q) {
+    for (int a = 0; a < alphabet_size_; ++a) {
+      out.AddTransition(q, static_cast<Symbol>(a), Next(q, static_cast<Symbol>(a)));
+    }
+  }
+  return out;
+}
+
+Result<Dfa> Determinize(const Nfa& nfa, int max_states) {
+  NFA_RETURN_NOT_OK(nfa.Validate());
+  const int m = nfa.num_states();
+  const int k = nfa.alphabet_size();
+
+  std::unordered_map<Bitset, StateId, BitsetHash> ids;
+  std::vector<Bitset> subsets;
+  std::queue<StateId> frontier;
+
+  auto intern = [&](const Bitset& set) -> StateId {
+    auto it = ids.find(set);
+    if (it != ids.end()) return it->second;
+    StateId id = static_cast<StateId>(subsets.size());
+    ids.emplace(set, id);
+    subsets.push_back(set);
+    frontier.push(id);
+    return id;
+  };
+
+  Bitset start(m);
+  start.Set(nfa.initial());
+  intern(start);
+
+  // First pass: explore subsets; transitions recorded as subset ids.
+  std::vector<std::vector<StateId>> trans;
+  while (!frontier.empty()) {
+    StateId id = frontier.front();
+    frontier.pop();
+    if (static_cast<int>(subsets.size()) > max_states) {
+      return Status::ResourceExhausted(
+          "determinization exceeded " + std::to_string(max_states) + " states");
+    }
+    Bitset cur = subsets[id];  // copy: intern() may reallocate subsets
+    std::vector<StateId> row(k);
+    for (int a = 0; a < k; ++a) {
+      row[a] = intern(nfa.Step(cur, static_cast<Symbol>(a)));
+    }
+    if (static_cast<size_t>(id) >= trans.size()) trans.resize(id + 1);
+    trans[id] = std::move(row);
+  }
+  if (static_cast<int>(subsets.size()) > max_states) {
+    return Status::ResourceExhausted(
+        "determinization exceeded " + std::to_string(max_states) + " states");
+  }
+
+  Dfa out(static_cast<int>(subsets.size()), k);
+  out.SetInitial(0);
+  for (StateId q = 0; q < out.num_states(); ++q) {
+    if (subsets[q].Intersects(nfa.accepting())) out.AddAccepting(q);
+    for (int a = 0; a < k; ++a) {
+      out.SetTransition(q, static_cast<Symbol>(a), trans[q][a]);
+    }
+  }
+  return out;
+}
+
+Dfa Minimize(const Dfa& dfa) {
+  assert(dfa.Validate().ok());
+  const int m = dfa.num_states();
+  const int k = dfa.alphabet_size();
+
+  // Moore's algorithm: refine the accepting/non-accepting partition until
+  // stable. Class signature = (own class, class of each successor).
+  std::vector<int> cls(m);
+  for (StateId q = 0; q < m; ++q) cls[q] = dfa.accepting().Test(q) ? 1 : 0;
+
+  int num_classes = 2;
+  while (true) {
+    std::map<std::vector<int>, int> sig_to_class;
+    std::vector<int> next_cls(m);
+    for (StateId q = 0; q < m; ++q) {
+      std::vector<int> sig;
+      sig.reserve(k + 1);
+      sig.push_back(cls[q]);
+      for (int a = 0; a < k; ++a) {
+        sig.push_back(cls[dfa.Next(q, static_cast<Symbol>(a))]);
+      }
+      auto [it, inserted] =
+          sig_to_class.emplace(std::move(sig), static_cast<int>(sig_to_class.size()));
+      (void)inserted;
+      next_cls[q] = it->second;
+    }
+    int new_num = static_cast<int>(sig_to_class.size());
+    cls = std::move(next_cls);
+    if (new_num == num_classes) break;
+    num_classes = new_num;
+  }
+
+  Dfa out(num_classes, k);
+  out.SetInitial(cls[dfa.initial()]);
+  for (StateId q = 0; q < m; ++q) {
+    if (dfa.accepting().Test(q)) out.AddAccepting(cls[q]);
+    for (int a = 0; a < k; ++a) {
+      out.SetTransition(cls[q], static_cast<Symbol>(a),
+                        cls[dfa.Next(q, static_cast<Symbol>(a))]);
+    }
+  }
+  return out;
+}
+
+Dfa Complement(const Dfa& dfa) {
+  assert(dfa.Validate().ok());
+  Dfa flipped(dfa.num_states(), dfa.alphabet_size());
+  flipped.SetInitial(dfa.initial());
+  for (StateId q = 0; q < dfa.num_states(); ++q) {
+    if (!dfa.accepting().Test(q)) flipped.AddAccepting(q);
+    for (int a = 0; a < dfa.alphabet_size(); ++a) {
+      flipped.SetTransition(q, static_cast<Symbol>(a), dfa.Next(q, static_cast<Symbol>(a)));
+    }
+  }
+  return flipped;
+}
+
+Result<bool> LanguageEquivalent(const Nfa& a, const Nfa& b, int max_states) {
+  Dfa da(1, 1), db(1, 1);
+  NFA_ASSIGN_OR_RETURN(da, Determinize(a, max_states));
+  NFA_ASSIGN_OR_RETURN(db, Determinize(b, max_states));
+  if (da.alphabet_size() != db.alphabet_size()) {
+    return Status::Invalid("alphabet size mismatch");
+  }
+  // BFS over the product, looking for a distinguishing pair.
+  std::queue<std::pair<StateId, StateId>> frontier;
+  std::map<std::pair<StateId, StateId>, bool> seen;
+  frontier.emplace(da.initial(), db.initial());
+  seen[{da.initial(), db.initial()}] = true;
+  while (!frontier.empty()) {
+    auto [qa, qb] = frontier.front();
+    frontier.pop();
+    if (da.accepting().Test(qa) != db.accepting().Test(qb)) return false;
+    for (int s = 0; s < da.alphabet_size(); ++s) {
+      auto next = std::make_pair(da.Next(qa, static_cast<Symbol>(s)),
+                                 db.Next(qb, static_cast<Symbol>(s)));
+      if (!seen.count(next)) {
+        seen[next] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace nfacount

@@ -1,0 +1,76 @@
+// Deterministic automata: the exact-counting and language-equality substrate
+// used to validate the FPRAS. Exact #NFA via determinization is worst-case
+// exponential — that blow-up is precisely why the paper's FPRAS matters — so
+// Determinize takes an explicit state budget and fails gracefully beyond it.
+
+#ifndef NFACOUNT_AUTOMATA_DFA_HPP_
+#define NFACOUNT_AUTOMATA_DFA_HPP_
+
+#include <string>
+#include <vector>
+
+#include "automata/nfa.hpp"
+#include "util/bigint.hpp"
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// Complete DFA: every (state, symbol) has exactly one successor.
+class Dfa {
+ public:
+  Dfa(int num_states, int alphabet_size);
+
+  int num_states() const { return num_states_; }
+  int alphabet_size() const { return alphabet_size_; }
+  StateId initial() const { return initial_; }
+  const Bitset& accepting() const { return accepting_; }
+
+  void SetInitial(StateId q) { initial_ = q; }
+  void AddAccepting(StateId q) { accepting_.Set(q); }
+  void SetTransition(StateId from, Symbol symbol, StateId to);
+
+  StateId Next(StateId from, Symbol symbol) const {
+    return next_[static_cast<size_t>(from) * alphabet_size_ + symbol];
+  }
+
+  bool Accepts(const Word& word) const;
+
+  /// All transitions assigned and initial state set.
+  Status Validate() const;
+
+  /// Exact |L(A_n)|: one BigUint per state, n rounds of transfer. O(n·m·|Σ|)
+  /// BigUint additions.
+  BigUint CountWordsOfLength(int n) const;
+
+  /// Exact counts for every length 0..n (index i holds |L(A_i)|).
+  std::vector<BigUint> CountWordsUpToLength(int n) const;
+
+  /// View as an NFA (for code paths that are generic in Nfa).
+  Nfa ToNfa() const;
+
+ private:
+  int num_states_;
+  int alphabet_size_;
+  StateId initial_ = -1;
+  Bitset accepting_;
+  std::vector<StateId> next_;  // dense [state][symbol], -1 = unassigned
+};
+
+/// Subset construction. Fails with ResourceExhausted if more than
+/// `max_states` subset states would be materialized.
+Result<Dfa> Determinize(const Nfa& nfa, int max_states = 1 << 20);
+
+/// Moore partition refinement; returns the minimal complete DFA.
+Dfa Minimize(const Dfa& dfa);
+
+/// Complement of a complete DFA (accepting set flipped).
+Dfa Complement(const Dfa& dfa);
+
+/// True iff the two automata accept the same language (product BFS over the
+/// determinized pair). Determinization budget applies to each input.
+Result<bool> LanguageEquivalent(const Nfa& a, const Nfa& b,
+                                int max_states = 1 << 18);
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_AUTOMATA_DFA_HPP_

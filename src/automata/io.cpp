@@ -1,0 +1,154 @@
+#include "automata/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace nfacount {
+
+namespace {
+
+Status ParseError(int line_no, const std::string& message) {
+  return Status::Invalid("nfa text line " + std::to_string(line_no) + ": " +
+                         message);
+}
+
+}  // namespace
+
+Result<Nfa> ParseNfaText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+
+  bool have_header = false;
+  int num_states = 0, alphabet_size = 0;
+  bool have_initial = false;
+  // Staged so the header can appear before we construct the automaton.
+  Nfa nfa(1);
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+
+    if (keyword == "nfa") {
+      if (have_header) return ParseError(line_no, "duplicate header");
+      if (!(ls >> num_states >> alphabet_size)) {
+        return ParseError(line_no, "expected 'nfa <states> <alphabet>'");
+      }
+      if (num_states < 1) return ParseError(line_no, "need >= 1 state");
+      if (alphabet_size < 1 || alphabet_size > kMaxAlphabetSize) {
+        return ParseError(line_no, "alphabet size out of range");
+      }
+      nfa = Nfa(alphabet_size);
+      nfa.AddStates(num_states);
+      have_header = true;
+      continue;
+    }
+    if (!have_header) return ParseError(line_no, "header must come first");
+
+    if (keyword == "initial") {
+      int q;
+      if (!(ls >> q) || q < 0 || q >= num_states) {
+        return ParseError(line_no, "bad initial state");
+      }
+      nfa.SetInitial(q);
+      have_initial = true;
+    } else if (keyword == "accepting") {
+      int q;
+      bool any = false;
+      while (ls >> q) {
+        if (q < 0 || q >= num_states) {
+          return ParseError(line_no, "accepting state out of range");
+        }
+        nfa.AddAccepting(q);
+        any = true;
+      }
+      if (!any) return ParseError(line_no, "expected at least one state");
+    } else if (keyword == "trans") {
+      int from, to;
+      std::string symbol;
+      if (!(ls >> from >> symbol >> to)) {
+        return ParseError(line_no, "expected 'trans <from> <symbol> <to>'");
+      }
+      if (from < 0 || from >= num_states || to < 0 || to >= num_states) {
+        return ParseError(line_no, "transition state out of range");
+      }
+      if (symbol.size() != 1) return ParseError(line_no, "symbol must be one char");
+      int s = CharToSymbol(symbol[0]);
+      if (s < 0 || s >= alphabet_size) {
+        return ParseError(line_no, "symbol outside the alphabet");
+      }
+      nfa.AddTransition(from, static_cast<Symbol>(s), to);
+    } else {
+      return ParseError(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (!have_header) return Status::Invalid("nfa text: missing header");
+  if (!have_initial) return Status::Invalid("nfa text: missing initial state");
+  NFA_RETURN_NOT_OK(nfa.Validate());
+  return nfa;
+}
+
+std::string NfaToText(const Nfa& nfa) {
+  std::ostringstream out;
+  out << "nfa " << nfa.num_states() << " " << nfa.alphabet_size() << "\n";
+  out << "initial " << nfa.initial() << "\n";
+  if (nfa.accepting().Any()) {
+    out << "accepting";
+    nfa.accepting().ForEachSet([&](int q) { out << " " << q; });
+    out << "\n";
+  }
+  for (StateId q = 0; q < nfa.num_states(); ++q) {
+    for (int a = 0; a < nfa.alphabet_size(); ++a) {
+      for (StateId r : nfa.Successors(q, static_cast<Symbol>(a))) {
+        out << "trans " << q << " " << SymbolToChar(static_cast<Symbol>(a))
+            << " " << r << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+Result<Nfa> LoadNfaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseNfaText(buffer.str());
+}
+
+Status SaveNfaFile(const Nfa& nfa, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Invalid("cannot write '" + path + "'");
+  out << NfaToText(nfa);
+  return out ? Status::Ok() : Status::Internal("write failed");
+}
+
+std::string NfaToDot(const Nfa& nfa, const std::string& name) {
+  std::ostringstream out;
+  out << "digraph " << name << " {\n";
+  out << "  rankdir=LR;\n";
+  out << "  __start [shape=point];\n";
+  for (StateId q = 0; q < nfa.num_states(); ++q) {
+    out << "  q" << q << " [shape="
+        << (nfa.IsAccepting(q) ? "doublecircle" : "circle") << "];\n";
+  }
+  out << "  __start -> q" << nfa.initial() << ";\n";
+  for (StateId q = 0; q < nfa.num_states(); ++q) {
+    for (int a = 0; a < nfa.alphabet_size(); ++a) {
+      for (StateId r : nfa.Successors(q, static_cast<Symbol>(a))) {
+        out << "  q" << q << " -> q" << r << " [label=\""
+            << SymbolToChar(static_cast<Symbol>(a)) << "\"];\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace nfacount

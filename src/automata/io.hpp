@@ -1,0 +1,48 @@
+// Text serialization for automata: a line-oriented format for loading and
+// storing NFAs (used by the CLI example and for fixture-based tests), plus
+// Graphviz DOT export for visualization.
+//
+// Format (comments with '#', blank lines ignored):
+//   nfa <num_states> <alphabet_size>
+//   initial <state>
+//   accepting <state> [<state> ...]
+//   trans <from> <symbol-char> <to>      # one per line
+//
+// Example:
+//   nfa 2 2
+//   initial 0
+//   accepting 1
+//   trans 0 1 1
+//   trans 1 0 1
+//   trans 1 1 1
+
+#ifndef NFACOUNT_AUTOMATA_IO_HPP_
+#define NFACOUNT_AUTOMATA_IO_HPP_
+
+#include <string>
+
+#include "automata/nfa.hpp"
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// Parses an automaton from the text format above. Validates ranges and
+/// requires the header, an initial state, and at least one state.
+Result<Nfa> ParseNfaText(const std::string& text);
+
+/// Serializes to the text format (round-trips through ParseNfaText).
+std::string NfaToText(const Nfa& nfa);
+
+/// Reads a file and parses it.
+Result<Nfa> LoadNfaFile(const std::string& path);
+
+/// Writes the text format to a file.
+Status SaveNfaFile(const Nfa& nfa, const std::string& path);
+
+/// Graphviz DOT rendering (initial state marked with an inbound arrow,
+/// accepting states doubly circled, edges labeled by symbol characters).
+std::string NfaToDot(const Nfa& nfa, const std::string& name = "nfa");
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_AUTOMATA_IO_HPP_

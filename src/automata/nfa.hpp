@@ -1,0 +1,128 @@
+// Non-deterministic finite automata: the input object of #NFA.
+//
+// Representation notes (sized for the FPRAS access patterns):
+//  * successor and predecessor adjacency are both materialized — the FPRAS
+//    walks predecessors (suffix extension), while acceptance tests and the
+//    membership oracle walk successors;
+//  * state sets are Bitsets so predecessor expansion and reachability are
+//    word-parallel.
+
+#ifndef NFACOUNT_AUTOMATA_NFA_HPP_
+#define NFACOUNT_AUTOMATA_NFA_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.hpp"
+#include "util/bitset.hpp"
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// Dense automaton state index.
+using StateId = int32_t;
+
+/// An NFA (Q, I, Δ, F) over a fixed alphabet with a single initial state.
+/// Multiple accepting states are allowed (the paper's single-final-state
+/// assumption is WLOG; the FPRAS facade handles |F| > 1 via a final union
+/// estimate, see fpras/estimator.hpp).
+class Nfa {
+ public:
+  /// Creates an empty automaton; `alphabet_size` in [1, kMaxAlphabetSize].
+  explicit Nfa(int alphabet_size = 2);
+
+  /// Adds a state and returns its id.
+  StateId AddState();
+  /// Adds `count` states, returning the id of the first.
+  StateId AddStates(int count);
+
+  /// Marks the (single) initial state; must be called before use.
+  void SetInitial(StateId q);
+  /// Marks `q` accepting (idempotent).
+  void AddAccepting(StateId q);
+
+  /// Adds (from, symbol, to) to Δ. Duplicate transitions are ignored.
+  void AddTransition(StateId from, Symbol symbol, StateId to);
+
+  int num_states() const { return static_cast<int>(succ_.size()); }
+  int alphabet_size() const { return alphabet_size_; }
+  StateId initial() const { return initial_; }
+  const Bitset& accepting() const { return accepting_; }
+  bool IsAccepting(StateId q) const { return accepting_.Test(q); }
+  int64_t num_transitions() const { return num_transitions_; }
+
+  /// States p with (p, symbol, q) in Δ (the b-predecessors Pred(q, b)).
+  const std::vector<StateId>& Predecessors(StateId q, Symbol symbol) const {
+    return pred_[q][symbol];
+  }
+  /// States r with (q, symbol, r) in Δ.
+  const std::vector<StateId>& Successors(StateId q, Symbol symbol) const {
+    return succ_[q][symbol];
+  }
+
+  /// Structural checks: initial set, symbols in range, at least one state.
+  Status Validate() const;
+
+  /// Frontier simulation; true iff some run on `word` ends in an accepting
+  /// state. O(|word| * |Δ| / 64).
+  bool Accepts(const Word& word) const;
+
+  /// The set of states reachable from `from` by exactly `word`.
+  Bitset ReachFrom(const Bitset& from, const Word& word) const;
+  /// The set of states reachable from the initial state by exactly `word`
+  /// (i.e. the set {q : word ∈ L(q^{|word|})} of the unrolled automaton).
+  Bitset Reach(const Word& word) const;
+
+  /// One-step image: states reachable from `from` via `symbol`.
+  Bitset Step(const Bitset& from, Symbol symbol) const;
+  /// One-step preimage: states p with a `symbol` transition into `into`.
+  Bitset StepBack(const Bitset& into, Symbol symbol) const;
+
+  /// States reachable from the initial state (any word length).
+  Bitset ReachableStates() const;
+  /// States from which some accepting state is reachable.
+  Bitset CoReachableStates() const;
+
+  /// Copy with only useful (reachable AND co-reachable) states, remapped
+  /// densely. The language is preserved. If the initial state is useless the
+  /// result is a single-state automaton with the empty language.
+  Nfa Trimmed() const;
+
+  /// Human-readable dump for diagnostics.
+  std::string ToString() const;
+
+ private:
+  int alphabet_size_;
+  StateId initial_ = -1;
+  Bitset accepting_;
+  int64_t num_transitions_ = 0;
+  // succ_[q][a] / pred_[q][a]: sorted unique state lists.
+  std::vector<std::vector<std::vector<StateId>>> succ_;
+  std::vector<std::vector<std::vector<StateId>>> pred_;
+};
+
+/// Product automaton: L(result) = L(a) ∩ L(b). Alphabet sizes must match.
+/// Only the reachable product states are materialized.
+Nfa Intersect(const Nfa& a, const Nfa& b);
+
+/// Union automaton: L(result) = L(a) ∪ L(b), via a fresh initial state whose
+/// outgoing transitions mirror both initial states'. Note: for word counting
+/// the union language (not disjoint sum) is what matters.
+Nfa Union(const Nfa& a, const Nfa& b);
+
+/// Reversal: L(result) = { reverse(w) : w in L(a) }. Requires |F| >= 1; a
+/// fresh initial state simulates the accepting set.
+Nfa Reverse(const Nfa& a);
+
+/// Concatenation: L(result) = L(a)·L(b), epsilon-free construction (every
+/// accepting state of `a` mirrors the outgoing edges of b's initial state).
+Nfa Concat(const Nfa& a, const Nfa& b);
+
+/// Kleene star: L(result) = L(a)*, epsilon-free construction via a fresh
+/// accepting initial state and loop-back edges from accepting states.
+Nfa Star(const Nfa& a);
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_AUTOMATA_NFA_HPP_

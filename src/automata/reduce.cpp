@@ -1,0 +1,75 @@
+#include "automata/reduce.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace nfacount {
+
+ReductionResult BisimulationQuotient(const Nfa& nfa) {
+  assert(nfa.Validate().ok());
+  const int m = nfa.num_states();
+  const int k = nfa.alphabet_size();
+
+  // Partition refinement: class signature = (acceptance, for each symbol the
+  // sorted set of successor classes). Iterate to fixpoint.
+  std::vector<int> cls(m);
+  for (StateId q = 0; q < m; ++q) cls[q] = nfa.IsAccepting(q) ? 1 : 0;
+  int num_classes = 2;
+
+  while (true) {
+    std::map<std::vector<int>, int> signature_to_class;
+    std::vector<int> next_cls(m);
+    for (StateId q = 0; q < m; ++q) {
+      std::vector<int> signature;
+      signature.push_back(cls[q]);
+      for (int a = 0; a < k; ++a) {
+        std::set<int> succ_classes;
+        for (StateId r : nfa.Successors(q, static_cast<Symbol>(a))) {
+          succ_classes.insert(cls[r]);
+        }
+        signature.push_back(-1);  // symbol separator
+        signature.insert(signature.end(), succ_classes.begin(),
+                         succ_classes.end());
+      }
+      auto [it, inserted] = signature_to_class.emplace(
+          std::move(signature), static_cast<int>(signature_to_class.size()));
+      (void)inserted;
+      next_cls[q] = it->second;
+    }
+    int new_num = static_cast<int>(signature_to_class.size());
+    cls = std::move(next_cls);
+    if (new_num == num_classes) break;
+    num_classes = new_num;
+  }
+
+  ReductionResult out;
+  out.original_states = m;
+  out.reduced_states = num_classes;
+  out.state_class = cls;
+
+  Nfa quotient(k);
+  quotient.AddStates(num_classes);
+  quotient.SetInitial(cls[nfa.initial()]);
+  for (StateId q = 0; q < m; ++q) {
+    if (nfa.IsAccepting(q)) quotient.AddAccepting(cls[q]);
+    for (int a = 0; a < k; ++a) {
+      for (StateId r : nfa.Successors(q, static_cast<Symbol>(a))) {
+        quotient.AddTransition(cls[q], static_cast<Symbol>(a), cls[r]);
+      }
+    }
+  }
+  out.nfa = std::move(quotient);
+  return out;
+}
+
+ReductionResult ReduceNfa(const Nfa& nfa) {
+  Nfa trimmed = nfa.Trimmed();
+  ReductionResult out = BisimulationQuotient(trimmed);
+  out.original_states = nfa.num_states();
+  // state_class maps trimmed states; expose quotient size vs the original.
+  return out;
+}
+
+}  // namespace nfacount

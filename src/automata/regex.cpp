@@ -1,0 +1,566 @@
+#include "automata/regex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <tuple>
+
+namespace nfacount {
+
+// ---------------------------------------------------------------------------
+// AST rendering
+// ---------------------------------------------------------------------------
+
+std::string RegexNode::ToString() const {
+  switch (op) {
+    case RegexOp::kEmpty:
+      return "()";
+    case RegexOp::kNever:
+      return "[]";
+    case RegexOp::kSymbols: {
+      if (symbols.size() == 1) return std::string(1, SymbolToChar(symbols[0]));
+      std::string out = "[";
+      for (Symbol s : symbols) out.push_back(SymbolToChar(s));
+      return out + "]";
+    }
+    case RegexOp::kConcat: {
+      std::string out;
+      for (const auto& c : children) out += c->ToString();
+      return out;
+    }
+    case RegexOp::kAlt: {
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += "|";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case RegexOp::kStar:
+      return "(" + children[0]->ToString() + ")*";
+    case RegexOp::kPlus:
+      return "(" + children[0]->ToString() + ")+";
+    case RegexOp::kOpt:
+      return "(" + children[0]->ToString() + ")?";
+    case RegexOp::kRepeat: {
+      std::string out = "(" + children[0]->ToString() + "){" + std::to_string(rep_min);
+      if (rep_max != rep_min) {
+        out += ",";
+        if (rep_max >= 0) out += std::to_string(rep_max);
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using NodePtr = std::unique_ptr<RegexNode>;
+
+NodePtr MakeNode(RegexOp op) {
+  auto n = std::make_unique<RegexNode>();
+  n->op = op;
+  return n;
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, int alphabet_size)
+      : text_(text), k_(alphabet_size) {}
+
+  Result<NodePtr> Parse() {
+    auto res = ParseAlt();
+    if (!res.ok()) return res;
+    if (pos_ != text_.size()) {
+      return Fail("unexpected character '" + std::string(1, text_[pos_]) + "'");
+    }
+    return res;
+  }
+
+ private:
+  Status FailStatus(const std::string& msg) const {
+    return Status::Invalid("regex parse error at position " + std::to_string(pos_) +
+                           ": " + msg);
+  }
+  Result<NodePtr> Fail(const std::string& msg) const { return FailStatus(msg); }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Eat(char c) {
+    if (!AtEnd() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<NodePtr> ParseAlt() {
+    NodePtr first;
+    NFA_ASSIGN_OR_RETURN(first, ParseCat());
+    if (AtEnd() || Peek() != '|') return first;
+    auto alt = MakeNode(RegexOp::kAlt);
+    alt->children.push_back(std::move(first));
+    while (Eat('|')) {
+      NodePtr next;
+      NFA_ASSIGN_OR_RETURN(next, ParseCat());
+      alt->children.push_back(std::move(next));
+    }
+    return alt;
+  }
+
+  Result<NodePtr> ParseCat() {
+    auto cat = MakeNode(RegexOp::kConcat);
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      NodePtr rep;
+      NFA_ASSIGN_OR_RETURN(rep, ParseRep());
+      cat->children.push_back(std::move(rep));
+    }
+    if (cat->children.empty()) return MakeNode(RegexOp::kEmpty);
+    if (cat->children.size() == 1) return std::move(cat->children[0]);
+    return cat;
+  }
+
+  Result<NodePtr> ParseRep() {
+    NodePtr node;
+    NFA_ASSIGN_OR_RETURN(node, ParseAtom());
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '*' || c == '+' || c == '?') {
+        ++pos_;
+        auto wrap = MakeNode(c == '*'   ? RegexOp::kStar
+                             : c == '+' ? RegexOp::kPlus
+                                        : RegexOp::kOpt);
+        wrap->children.push_back(std::move(node));
+        node = std::move(wrap);
+      } else if (c == '{') {
+        ++pos_;
+        int lo = 0;
+        bool have_digit = false;
+        while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+          lo = lo * 10 + (Peek() - '0');
+          ++pos_;
+          have_digit = true;
+        }
+        if (!have_digit) return Fail("expected repetition count");
+        int hi = lo;
+        if (Eat(',')) {
+          if (Eat('}')) {
+            hi = -1;  // unbounded
+          } else {
+            hi = 0;
+            have_digit = false;
+            while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+              hi = hi * 10 + (Peek() - '0');
+              ++pos_;
+              have_digit = true;
+            }
+            if (!have_digit) return Fail("expected repetition upper bound");
+            if (!Eat('}')) return Fail("expected '}'");
+            if (hi < lo) return Fail("repetition upper bound below lower bound");
+          }
+        } else if (!Eat('}')) {
+          return Fail("expected '}' or ','");
+        }
+        auto wrap = MakeNode(RegexOp::kRepeat);
+        wrap->rep_min = lo;
+        wrap->rep_max = hi;
+        wrap->children.push_back(std::move(node));
+        node = std::move(wrap);
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  Result<NodePtr> ParseAtom() {
+    if (AtEnd()) return Fail("unexpected end of pattern");
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      NodePtr inner;
+      NFA_ASSIGN_OR_RETURN(inner, ParseAlt());
+      if (!Eat(')')) return Fail("expected ')'");
+      return inner;
+    }
+    if (c == '[') {
+      ++pos_;
+      bool negated = Eat('^');
+      std::vector<bool> in_class(k_, false);
+      bool any = false;
+      while (!AtEnd() && Peek() != ']') {
+        int s = CharToSymbol(Peek());
+        if (s < 0 || s >= k_) return Fail("bad class symbol");
+        in_class[s] = true;
+        any = true;
+        ++pos_;
+      }
+      if (!Eat(']')) return Fail("expected ']'");
+      if (!any && !negated) return MakeNode(RegexOp::kNever);
+      auto node = MakeNode(RegexOp::kSymbols);
+      for (int s = 0; s < k_; ++s) {
+        if (in_class[s] != negated) node->symbols.push_back(static_cast<Symbol>(s));
+      }
+      if (node->symbols.empty()) return MakeNode(RegexOp::kNever);
+      return node;
+    }
+    if (c == '.') {
+      ++pos_;
+      auto node = MakeNode(RegexOp::kSymbols);
+      for (int s = 0; s < k_; ++s) node->symbols.push_back(static_cast<Symbol>(s));
+      return node;
+    }
+    int s = CharToSymbol(c);
+    if (s < 0 || s >= k_) {
+      return Fail("bad symbol '" + std::string(1, c) + "' for alphabet size " +
+                  std::to_string(k_));
+    }
+    ++pos_;
+    auto node = MakeNode(RegexOp::kSymbols);
+    node->symbols.push_back(static_cast<Symbol>(s));
+    return node;
+  }
+
+  const std::string& text_;
+  int k_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<RegexNode>> ParseRegex(const std::string& pattern,
+                                              int alphabet_size) {
+  if (alphabet_size < 1 || alphabet_size > kMaxAlphabetSize) {
+    return Status::Invalid("alphabet size out of range");
+  }
+  return Parser(pattern, alphabet_size).Parse();
+}
+
+// ---------------------------------------------------------------------------
+// Thompson construction + epsilon elimination
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Mutable epsilon-NFA under construction.
+struct EpsNfa {
+  int alphabet_size;
+  std::vector<std::vector<int>> eps;                         // eps[q] -> states
+  std::vector<std::vector<std::pair<Symbol, int>>> edges;    // labeled edges
+
+  int AddState() {
+    eps.emplace_back();
+    edges.emplace_back();
+    return static_cast<int>(eps.size()) - 1;
+  }
+  void AddEps(int from, int to) { eps[from].push_back(to); }
+  void AddEdge(int from, Symbol s, int to) { edges[from].emplace_back(s, to); }
+};
+
+struct Fragment {
+  int start;
+  int accept;
+};
+
+Fragment BuildFragment(EpsNfa& eps_nfa, const RegexNode& node);
+
+Fragment BuildRepeat(EpsNfa& g, const RegexNode& child, int lo, int hi) {
+  int start = g.AddState();
+  int cur = start;
+  // `lo` mandatory copies.
+  for (int i = 0; i < lo; ++i) {
+    Fragment f = BuildFragment(g, child);
+    g.AddEps(cur, f.start);
+    cur = f.accept;
+  }
+  if (hi < 0) {
+    // Unbounded tail: star of the child.
+    Fragment f = BuildFragment(g, child);
+    int accept = g.AddState();
+    g.AddEps(cur, f.start);
+    g.AddEps(cur, accept);
+    g.AddEps(f.accept, f.start);
+    g.AddEps(f.accept, accept);
+    return {start, accept};
+  }
+  // hi - lo optional copies; each can be skipped straight to the accept.
+  int accept = g.AddState();
+  g.AddEps(cur, accept);
+  for (int i = lo; i < hi; ++i) {
+    Fragment f = BuildFragment(g, child);
+    g.AddEps(cur, f.start);
+    g.AddEps(f.accept, accept);
+    cur = f.accept;
+  }
+  return {start, accept};
+}
+
+Fragment BuildFragment(EpsNfa& g, const RegexNode& node) {
+  switch (node.op) {
+    case RegexOp::kEmpty: {
+      int s = g.AddState();
+      int a = g.AddState();
+      g.AddEps(s, a);
+      return {s, a};
+    }
+    case RegexOp::kNever: {
+      int s = g.AddState();
+      int a = g.AddState();
+      return {s, a};
+    }
+    case RegexOp::kSymbols: {
+      int s = g.AddState();
+      int a = g.AddState();
+      for (Symbol sym : node.symbols) g.AddEdge(s, sym, a);
+      return {s, a};
+    }
+    case RegexOp::kConcat: {
+      assert(!node.children.empty());
+      Fragment acc = BuildFragment(g, *node.children[0]);
+      for (size_t i = 1; i < node.children.size(); ++i) {
+        Fragment next = BuildFragment(g, *node.children[i]);
+        g.AddEps(acc.accept, next.start);
+        acc.accept = next.accept;
+      }
+      return acc;
+    }
+    case RegexOp::kAlt: {
+      int s = g.AddState();
+      int a = g.AddState();
+      for (const auto& child : node.children) {
+        Fragment f = BuildFragment(g, *child);
+        g.AddEps(s, f.start);
+        g.AddEps(f.accept, a);
+      }
+      return {s, a};
+    }
+    case RegexOp::kStar: {
+      Fragment f = BuildFragment(g, *node.children[0]);
+      int s = g.AddState();
+      int a = g.AddState();
+      g.AddEps(s, f.start);
+      g.AddEps(s, a);
+      g.AddEps(f.accept, f.start);
+      g.AddEps(f.accept, a);
+      return {s, a};
+    }
+    case RegexOp::kPlus: {
+      Fragment f = BuildFragment(g, *node.children[0]);
+      int s = g.AddState();
+      int a = g.AddState();
+      g.AddEps(s, f.start);
+      g.AddEps(f.accept, f.start);
+      g.AddEps(f.accept, a);
+      return {s, a};
+    }
+    case RegexOp::kOpt: {
+      Fragment f = BuildFragment(g, *node.children[0]);
+      int s = g.AddState();
+      int a = g.AddState();
+      g.AddEps(s, f.start);
+      g.AddEps(s, a);
+      g.AddEps(f.accept, a);
+      return {s, a};
+    }
+    case RegexOp::kRepeat:
+      return BuildRepeat(g, *node.children[0], node.rep_min, node.rep_max);
+  }
+  assert(false && "unreachable");
+  return {0, 0};
+}
+
+/// Epsilon closure of a single state as a sorted state list.
+std::vector<int> EpsClosure(const EpsNfa& g, int q) {
+  std::vector<bool> seen(g.eps.size(), false);
+  std::vector<int> stack = {q}, out;
+  seen[q] = true;
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    for (int next : g.eps[cur]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Nfa CompileRegexAst(const RegexNode& ast, int alphabet_size) {
+  EpsNfa g{alphabet_size, {}, {}};
+  Fragment f = BuildFragment(g, ast);
+
+  const int n = static_cast<int>(g.eps.size());
+  Nfa out(alphabet_size);
+  out.AddStates(n);
+  out.SetInitial(f.start);
+
+  for (int q = 0; q < n; ++q) {
+    std::vector<int> closure = EpsClosure(g, q);
+    bool accepting = false;
+    for (int c : closure) {
+      if (c == f.accept) accepting = true;
+      for (auto [sym, to] : g.edges[c]) out.AddTransition(q, sym, to);
+    }
+    if (accepting) out.AddAccepting(q);
+  }
+  return out.Trimmed();
+}
+
+Result<Nfa> CompileRegex(const std::string& pattern, int alphabet_size) {
+  std::unique_ptr<RegexNode> ast;
+  NFA_ASSIGN_OR_RETURN(ast, ParseRegex(pattern, alphabet_size));
+  return CompileRegexAst(*ast, alphabet_size);
+}
+
+// ---------------------------------------------------------------------------
+// Reference matcher (independent of the NFA pipeline; used by tests)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MatchMemo {
+  std::map<std::tuple<const RegexNode*, int, int>, bool> table;
+};
+
+bool MatchRange(const RegexNode& node, const Word& w, int i, int j, MatchMemo& memo);
+
+// Does some split i = k0 <= k1 <= ... <= j match children[idx..] sequentially?
+bool MatchSeq(const std::vector<std::unique_ptr<RegexNode>>& children, size_t idx,
+              const Word& w, int i, int j, MatchMemo& memo) {
+  if (idx == children.size()) return i == j;
+  for (int k = i; k <= j; ++k) {
+    if (MatchRange(*children[idx], w, i, k, memo) &&
+        MatchSeq(children, idx + 1, w, k, j, memo)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Kleene closure of `child` over w[i..j).
+bool MatchStarRange(const RegexNode& child, const Word& w, int i, int j,
+                    MatchMemo& memo) {
+  if (i == j) return true;
+  // Split off a non-empty prefix matching child (non-empty to terminate).
+  for (int k = i + 1; k <= j; ++k) {
+    if (MatchRange(child, w, i, k, memo) && MatchStarRange(child, w, k, j, memo)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MatchRange(const RegexNode& node, const Word& w, int i, int j, MatchMemo& memo) {
+  auto key = std::make_tuple(&node, i, j);
+  auto it = memo.table.find(key);
+  if (it != memo.table.end()) return it->second;
+  bool result = false;
+  switch (node.op) {
+    case RegexOp::kEmpty:
+      result = (i == j);
+      break;
+    case RegexOp::kNever:
+      result = false;
+      break;
+    case RegexOp::kSymbols:
+      result = (j == i + 1) && std::find(node.symbols.begin(), node.symbols.end(),
+                                         w[i]) != node.symbols.end();
+      break;
+    case RegexOp::kConcat:
+      result = MatchSeq(node.children, 0, w, i, j, memo);
+      break;
+    case RegexOp::kAlt:
+      for (const auto& c : node.children) {
+        if (MatchRange(*c, w, i, j, memo)) {
+          result = true;
+          break;
+        }
+      }
+      break;
+    case RegexOp::kStar:
+      result = MatchStarRange(*node.children[0], w, i, j, memo);
+      break;
+    case RegexOp::kPlus:
+      if (i == j) {
+        // X+ matches the empty word iff X does (one empty factor).
+        result = MatchRange(*node.children[0], w, i, i, memo);
+      } else {
+        for (int k = i + 1; k <= j; ++k) {
+          if (MatchRange(*node.children[0], w, i, k, memo) &&
+              MatchStarRange(*node.children[0], w, k, j, memo)) {
+            result = true;
+            break;
+          }
+        }
+      }
+      break;
+    case RegexOp::kOpt:
+      result = (i == j) || MatchRange(*node.children[0], w, i, j, memo);
+      break;
+    case RegexOp::kRepeat: {
+      // Peel mandatory copies; then 0..(max-min) more (or star if unbounded).
+      const RegexNode& child = *node.children[0];
+      if (node.rep_min > 0) {
+        for (int k = i; k <= j && !result; ++k) {
+          if (!MatchRange(child, w, i, k, memo)) continue;
+          RegexNode tail;
+          tail.op = RegexOp::kRepeat;
+          tail.rep_min = node.rep_min - 1;
+          tail.rep_max = node.rep_max < 0 ? -1 : node.rep_max - 1;
+          // Borrow the child without ownership transfer.
+          tail.children.emplace_back(const_cast<RegexNode*>(&child));
+          bool ok = MatchRange(tail, w, k, j, memo);
+          tail.children[0].release();  // borrowed; do not delete
+          memo.table.erase(std::make_tuple(&tail, k, j));
+          if (ok) result = true;
+        }
+      } else if (node.rep_max < 0) {
+        result = MatchStarRange(child, w, i, j, memo);
+      } else if (node.rep_max == 0) {
+        result = (i == j);
+      } else {
+        // 0..max copies: empty, or one copy plus {0, max-1}.
+        if (i == j) {
+          result = true;
+        } else {
+          for (int k = i + 1; k <= j && !result; ++k) {
+            if (!MatchRange(child, w, i, k, memo)) continue;
+            RegexNode tail;
+            tail.op = RegexOp::kRepeat;
+            tail.rep_min = 0;
+            tail.rep_max = node.rep_max - 1;
+            tail.children.emplace_back(const_cast<RegexNode*>(&child));
+            bool ok = MatchRange(tail, w, k, j, memo);
+            tail.children[0].release();
+            memo.table.erase(std::make_tuple(&tail, k, j));
+            if (ok) result = true;
+          }
+        }
+      }
+      break;
+    }
+  }
+  memo.table[key] = result;
+  return result;
+}
+
+}  // namespace
+
+bool RegexMatches(const RegexNode& ast, const Word& word) {
+  MatchMemo memo;
+  return MatchRange(ast, word, 0, static_cast<int>(word.size()), memo);
+}
+
+}  // namespace nfacount

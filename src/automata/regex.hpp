@@ -1,0 +1,66 @@
+// Regular-expression compiler: parses a pattern into an AST, builds a
+// Thompson epsilon-NFA, and eliminates epsilon transitions to produce the
+// epsilon-free Nfa the counting algorithms expect. This is the substrate for
+// regular path queries (apps/rpq.*) and the regex-counting example.
+//
+// Grammar (POSIX-ish subset, symbols are the characters 0-9a-z):
+//   alt    :=  cat ('|' cat)*
+//   cat    :=  rep*
+//   rep    :=  atom ('*' | '+' | '?' | '{m}' | '{m,n}')*
+//   atom   :=  symbol | '.' | '(' alt ')' | '[' sym+ ']' | '[^' sym+ ']'
+// '.' and classes range over the declared alphabet size.
+
+#ifndef NFACOUNT_AUTOMATA_REGEX_HPP_
+#define NFACOUNT_AUTOMATA_REGEX_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/nfa.hpp"
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// Regex AST node kinds.
+enum class RegexOp {
+  kEmpty,    // matches only the empty word
+  kNever,    // matches nothing (empty class)
+  kSymbols,  // one symbol from a set
+  kConcat,
+  kAlt,
+  kStar,
+  kPlus,
+  kOpt,
+  kRepeat,  // {m} / {m,n}; max = -1 means unbounded (m copies then star)
+};
+
+/// Immutable regex AST.
+struct RegexNode {
+  RegexOp op;
+  std::vector<Symbol> symbols;                       // kSymbols
+  std::vector<std::unique_ptr<RegexNode>> children;  // operators
+  int rep_min = 0, rep_max = 0;                      // kRepeat
+
+  /// Pattern-ish rendering (for diagnostics).
+  std::string ToString() const;
+};
+
+/// Parses `pattern` over an alphabet of the given size.
+Result<std::unique_ptr<RegexNode>> ParseRegex(const std::string& pattern,
+                                              int alphabet_size);
+
+/// Compiles an AST into an epsilon-free NFA accepting exactly the regex
+/// language. The result is trimmed (useful states only).
+Nfa CompileRegexAst(const RegexNode& ast, int alphabet_size);
+
+/// Convenience: parse + compile.
+Result<Nfa> CompileRegex(const std::string& pattern, int alphabet_size);
+
+/// Reference matcher by Brzozowski-style direct AST simulation — used in
+/// tests to validate the compiled automaton, independent of the NFA path.
+bool RegexMatches(const RegexNode& ast, const Word& word);
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_AUTOMATA_REGEX_HPP_

@@ -1,0 +1,68 @@
+#include "automata/unrolled.hpp"
+
+#include <cassert>
+
+namespace nfacount {
+
+UnrolledNfa::UnrolledNfa(const Nfa* nfa, int n) : nfa_(nfa), n_(n) {
+  assert(nfa != nullptr);
+  assert(nfa->Validate().ok());
+  assert(n >= 0);
+  reachable_.reserve(n + 1);
+  Bitset cur(nfa->num_states());
+  cur.Set(nfa->initial());
+  reachable_.push_back(cur);
+  for (int level = 1; level <= n; ++level) {
+    Bitset next(nfa->num_states());
+    for (int a = 0; a < nfa->alphabet_size(); ++a) {
+      next |= nfa->Step(cur, static_cast<Symbol>(a));
+    }
+    reachable_.push_back(next);
+    cur = reachable_.back();
+  }
+}
+
+Bitset UnrolledNfa::PredSet(const Bitset& states, Symbol symbol, int level) const {
+  assert(level >= 1 && level <= n_);
+  Bitset preds = nfa_->StepBack(states, symbol);
+  preds &= reachable_[level - 1];
+  return preds;
+}
+
+std::optional<Word> UnrolledNfa::WitnessWord(StateId q, int level) const {
+  assert(level >= 0 && level <= n_);
+  if (!reachable_[level].Test(q)) return std::nullopt;
+  // Walk backwards: at each step pick the smallest (symbol, predecessor) pair
+  // whose predecessor is reachable at the previous level.
+  Word word(level);
+  Bitset cur(nfa_->num_states());
+  cur.Set(q);
+  for (int i = level; i >= 1; --i) {
+    bool found = false;
+    for (int a = 0; a < nfa_->alphabet_size() && !found; ++a) {
+      Bitset preds = PredSet(cur, static_cast<Symbol>(a), i);
+      int p = preds.FirstSet();
+      if (p >= 0) {
+        word[i - 1] = static_cast<Symbol>(a);
+        cur.Clear();
+        cur.Set(p);
+        found = true;
+      }
+    }
+    assert(found && "reachable state must have a predecessor chain");
+    if (!found) return std::nullopt;
+  }
+  assert(cur.Test(nfa_->initial()));
+  return word;
+}
+
+StoredSample UnrolledNfa::MakeSample(Word word) const {
+  Bitset reach = nfa_->Reach(word);
+  return StoredSample{std::move(word), std::move(reach)};
+}
+
+bool UnrolledNfa::MemberSlow(const Word& word, StateId q) const {
+  return nfa_->Reach(word).Test(q);
+}
+
+}  // namespace nfacount

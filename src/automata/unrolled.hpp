@@ -1,0 +1,71 @@
+// The unrolled automaton A_unroll of the paper (Fig. 1, line 1): n+1 layers of
+// state copies q^ℓ with the original transitions running between adjacent
+// layers. We materialize per-level reachable sets instead of copying states:
+// L(q^ℓ) is nonempty iff q is reachable from the initial state in exactly ℓ
+// steps, and the FPRAS only ever touches reachable copies.
+//
+// This module also provides the membership-oracle machinery: a stored sample
+// carries the reachable-state set of its word, making every membership query
+// the FPRAS performs a single bit probe (the amortization of §4.3's time
+// analysis).
+
+#ifndef NFACOUNT_AUTOMATA_UNROLLED_HPP_
+#define NFACOUNT_AUTOMATA_UNROLLED_HPP_
+
+#include <optional>
+#include <vector>
+
+#include "automata/nfa.hpp"
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// A word together with the state set {q : word ∈ L(q^{|word|})}. The reach
+/// set is computed once on insertion (O(|word|·|Δ|/64)) and answers all later
+/// membership queries in O(1).
+struct StoredSample {
+  Word word;
+  Bitset reach;
+};
+
+/// Level-indexed view of the unrolled automaton for a fixed length n.
+class UnrolledNfa {
+ public:
+  /// Builds level reachability for lengths 0..n. The NFA must validate.
+  UnrolledNfa(const Nfa* nfa, int n);
+
+  const Nfa& nfa() const { return *nfa_; }
+  int n() const { return n_; }
+
+  /// States q with L(q^ℓ) nonempty.
+  const Bitset& ReachableAt(int level) const { return reachable_[level]; }
+
+  bool IsReachable(StateId q, int level) const {
+    return reachable_[level].Test(q);
+  }
+
+  /// Predecessor expansion P^ℓ_b = (∪_{q∈P} Pred(q, b)) ∩ reachable(ℓ-1):
+  /// the state set whose level-(ℓ-1) languages union to the b-suffix slice of
+  /// L(P^ℓ). `level` is the level of P (must be >= 1).
+  Bitset PredSet(const Bitset& states, Symbol symbol, int level) const;
+
+  /// Some witness word in L(q^ℓ), or nullopt if L(q^ℓ) is empty. Used to pad
+  /// sample sets (Algorithm 3, lines 27-30). Deterministic.
+  std::optional<Word> WitnessWord(StateId q, int level) const;
+
+  /// Builds a StoredSample for `word` (computes its reach set).
+  StoredSample MakeSample(Word word) const;
+
+  /// True iff word ∈ L(q^{|word|}); recomputes reachability (the
+  /// non-amortized oracle used by the E9 ablation).
+  bool MemberSlow(const Word& word, StateId q) const;
+
+ private:
+  const Nfa* nfa_;
+  int n_;
+  std::vector<Bitset> reachable_;  // [0..n]
+};
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_AUTOMATA_UNROLLED_HPP_

@@ -1,0 +1,160 @@
+#include "counting/exact.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace nfacount {
+
+Result<BigUint> BruteForceCount(const Nfa& nfa, int n, int64_t max_words) {
+  NFA_RETURN_NOT_OK(nfa.Validate());
+  double total = std::pow(static_cast<double>(nfa.alphabet_size()), n);
+  if (total > static_cast<double>(max_words)) {
+    return Status::ResourceExhausted("brute force over " + std::to_string(total) +
+                                     " words exceeds budget");
+  }
+  BigUint count;
+  Word word(n, 0);
+  const int k = nfa.alphabet_size();
+  while (true) {
+    if (nfa.Accepts(word)) count += BigUint(1);
+    // Odometer increment.
+    int i = n - 1;
+    while (i >= 0 && word[i] == k - 1) {
+      word[i] = 0;
+      --i;
+    }
+    if (i < 0) break;
+    ++word[i];
+  }
+  return count;
+}
+
+Result<BigUint> ExactCountViaDfa(const Nfa& nfa, int n, int max_dfa_states) {
+  Dfa dfa(1, 1);
+  NFA_ASSIGN_OR_RETURN(dfa, Determinize(nfa, max_dfa_states));
+  return dfa.CountWordsOfLength(n);
+}
+
+Result<SubsetDp> SubsetDp::Run(const Nfa& nfa, int n, int max_subsets) {
+  NFA_RETURN_NOT_OK(nfa.Validate());
+  SubsetDp dp;
+  dp.nfa_ = &nfa;
+  dp.n_ = n;
+  dp.levels_.resize(n + 1);
+
+  Bitset start(nfa.num_states());
+  start.Set(nfa.initial());
+  dp.levels_[0].emplace(std::move(start), BigUint(1));
+
+  for (int level = 1; level <= n; ++level) {
+    auto& cur = dp.levels_[level];
+    for (const auto& [subset, count] : dp.levels_[level - 1]) {
+      for (int a = 0; a < nfa.alphabet_size(); ++a) {
+        Bitset next = nfa.Step(subset, static_cast<Symbol>(a));
+        if (next.None()) continue;  // dead words need no tracking
+        cur[next] += count;
+      }
+    }
+    if (static_cast<int>(cur.size()) > max_subsets) {
+      return Status::ResourceExhausted("subset DP exceeded " +
+                                       std::to_string(max_subsets) +
+                                       " subsets at level " + std::to_string(level));
+    }
+  }
+  return dp;
+}
+
+BigUint SubsetDp::StateLevelCount(StateId q, int level) const {
+  assert(level >= 0 && level <= n_);
+  BigUint total;
+  for (const auto& [subset, count] : levels_[level]) {
+    if (subset.Test(q)) total += count;
+  }
+  return total;
+}
+
+BigUint SubsetDp::AcceptedCount(int level) const {
+  assert(level >= 0 && level <= n_);
+  BigUint total;
+  for (const auto& [subset, count] : levels_[level]) {
+    if (subset.Intersects(nfa_->accepting())) total += count;
+  }
+  return total;
+}
+
+namespace {
+
+// Shared frontier-pruned enumeration; `accept` decides on the final frontier.
+template <typename AcceptFn>
+Status EnumerateWithPruning(const Nfa& nfa, int n, int64_t max_words,
+                            AcceptFn&& accept, std::vector<Word>* out) {
+  NFA_RETURN_NOT_OK(nfa.Validate());
+  Word word;
+  word.reserve(n);
+  std::vector<Bitset> frontiers;
+  frontiers.reserve(n + 1);
+  Bitset start(nfa.num_states());
+  start.Set(nfa.initial());
+  frontiers.push_back(std::move(start));
+
+  // Iterative DFS in lexicographic order.
+  struct Level {
+    int next_symbol = 0;
+  };
+  std::vector<Level> stack(1);
+  while (!stack.empty()) {
+    if (static_cast<int>(word.size()) == n) {
+      if (accept(frontiers.back())) {
+        if (static_cast<int64_t>(out->size()) >= max_words) {
+          return Status::ResourceExhausted("enumeration exceeded word budget");
+        }
+        out->push_back(word);
+      }
+      stack.pop_back();
+      if (!word.empty()) {
+        word.pop_back();
+        frontiers.pop_back();
+      }
+      continue;
+    }
+    Level& top = stack.back();
+    if (top.next_symbol >= nfa.alphabet_size()) {
+      stack.pop_back();
+      if (!word.empty()) {
+        word.pop_back();
+        frontiers.pop_back();
+      }
+      continue;
+    }
+    Symbol s = static_cast<Symbol>(top.next_symbol++);
+    Bitset next = nfa.Step(frontiers.back(), s);
+    if (next.None()) continue;  // prune dead branch
+    word.push_back(s);
+    frontiers.push_back(std::move(next));
+    stack.emplace_back();
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<Word>> EnumerateAccepted(const Nfa& nfa, int n,
+                                            int64_t max_words) {
+  std::vector<Word> out;
+  NFA_RETURN_NOT_OK(EnumerateWithPruning(
+      nfa, n, max_words,
+      [&](const Bitset& frontier) { return frontier.Intersects(nfa.accepting()); },
+      &out));
+  return out;
+}
+
+Result<std::vector<Word>> EnumerateStateLevel(const Nfa& nfa, StateId q, int level,
+                                              int64_t max_words) {
+  std::vector<Word> out;
+  NFA_RETURN_NOT_OK(EnumerateWithPruning(
+      nfa, level, max_words,
+      [&](const Bitset& frontier) { return frontier.Test(q); }, &out));
+  return out;
+}
+
+}  // namespace nfacount

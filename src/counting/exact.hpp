@@ -1,0 +1,75 @@
+// Exact #NFA counters. All are worst-case exponential (the problem is
+// #P-hard); they exist to anchor tests and accuracy benchmarks on instances
+// small enough to count exactly.
+//
+// Three independent implementations cross-validate each other:
+//  1. brute-force word enumeration (ground truth for tiny n),
+//  2. on-the-fly subset-construction DP (also yields per-(q,ℓ) counts
+//     |L(q^ℓ)| — the quantities the FPRAS estimates via Inv-1),
+//  3. determinize-then-DP via the Dfa module.
+
+#ifndef NFACOUNT_COUNTING_EXACT_HPP_
+#define NFACOUNT_COUNTING_EXACT_HPP_
+
+#include <unordered_map>
+#include <vector>
+
+#include "automata/dfa.hpp"
+#include "automata/nfa.hpp"
+#include "util/bigint.hpp"
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// Exact |L(A_n)| by enumerating all |Σ|^n words. Fails with
+/// ResourceExhausted when |Σ|^n exceeds `max_words`.
+Result<BigUint> BruteForceCount(const Nfa& nfa, int n,
+                                int64_t max_words = 1 << 22);
+
+/// Exact |L(A_n)| via Determinize + DFA transfer DP.
+Result<BigUint> ExactCountViaDfa(const Nfa& nfa, int n,
+                                 int max_dfa_states = 1 << 20);
+
+/// On-the-fly subset DP over levels 0..n. A level's table maps each distinct
+/// reach-set R (a DFA state) to the number of length-ℓ words w with
+/// Reach(w) = R; since each word contributes to exactly one R, the counts
+/// partition Σ^ℓ and
+///     |L(q^ℓ)| = Σ_{R ∋ q} table[R],   |L(A_ℓ)| = Σ_{R ∩ F ≠ ∅} table[R].
+class SubsetDp {
+ public:
+  /// Runs the DP; fails with ResourceExhausted if any level materializes more
+  /// than `max_subsets` distinct reach sets.
+  static Result<SubsetDp> Run(const Nfa& nfa, int n, int max_subsets = 1 << 16);
+
+  int n() const { return n_; }
+
+  /// Exact |L(q^ℓ)| (the target of the FPRAS per-state estimates N(q^ℓ)).
+  BigUint StateLevelCount(StateId q, int level) const;
+
+  /// Exact |L(A_ℓ)|.
+  BigUint AcceptedCount(int level) const;
+
+  /// Number of distinct reach sets at `level` (DFA width of the level).
+  int64_t NumSubsets(int level) const {
+    return static_cast<int64_t>(levels_[level].size());
+  }
+
+ private:
+  SubsetDp() = default;
+  const Nfa* nfa_ = nullptr;
+  int n_ = 0;
+  std::vector<std::unordered_map<Bitset, BigUint, BitsetHash>> levels_;
+};
+
+/// All length-n words accepted by the NFA, lexicographically sorted. Prunes
+/// on empty frontiers; fails if more than `max_words` accepted words exist.
+Result<std::vector<Word>> EnumerateAccepted(const Nfa& nfa, int n,
+                                            int64_t max_words = 1 << 20);
+
+/// All words of L(q^ℓ) (length-ℓ words whose reach set contains q), sorted.
+Result<std::vector<Word>> EnumerateStateLevel(const Nfa& nfa, StateId q, int level,
+                                              int64_t max_words = 1 << 20);
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_COUNTING_EXACT_HPP_

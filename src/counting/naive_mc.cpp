@@ -1,0 +1,35 @@
+#include "counting/naive_mc.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace nfacount {
+
+NaiveMcResult NaiveMonteCarloCount(const Nfa& nfa, int n, int64_t samples,
+                                   Rng& rng) {
+  assert(nfa.Validate().ok());
+  assert(samples > 0);
+  NaiveMcResult out;
+  out.samples = samples;
+  Word word(n);
+  const uint64_t k = static_cast<uint64_t>(nfa.alphabet_size());
+  for (int64_t i = 0; i < samples; ++i) {
+    for (int j = 0; j < n; ++j) {
+      word[j] = static_cast<Symbol>(rng.UniformU64(k));
+    }
+    if (nfa.Accepts(word)) ++out.accepted;
+  }
+  out.acceptance_rate =
+      static_cast<double>(out.accepted) / static_cast<double>(out.samples);
+  out.estimate = out.acceptance_rate *
+                 std::pow(static_cast<double>(nfa.alphabet_size()), n);
+  return out;
+}
+
+double NaiveSamplesNeeded(double eps, double delta, double acceptance_prob) {
+  assert(eps > 0.0 && delta > 0.0 && delta < 1.0);
+  if (acceptance_prob <= 0.0) return INFINITY;
+  return 3.0 * std::log(2.0 / delta) / (eps * eps * acceptance_prob);
+}
+
+}  // namespace nfacount

@@ -1,0 +1,35 @@
+// Naive Monte-Carlo baseline: sample uniform length-n words, multiply the
+// acceptance rate by |Σ|^n. Cheap per sample but NOT an FPRAS — the sample
+// complexity needed for relative error blows up as |L(A_n)| / |Σ|^n → 0
+// (benchmark E1/E3 demonstrate the failure regime the paper motivates).
+
+#ifndef NFACOUNT_COUNTING_NAIVE_MC_HPP_
+#define NFACOUNT_COUNTING_NAIVE_MC_HPP_
+
+#include <cstdint>
+
+#include "automata/nfa.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+
+/// Result of a naive Monte-Carlo run.
+struct NaiveMcResult {
+  double estimate = 0.0;         ///< acceptance_rate · |Σ|^n
+  double acceptance_rate = 0.0;  ///< fraction of sampled words accepted
+  int64_t samples = 0;
+  int64_t accepted = 0;
+};
+
+/// Draws `samples` uniform words of length n and scales the hit rate.
+NaiveMcResult NaiveMonteCarloCount(const Nfa& nfa, int n, int64_t samples,
+                                   Rng& rng);
+
+/// Number of naive samples needed for (ε, δ) relative accuracy given the
+/// acceptance probability p = |L|/|Σ|^n (multiplicative Chernoff):
+/// ~ 3·ln(2/δ)/(ε²·p). Illustrates the 1/p blow-up.
+double NaiveSamplesNeeded(double eps, double delta, double acceptance_prob);
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_COUNTING_NAIVE_MC_HPP_

@@ -1,0 +1,106 @@
+#include "counting/unambiguous.hpp"
+
+#include <cassert>
+#include <queue>
+#include <vector>
+
+namespace nfacount {
+
+Result<bool> IsUnambiguous(const Nfa& nfa) {
+  NFA_RETURN_NOT_OK(nfa.Validate());
+  const int m = nfa.num_states();
+
+  // Pair graph over states (p, q) reachable from (I, I) by the same word.
+  // The automaton is ambiguous iff some reachable off-diagonal pair can
+  // complete to a pair of accepting states with a common suffix (two runs on
+  // the same word that differ somewhere — possibly only at the end).
+  auto pair_id = [m](int p, int q) { return p * m + q; };
+  std::vector<bool> forward(static_cast<size_t>(m) * m, false);
+  std::queue<std::pair<int, int>> frontier;
+  forward[pair_id(nfa.initial(), nfa.initial())] = true;
+  frontier.emplace(nfa.initial(), nfa.initial());
+  while (!frontier.empty()) {
+    auto [p, q] = frontier.front();
+    frontier.pop();
+    for (int a = 0; a < nfa.alphabet_size(); ++a) {
+      for (StateId pn : nfa.Successors(p, static_cast<Symbol>(a))) {
+        for (StateId qn : nfa.Successors(q, static_cast<Symbol>(a))) {
+          if (!forward[pair_id(pn, qn)]) {
+            forward[pair_id(pn, qn)] = true;
+            frontier.emplace(pn, qn);
+          }
+        }
+      }
+    }
+  }
+
+  // Backward: pairs that can reach (f1, f2) with both accepting by a common
+  // suffix.
+  std::vector<bool> backward(static_cast<size_t>(m) * m, false);
+  nfa.accepting().ForEachSet([&](int f1) {
+    nfa.accepting().ForEachSet([&](int f2) {
+      if (!backward[pair_id(f1, f2)]) {
+        backward[pair_id(f1, f2)] = true;
+        frontier.emplace(f1, f2);
+      }
+    });
+  });
+  while (!frontier.empty()) {
+    auto [p, q] = frontier.front();
+    frontier.pop();
+    for (int a = 0; a < nfa.alphabet_size(); ++a) {
+      for (StateId pp : nfa.Predecessors(p, static_cast<Symbol>(a))) {
+        for (StateId qp : nfa.Predecessors(q, static_cast<Symbol>(a))) {
+          if (!backward[pair_id(pp, qp)]) {
+            backward[pair_id(pp, qp)] = true;
+            frontier.emplace(pp, qp);
+          }
+        }
+      }
+    }
+  }
+
+  for (int p = 0; p < m; ++p) {
+    for (int q = 0; q < m; ++q) {
+      if (p != q && forward[pair_id(p, q)] && backward[pair_id(p, q)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+BigUint CountAcceptingRuns(const Nfa& nfa, int n) {
+  assert(nfa.Validate().ok());
+  assert(n >= 0);
+  // runs[q] = number of length-ℓ runs from the initial state ending in q.
+  std::vector<BigUint> runs(nfa.num_states());
+  runs[nfa.initial()] = BigUint(1);
+  for (int step = 0; step < n; ++step) {
+    std::vector<BigUint> next(nfa.num_states());
+    for (StateId q = 0; q < nfa.num_states(); ++q) {
+      if (runs[q].IsZero()) continue;
+      for (int a = 0; a < nfa.alphabet_size(); ++a) {
+        for (StateId r : nfa.Successors(q, static_cast<Symbol>(a))) {
+          next[r] += runs[q];
+        }
+      }
+    }
+    runs = std::move(next);
+  }
+  BigUint total;
+  nfa.accepting().ForEachSet([&](int f) { total += runs[f]; });
+  return total;
+}
+
+Result<BigUint> ExactCountUnambiguous(const Nfa& nfa, int n) {
+  bool unambiguous = false;
+  NFA_ASSIGN_OR_RETURN(unambiguous, IsUnambiguous(nfa));
+  if (!unambiguous) {
+    return Status::FailedPrecondition(
+        "automaton is ambiguous: run counting would overcount words");
+  }
+  return CountAcceptingRuns(nfa, n);
+}
+
+}  // namespace nfacount

@@ -1,0 +1,33 @@
+// Exact counting for unambiguous NFAs (UFAs) — the tractable frontier that
+// frames the paper's hardness story: counting accepting *paths* is a trivial
+// DP, and for a UFA (no word has two accepting runs) paths and words
+// coincide, so #UFA ∈ FP while general #NFA is #P-hard. The library uses
+// this as a fast exact anchor whenever the instance happens to be
+// unambiguous, and to cross-check the FPRAS.
+
+#ifndef NFACOUNT_COUNTING_UNAMBIGUOUS_HPP_
+#define NFACOUNT_COUNTING_UNAMBIGUOUS_HPP_
+
+#include "automata/nfa.hpp"
+#include "util/bigint.hpp"
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// Decides whether the NFA is unambiguous: no word (of any length) has two
+/// distinct accepting runs. Self-product construction over reachable state
+/// pairs — O(m²·|Δ|) time/space.
+Result<bool> IsUnambiguous(const Nfa& nfa);
+
+/// Number of accepting runs over all length-n words: the plain path-counting
+/// transfer DP (each accepting run counted once). Always exact for what it
+/// counts; equals |L(A_n)| exactly when the automaton is unambiguous.
+BigUint CountAcceptingRuns(const Nfa& nfa, int n);
+
+/// Exact |L(A_n)| for unambiguous automata; fails with FailedPrecondition if
+/// the automaton is ambiguous (then only the FPRAS or determinization apply).
+Result<BigUint> ExactCountUnambiguous(const Nfa& nfa, int n);
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_COUNTING_UNAMBIGUOUS_HPP_

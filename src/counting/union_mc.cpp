@@ -1,0 +1,31 @@
+#include "counting/union_mc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nfacount {
+
+int64_t AppUnionTrialCount(const AppUnionParams& params, double sum_sz,
+                           double max_sz) {
+  assert(params.eps > 0.0 && params.delta > 0.0);
+  assert(sum_sz > 0.0 && max_sz > 0.0);
+  const double m_bar = std::ceil(sum_sz / max_sz);
+  const double one_plus = 1.0 + params.eps_sz;
+  double t = 12.0 * one_plus * one_plus * m_bar / (params.eps * params.eps) *
+             std::log(4.0 / params.delta);
+  t *= params.trial_scale;
+  t = std::ceil(t);
+  const double clamped =
+      std::min(static_cast<double>(params.max_trials),
+               std::max(static_cast<double>(params.min_trials), t));
+  return static_cast<int64_t>(clamped);
+}
+
+double AppUnionThresh(const AppUnionParams& params, int64_t k) {
+  assert(params.eps > 0.0 && params.delta > 0.0 && k >= 1);
+  const double one_plus = 1.0 + params.eps_sz;
+  return 24.0 * one_plus * one_plus / (params.eps * params.eps) *
+         std::log(4.0 * static_cast<double>(k) / params.delta);
+}
+
+}  // namespace nfacount

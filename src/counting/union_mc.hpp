@@ -1,0 +1,180 @@
+// Algorithm 1 of the paper: AppUnion — Monte-Carlo estimation of |∪ T_i| from
+// per-set (membership oracle, pre-drawn sample list, size estimate) triples.
+// A modification of the classic Karp-Luby union/DNF estimator [12]: instead
+// of drawing fresh uniform samples from T_i, it consumes a pre-drawn list
+// S_i; Theorem 1 gives the (ε,δ)(1+ε_sz) guarantee under the entangled
+// uniform distribution.
+//
+// The estimator is templated over an Input type providing:
+//   double  size_estimate() const;            // sz_i
+//   int64_t num_samples()   const;            // |S_i|
+//   const SampleT& Sample(int64_t idx) const; // S_i in draw order
+//   bool    Contains(const SampleT&) const;   // membership oracle O_i
+//
+// A resampling variant (fresh draws, classic Karp-Luby) is provided for the
+// DNF application and as a test oracle.
+
+#ifndef NFACOUNT_COUNTING_UNION_MC_HPP_
+#define NFACOUNT_COUNTING_UNION_MC_HPP_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nfacount {
+
+/// What to do when an input's sample list runs out mid-call.
+///
+/// At faithful constants this is the low-probability Line-8 event of Alg. 1
+/// (Theorem 1 Part 2 bounds it): the paper breaks out, and the Y/t estimate
+/// silently loses the missing trials. Under calibrated constants ns can be
+/// smaller than t, making starvation systematic — and the Y/t bias compounds
+/// multiplicatively per level. kRecycle wraps the cursor (the list is an
+/// empirical stand-in for "uniform with replacement", so re-reading it is the
+/// natural calibrated semantics); kScaleByCompleted renormalizes by the
+/// completed trial count instead.
+enum class StarvationPolicy {
+  kBreak,            ///< paper-faithful: stop, divide by the full t
+  kScaleByCompleted, ///< stop, divide by completed trials
+  kRecycle,          ///< wrap the cursor and keep drawing (calibrated default)
+};
+
+/// Parameters of one AppUnion invocation.
+struct AppUnionParams {
+  double eps = 0.1;    ///< multiplicative accuracy ε of this call
+  double delta = 0.1;  ///< failure probability δ of this call
+  double eps_sz = 0.0; ///< accuracy (1+ε_sz) of the input size estimates
+
+  /// Calibration multiplier on the worst-case trial count (DESIGN.md §2,
+  /// "Substitutions"). 1.0 = the paper's constant.
+  double trial_scale = 1.0;
+  /// Floors/caps applied after scaling.
+  int64_t min_trials = 8;
+  int64_t max_trials = int64_t{1} << 40;
+
+  StarvationPolicy starvation = StarvationPolicy::kBreak;
+};
+
+/// Diagnostics of one AppUnion invocation.
+struct AppUnionOutcome {
+  double estimate = 0.0;        ///< (Y/t)·Σ sz
+  int64_t trials = 0;           ///< t
+  int64_t completed_trials = 0; ///< < t only when starved
+  int64_t hits = 0;             ///< Y
+  bool starved = false;         ///< some S_i ran out (Line 8 of Alg. 1)
+  int64_t membership_checks = 0;
+};
+
+/// Trial count t = trial_scale · ceil(12·(1+ε_sz)²·m̄/ε²·ln(4/δ)), clamped,
+/// with m̄ = ceil(Σ sz / max sz) (Alg. 1 lines 2-3).
+int64_t AppUnionTrialCount(const AppUnionParams& params, double sum_sz,
+                           double max_sz);
+
+/// Sample-list length the analysis requires:
+/// thresh = 24·(1+ε_sz)²/ε²·ln(4k/δ) (Theorem 1).
+double AppUnionThresh(const AppUnionParams& params, int64_t k);
+
+/// Algorithm 1. `inputs` are non-owning pointers; per-input read cursors are
+/// local to this call (lists are not mutated, see DESIGN.md §4).
+template <typename Input>
+AppUnionOutcome AppUnion(const std::vector<const Input*>& inputs,
+                         const AppUnionParams& params, Rng& rng) {
+  AppUnionOutcome out;
+  const int k = static_cast<int>(inputs.size());
+  if (k == 0) return out;
+
+  std::vector<double> sizes(k);
+  double sum_sz = 0.0, max_sz = 0.0;
+  for (int i = 0; i < k; ++i) {
+    sizes[i] = inputs[i]->size_estimate();
+    sum_sz += sizes[i];
+    max_sz = std::max(max_sz, sizes[i]);
+  }
+  if (!(sum_sz > 0.0)) return out;  // all inputs empty: the union is empty
+
+  const int64_t t = AppUnionTrialCount(params, sum_sz, max_sz);
+  out.trials = t;
+
+  std::vector<int64_t> cursor(k, 0);
+  for (int64_t trial = 0; trial < t; ++trial) {
+    int i = rng.DiscreteIndex(sizes);
+    if (i < 0) break;
+    if (cursor[i] >= inputs[i]->num_samples()) {  // Line 8: starvation
+      out.starved = true;
+      if (params.starvation == StarvationPolicy::kRecycle &&
+          inputs[i]->num_samples() > 0) {
+        cursor[i] = 0;  // wrap: re-read the list from the front
+      } else {
+        break;
+      }
+    }
+    const auto& sample = inputs[i]->Sample(cursor[i]++);
+    bool covered_earlier = false;
+    for (int j = 0; j < i; ++j) {
+      ++out.membership_checks;
+      if (inputs[j]->Contains(sample)) {
+        covered_earlier = true;
+        break;
+      }
+    }
+    if (!covered_earlier) ++out.hits;
+    ++out.completed_trials;
+  }
+
+  const double denom =
+      (params.starvation == StarvationPolicy::kScaleByCompleted &&
+       out.completed_trials > 0)
+          ? static_cast<double>(out.completed_trials)
+          : static_cast<double>(t);
+  out.estimate = (static_cast<double>(out.hits) / denom) * sum_sz;
+  return out;
+}
+
+/// Classic Karp-Luby variant: draws fresh samples via Input::Draw(rng) with
+/// exact sizes — the [12] algorithm AppUnion modifies. Input requirements:
+///   double size_estimate() const;
+///   SampleT Draw(Rng&) const;
+///   bool Contains(const SampleT&) const;
+template <typename Input>
+AppUnionOutcome AppUnionResample(const std::vector<const Input*>& inputs,
+                                 const AppUnionParams& params, Rng& rng) {
+  AppUnionOutcome out;
+  const int k = static_cast<int>(inputs.size());
+  if (k == 0) return out;
+
+  std::vector<double> sizes(k);
+  double sum_sz = 0.0, max_sz = 0.0;
+  for (int i = 0; i < k; ++i) {
+    sizes[i] = inputs[i]->size_estimate();
+    sum_sz += sizes[i];
+    max_sz = std::max(max_sz, sizes[i]);
+  }
+  if (!(sum_sz > 0.0)) return out;
+
+  const int64_t t = AppUnionTrialCount(params, sum_sz, max_sz);
+  out.trials = t;
+  for (int64_t trial = 0; trial < t; ++trial) {
+    int i = rng.DiscreteIndex(sizes);
+    if (i < 0) break;
+    auto sample = inputs[i]->Draw(rng);
+    bool covered_earlier = false;
+    for (int j = 0; j < i; ++j) {
+      ++out.membership_checks;
+      if (inputs[j]->Contains(sample)) {
+        covered_earlier = true;
+        break;
+      }
+    }
+    if (!covered_earlier) ++out.hits;
+    ++out.completed_trials;
+  }
+  out.estimate =
+      (static_cast<double>(out.hits) / static_cast<double>(t)) * sum_sz;
+  return out;
+}
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_COUNTING_UNION_MC_HPP_

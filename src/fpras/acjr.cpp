@@ -1,0 +1,15 @@
+#include "fpras/acjr.hpp"
+
+namespace nfacount {
+
+Result<CountEstimate> ApproxCountAcjr(const Nfa& nfa, int n,
+                                      CountOptions options) {
+  options.schedule = Schedule::kAcjr;
+  return ApproxCount(nfa, n, options);
+}
+
+double ScheduleSampleRatio(int m, int n, double eps, double delta) {
+  return AcjrScheduleNs(m, n, eps) / FasterScheduleNs(m, n, eps, delta);
+}
+
+}  // namespace nfacount

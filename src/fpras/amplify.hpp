@@ -1,0 +1,71 @@
+// Practical-confidence wrappers over the FPRAS — the tooling direction the
+// paper's conclusion motivates ("a promising avenue ... towards practical
+// implementation of tools for approximate #NFA").
+//
+//  * Median-of-k amplification: run k independent FPRAS instances and return
+//    the median. If a single run lands in (1±ε) with probability ≥ 3/4, the
+//    median fails only if half the runs fail: k = O(log 1/δ) runs drive the
+//    confidence to 1−δ (standard Chernoff amplification) — often cheaper
+//    than tightening a single run's internal δ, and embarrassingly
+//    independent.
+//
+//  * Adaptive calibration: repeatedly double the calibrated sample budgets
+//    until two consecutive estimates agree within a tolerance. This gives a
+//    practical stopping rule when the worst-case constants are out of reach
+//    and the right calibration is instance-dependent.
+
+#ifndef NFACOUNT_FPRAS_AMPLIFY_HPP_
+#define NFACOUNT_FPRAS_AMPLIFY_HPP_
+
+#include <vector>
+
+#include "fpras/estimator.hpp"
+
+namespace nfacount {
+
+/// Result of a median-of-k amplified count.
+struct AmplifiedEstimate {
+  double estimate = 0.0;          ///< median of the runs
+  std::vector<double> runs;       ///< individual estimates (sorted)
+  double spread = 0.0;            ///< (max-min)/median, 0 if median is 0
+  FprasDiagnostics total_diag;    ///< summed diagnostics
+};
+
+/// Runs `runs` independent FPRAS instances (seeds derived from options.seed)
+/// and returns the median estimate. `runs` must be >= 1; odd values avoid
+/// midpoint averaging.
+Result<AmplifiedEstimate> ApproxCountMedian(const Nfa& nfa, int n,
+                                            const CountOptions& options,
+                                            int runs = 5);
+
+/// Recommended run count for confidence delta given per-run confidence 3/4:
+/// k = ceil(8·ln(1/delta)) | 1 (made odd).
+int MedianRunsForConfidence(double delta);
+
+/// Result of an adaptive-calibration count.
+struct AdaptiveEstimate {
+  double estimate = 0.0;
+  int rounds = 0;                 ///< calibration doublings performed
+  Calibration final_calibration;  ///< budget that produced the estimate
+  std::vector<double> trajectory; ///< estimate after each round
+  bool converged = false;         ///< consecutive agreement reached
+};
+
+/// Options for ApproxCountAdaptive.
+struct AdaptiveOptions {
+  CountOptions base;              ///< eps/delta/seed/flags; calibration is the
+                                  ///< starting point and is scaled upward
+  double agreement = 0.1;         ///< stop when |est_i/est_{i-1} - 1| <= this
+  int max_rounds = 6;             ///< budget doublings before giving up
+};
+
+/// Doubles ns/trial budgets until two consecutive rounds agree within
+/// `agreement` (relative). Returns the last estimate either way; `converged`
+/// tells whether the stopping rule fired. Zero estimates on two consecutive
+/// rounds count as agreement (empty language).
+Result<AdaptiveEstimate> ApproxCountAdaptive(const Nfa& nfa, int n,
+                                             const AdaptiveOptions& options = {});
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_FPRAS_AMPLIFY_HPP_

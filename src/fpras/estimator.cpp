@@ -1,0 +1,387 @@
+#include "fpras/estimator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "counting/union_mc.hpp"
+#include "util/timer.hpp"
+
+namespace nfacount {
+
+namespace {
+
+constexpr double kE = 2.718281828459045;
+constexpr double kGammaNumerator = 2.0 / (3.0 * kE);  // γ0·N = 2/(3e)
+
+/// AppUnion input adapter over one predecessor's (S, N) pair. Membership of a
+/// stored word σ in L(p^{|σ|}) is a bit probe on its reach profile, or a full
+/// re-simulation when oracle amortization is ablated.
+struct PredecessorInput {
+  const StateLevelData* data;
+  StateId state;
+  const Nfa* nfa;
+  bool amortized;
+
+  double size_estimate() const { return data->count_estimate; }
+  int64_t num_samples() const {
+    return static_cast<int64_t>(data->samples.size());
+  }
+  const StoredSample& Sample(int64_t idx) const {
+    return data->samples[static_cast<size_t>(idx)];
+  }
+  bool Contains(const StoredSample& sample) const {
+    if (amortized) return sample.reach.Test(state);
+    return nfa->Reach(sample.word).Test(state);
+  }
+};
+
+/// Shared AppUnion parameterization for a given level and δ.
+AppUnionParams MakeUnionParams(const FprasParams& p, double delta_param,
+                               int level) {
+  AppUnionParams au;
+  au.eps = p.beta;
+  au.delta = delta_param;
+  au.eps_sz = p.EpsSzAtLevel(level);
+  au.trial_scale = p.calibration.trial_scale;
+  au.min_trials = p.calibration.trial_floor;
+  au.starvation = p.recycle_samples ? StarvationPolicy::kRecycle
+                                    : StarvationPolicy::kBreak;
+  return au;
+}
+
+}  // namespace
+
+FprasEngine::FprasEngine(const Nfa* nfa, FprasParams params, uint64_t seed)
+    : nfa_(nfa),
+      params_(params),
+      unrolled_(nfa, params.n),
+      rng_(seed) {
+  assert(nfa != nullptr && nfa->Validate().ok());
+  assert(params.m == nfa->num_states());
+}
+
+double FprasEngine::CountEstimateFor(StateId q, int level) const {
+  assert(level >= 0 && level <= params_.n);
+  return table_[level][q].count_estimate;
+}
+
+const std::vector<StoredSample>& FprasEngine::SamplesFor(StateId q,
+                                                         int level) const {
+  assert(level >= 0 && level <= params_.n);
+  return table_[level][q].samples;
+}
+
+std::vector<double> FprasEngine::UnionSizes(int level, const Bitset& state_set,
+                                            double delta_param, bool use_memo) {
+  assert(level >= 1 && level <= params_.n);
+  use_memo = use_memo && params_.memoize_unions;
+  if (use_memo) {
+    auto it = memo_[level].find(state_set);
+    if (it != memo_[level].end()) {
+      ++diag_.memo_hits;
+      return it->second;
+    }
+    ++diag_.memo_misses;
+  }
+
+  const int k = nfa_->alphabet_size();
+  std::vector<double> sizes(k, 0.0);
+  AppUnionParams au = MakeUnionParams(params_, delta_param, level);
+
+  for (int b = 0; b < k; ++b) {
+    Bitset preds = unrolled_.PredSet(state_set, static_cast<Symbol>(b), level);
+    if (preds.None()) continue;
+    std::vector<PredecessorInput> inputs;
+    inputs.reserve(preds.Count());
+    preds.ForEachSet([&](int p) {
+      inputs.push_back(PredecessorInput{&table_[level - 1][p],
+                                        static_cast<StateId>(p), nfa_,
+                                        params_.amortize_oracle});
+    });
+    std::vector<const PredecessorInput*> ptrs;
+    ptrs.reserve(inputs.size());
+    for (const auto& in : inputs) ptrs.push_back(&in);
+
+    AppUnionOutcome outcome = AppUnion(ptrs, au, rng_);
+    ++diag_.appunion_calls;
+    diag_.appunion_trials += outcome.completed_trials;
+    diag_.membership_checks += outcome.membership_checks;
+    if (outcome.starved) ++diag_.starvations;
+    sizes[b] = outcome.estimate;
+  }
+
+  if (use_memo && memo_entries_ < params_.memo_capacity) {
+    memo_[level].emplace(state_set, sizes);
+    ++memo_entries_;
+  }
+  return sizes;
+}
+
+std::optional<Word> FprasEngine::SampleInternal(int level,
+                                                const Bitset& state_set,
+                                                double phi0) {
+  ++diag_.sample_calls;
+  const double eta_call = params_.EtaForSampleCall();
+  const double delta_union = eta_call / (4.0 * std::max(params_.n, 1));
+
+  double phi = phi0;
+  Word word(level);
+  Bitset cur = state_set;
+  for (int i = level; i >= 1; --i) {
+    std::vector<double> sizes = UnionSizes(i, cur, delta_union, /*use_memo=*/true);
+    double total = 0.0;
+    for (double s : sizes) total += s;
+    if (!(total > 0.0)) {
+      // Every symbol slice estimated empty: reachable only through a
+      // perturbed/failed estimate; treat as rejection.
+      ++diag_.fail_dead_branch;
+      return std::nullopt;
+    }
+    int b = rng_.DiscreteIndex(sizes);
+    assert(b >= 0);
+    const double pr_b = sizes[b] / total;
+    cur = unrolled_.PredSet(cur, static_cast<Symbol>(b), i);
+    assert(cur.Any());
+    word[i - 1] = static_cast<Symbol>(b);
+    phi /= pr_b;
+  }
+
+  // Base case (Alg. 2 lines 4-6). The walk is guaranteed to land on the
+  // initial state when it lands anywhere (PredSet intersects level-0
+  // reachability = {initial}).
+  if (!cur.Test(nfa_->initial())) {
+    ++diag_.fail_dead_branch;
+    return std::nullopt;
+  }
+  if (phi > 1.0) {
+    ++diag_.fail_phi_gt_1;  // Fail1
+    return std::nullopt;
+  }
+  if (!rng_.Bernoulli(phi)) {
+    ++diag_.fail_bernoulli;  // Fail2
+    return std::nullopt;
+  }
+  ++diag_.sample_success;
+  return word;
+}
+
+double FprasEngine::PerturbedCount(int level) {
+  // N(q^ℓ) ← Uniform{0, 1, ..., |Σ|^ℓ} (Alg. 3 line 19). |Σ|^ℓ can exceed any
+  // integer type; the estimate is a double throughout, so draw a uniform real
+  // over [0, |Σ|^ℓ] and round — identical for feasible ℓ, and the event has
+  // probability η/2n anyway.
+  const double top = std::pow(static_cast<double>(nfa_->alphabet_size()), level);
+  if (top < 9.0e15) {
+    return static_cast<double>(
+        rng_.UniformU64(static_cast<uint64_t>(top) + 1));
+  }
+  return std::floor(rng_.UniformDouble() * top);
+}
+
+void FprasEngine::RefillSamples(StateId q, int level) {
+  StateLevelData& slot = table_[level][q];
+  slot.samples.clear();
+  const double count = slot.count_estimate;
+
+  if (count > 0.0) {
+    const double gamma0 = kGammaNumerator / count;
+    Bitset target(nfa_->num_states());
+    target.Set(q);
+    for (int64_t attempt = 0;
+         attempt < params_.xns &&
+         static_cast<int64_t>(slot.samples.size()) < params_.ns;
+         ++attempt) {
+      std::optional<Word> word = SampleInternal(level, target, gamma0);
+      if (word.has_value()) {
+        slot.samples.push_back(unrolled_.MakeSample(std::move(*word)));
+      }
+    }
+  }
+
+  // Padding (Alg. 3 lines 27-30): duplicate one fixed witness word.
+  const int64_t shortfall =
+      params_.ns - static_cast<int64_t>(slot.samples.size());
+  if (shortfall > 0) {
+    std::optional<Word> witness = unrolled_.WitnessWord(q, level);
+    assert(witness.has_value());  // q is reachable at this level
+    StoredSample pad = unrolled_.MakeSample(std::move(*witness));
+    diag_.padded_words += shortfall;
+    for (int64_t i = 0; i < shortfall; ++i) slot.samples.push_back(pad);
+  }
+}
+
+Status FprasEngine::Run() {
+  WallTimer timer;
+  NFA_RETURN_NOT_OK(nfa_->Validate());
+  diag_ = FprasDiagnostics{};
+  ran_ok_ = false;
+  memo_entries_ = 0;
+
+  const int n = params_.n;
+  const int m = nfa_->num_states();
+  table_.assign(n + 1, std::vector<StateLevelData>(m));
+  memo_.assign(n + 1, {});
+
+  // Level 0 (Alg. 3 lines 6-10): L(I⁰) = {λ}, everything else empty. The
+  // sample list holds ns copies of λ — "uniform with replacement" from a
+  // singleton language — so AppUnion cursors cannot starve at level 1.
+  StateLevelData& base = table_[0][nfa_->initial()];
+  base.count_estimate = 1.0;
+  base.samples.assign(static_cast<size_t>(params_.ns),
+                      unrolled_.MakeSample(Word{}));
+
+  const double delta_count_union = params_.DeltaForCountUnion();
+  for (int level = 1; level <= n; ++level) {
+    const Bitset& alive = unrolled_.ReachableAt(level);
+    std::vector<int> states = alive.ToIndices();
+    for (int q : states) {
+      Bitset singleton(m);
+      singleton.Set(q);
+      // N(q^ℓ) = Σ_b sz_b (lines 12-17). This union-size computation uses its
+      // own δ and fresh randomness — it is not memo-shared with sample().
+      std::vector<double> sizes =
+          UnionSizes(level, singleton, delta_count_union, /*use_memo=*/false);
+      double total = 0.0;
+      for (double s : sizes) total += s;
+
+      if (params_.perturb_support &&
+          rng_.Bernoulli(params_.eta / (2.0 * std::max(n, 1)))) {
+        total = PerturbedCount(level);  // lines 18-19
+        ++diag_.perturbed_counts;
+      }
+      table_[level][q].count_estimate = total;
+      RefillSamples(q, level);
+      ++diag_.states_processed;
+    }
+  }
+
+  // Final answer. Single accepting state: N(q_F^n) (Alg. 3 line 31).
+  // Multiple accepting states: |L(A_n)| = |∪_{f∈F} L(f^n)| via one more
+  // AppUnion over the accepting states' (S, N) pairs (footnote 1: the single
+  // final state assumption is WLOG).
+  ran_ok_ = true;
+  final_estimate_ = EstimateUnionOfStates(nfa_->accepting(), n);
+
+  diag_.wall_seconds = timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+double FprasEngine::EstimateUnionOfStates(const Bitset& targets, int level) {
+  assert(ran_ok_);
+  Bitset alive = targets;
+  alive &= unrolled_.ReachableAt(level);
+  const size_t count = alive.Count();
+  if (count == 0) return 0.0;
+  if (count == 1) return table_[level][alive.FirstSet()].count_estimate;
+
+  std::vector<PredecessorInput> inputs;
+  alive.ForEachSet([&](int q) {
+    inputs.push_back(PredecessorInput{&table_[level][q], static_cast<StateId>(q),
+                                      nfa_, params_.amortize_oracle});
+  });
+  std::vector<const PredecessorInput*> ptrs;
+  ptrs.reserve(inputs.size());
+  for (const auto& in : inputs) ptrs.push_back(&in);
+  AppUnionParams au = MakeUnionParams(params_, params_.eta, level + 1);
+  AppUnionOutcome outcome = AppUnion(ptrs, au, rng_);
+  ++diag_.appunion_calls;
+  diag_.appunion_trials += outcome.completed_trials;
+  diag_.membership_checks += outcome.membership_checks;
+  if (outcome.starved) ++diag_.starvations;
+  return outcome.estimate;
+}
+
+double FprasEngine::EstimateAtLength(int level) {
+  assert(level >= 0 && level <= params_.n);
+  if (level == 0) {
+    return nfa_->IsAccepting(nfa_->initial()) ? 1.0 : 0.0;
+  }
+  return EstimateUnionOfStates(nfa_->accepting(), level);
+}
+
+std::optional<Word> FprasEngine::SampleWord(const Bitset& targets, int level) {
+  assert(ran_ok_);
+  assert(level >= 0 && level <= params_.n);
+  Bitset alive = targets;
+  alive &= unrolled_.ReachableAt(level);
+  if (alive.None()) return std::nullopt;
+
+  // γ0 = 2/(3e) · 1/N where N estimates |∪ L(q^level)|.
+  double union_estimate = EstimateUnionOfStates(alive, level);
+  if (!(union_estimate > 0.0)) return std::nullopt;
+  return SampleInternal(level, alive, kGammaNumerator / union_estimate);
+}
+
+std::optional<Word> FprasEngine::SampleAcceptedWord() {
+  return SampleWord(nfa_->accepting(), params_.n);
+}
+
+// ---------------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------------
+
+Result<CountEstimate> ApproxCount(const Nfa& nfa, int n,
+                                  const CountOptions& options) {
+  NFA_RETURN_NOT_OK(nfa.Validate());
+  if (n < 0) return Status::Invalid("n must be >= 0");
+
+  CountEstimate out;
+  if (n == 0) {
+    // L(A_0) = {λ} iff the initial state accepts.
+    out.estimate = nfa.IsAccepting(nfa.initial()) ? 1.0 : 0.0;
+    FprasParams p;
+    NFA_ASSIGN_OR_RETURN(p, FprasParams::Make(options.schedule, nfa.num_states(), 0,
+                                              options.eps, options.delta,
+                                              options.calibration));
+    out.params = p;
+    return out;
+  }
+
+  FprasParams params;
+  NFA_ASSIGN_OR_RETURN(params,
+                       FprasParams::Make(options.schedule, nfa.num_states(), n,
+                                         options.eps, options.delta,
+                                         options.calibration));
+  params.perturb_support = options.perturb_support;
+  params.memoize_unions = options.memoize_unions;
+  params.amortize_oracle = options.amortize_oracle;
+  params.recycle_samples = options.recycle_samples;
+
+  FprasEngine engine(&nfa, params, options.seed);
+  NFA_RETURN_NOT_OK(engine.Run());
+  out.estimate = engine.Estimate();
+  out.params = engine.params();
+  out.diagnostics = engine.diagnostics();
+  return out;
+}
+
+Result<std::vector<double>> ApproxCountAllLengths(const Nfa& nfa, int n,
+                                                  const CountOptions& options) {
+  NFA_RETURN_NOT_OK(nfa.Validate());
+  if (n < 0) return Status::Invalid("n must be >= 0");
+  std::vector<double> out(n + 1, 0.0);
+  if (n == 0) {
+    out[0] = nfa.IsAccepting(nfa.initial()) ? 1.0 : 0.0;
+    return out;
+  }
+
+  FprasParams params;
+  NFA_ASSIGN_OR_RETURN(params,
+                       FprasParams::Make(options.schedule, nfa.num_states(), n,
+                                         options.eps, options.delta,
+                                         options.calibration));
+  params.perturb_support = options.perturb_support;
+  params.memoize_unions = options.memoize_unions;
+  params.amortize_oracle = options.amortize_oracle;
+  params.recycle_samples = options.recycle_samples;
+
+  FprasEngine engine(&nfa, params, options.seed);
+  NFA_RETURN_NOT_OK(engine.Run());
+  for (int level = 0; level <= n; ++level) {
+    out[level] = engine.EstimateAtLength(level);
+  }
+  return out;
+}
+
+}  // namespace nfacount

@@ -1,0 +1,171 @@
+// The FPRAS for #NFA (Algorithm 3 of the paper) and its sampling subroutine
+// (Algorithm 2), implemented over the unrolled automaton.
+//
+// Execution outline (matching Fig. 1 / Algorithm 3):
+//   level 0:  N(I⁰) = 1, S(I⁰) = [λ,...]; all other states empty;
+//   level ℓ:  for each reachable q:
+//       sz_b  = AppUnion over {(S(p^{ℓ-1}), N(p^{ℓ-1})) : p ∈ Pred(q,b)}
+//       N(qℓ) = Σ_b sz_b          (w.p. 1−η/2n; else perturbed — line 16-19)
+//       S(qℓ) = up to ns words from sample(ℓ, {q}, λ, 2/(3e·N(qℓ)), β, ·),
+//               padded with a fixed witness word on shortfall (lines 27-30);
+//   output:   N(q_F^n), or an AppUnion over accepting states when |F| > 1
+//             (the paper's single-final-state assumption is WLOG).
+//
+// sample() (Algorithm 2) extends a suffix backwards: at level i it estimates
+// sz_b = |∪_{p∈P_b} L(p^{i-1})| for each symbol b, draws b proportionally,
+// divides the acceptance probability φ by pr_b, and recurses; at level 0 it
+// returns the built word with probability φ (γ0·Π pr_b⁻¹ telescopes to the
+// uniform γ0 per word — Theorem 2(1)).
+
+#ifndef NFACOUNT_FPRAS_ESTIMATOR_HPP_
+#define NFACOUNT_FPRAS_ESTIMATOR_HPP_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/nfa.hpp"
+#include "automata/unrolled.hpp"
+#include "fpras/params.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// Counters accumulated over one engine run (all levels).
+struct FprasDiagnostics {
+  int64_t appunion_calls = 0;
+  int64_t appunion_trials = 0;
+  int64_t membership_checks = 0;
+  int64_t starvations = 0;      ///< AppUnion Line-8 events
+  int64_t memo_hits = 0;
+  int64_t memo_misses = 0;
+  int64_t sample_calls = 0;     ///< invocations of Algorithm 2
+  int64_t sample_success = 0;
+  int64_t fail_phi_gt_1 = 0;    ///< Fail1: φ > 1 at the base (Alg. 2 line 5)
+  int64_t fail_bernoulli = 0;   ///< Fail2: returned ⊥ at the base (line 6)
+  int64_t fail_dead_branch = 0; ///< all sz_b = 0 mid-walk (perturbation echo)
+  int64_t padded_words = 0;     ///< Alg. 3 lines 27-30 (SmallS events)
+  int64_t perturbed_counts = 0; ///< Alg. 3 line 19 events
+  int64_t states_processed = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Per-(state, level) FPRAS state: the estimate N(q^ℓ) and sample set S(q^ℓ).
+struct StateLevelData {
+  double count_estimate = 0.0;       ///< N(q^ℓ)
+  std::vector<StoredSample> samples; ///< S(q^ℓ), |S| == ns once filled
+};
+
+/// One full run of the FPRAS over a fixed (NFA, n). After Run() succeeds the
+/// engine exposes the estimate, the per-(q,ℓ) table (for invariant tests) and
+/// almost-uniform word sampling from any level set (the paper's uniform
+/// generation application).
+class FprasEngine {
+ public:
+  /// The NFA must outlive the engine.
+  FprasEngine(const Nfa* nfa, FprasParams params, uint64_t seed);
+
+  /// Executes Algorithm 3 over all levels. Idempotent (re-runs reset state).
+  Status Run();
+
+  /// Final estimate of |L(A_n)| (AppUnion over accepting states if |F| > 1).
+  double Estimate() const { return final_estimate_; }
+
+  /// Estimate of |L(A_ℓ)| for any ℓ ≤ n, from the same run: the DP maintains
+  /// AccurateN at every level, so per-length counts come for free (each
+  /// carries the same per-level (1±β)^ℓ ⊆ (1±ε) envelope). Run() must have
+  /// succeeded.
+  double EstimateAtLength(int level);
+
+  /// N(q^ℓ); 0 for unreachable copies. Run() must have succeeded.
+  double CountEstimateFor(StateId q, int level) const;
+
+  /// S(q^ℓ) (empty for unreachable copies).
+  const std::vector<StoredSample>& SamplesFor(StateId q, int level) const;
+
+  /// Draws one word almost-uniformly from ∪_{q ∈ targets} L(q^level) using
+  /// Algorithm 2 against the tables built by Run(); nullopt = rejection
+  /// (caller retries; Theorem 2(2) bounds the rejection rate).
+  std::optional<Word> SampleWord(const Bitset& targets, int level);
+
+  /// Convenience: almost-uniform word from L(A_n) (accepting states at n).
+  std::optional<Word> SampleAcceptedWord();
+
+  const FprasParams& params() const { return params_; }
+  const FprasDiagnostics& diagnostics() const { return diag_; }
+  const UnrolledNfa& unrolled() const { return unrolled_; }
+
+ private:
+  /// sz_b for every symbol b of the decomposition of ∪_{q∈P} L(q^level)
+  /// (Alg. 2 lines 8-11), via AppUnion with parameters (β, delta_param).
+  /// `use_memo` joins the (level, P)-keyed cache shared by sample() calls.
+  std::vector<double> UnionSizes(int level, const Bitset& state_set,
+                                 double delta_param, bool use_memo);
+
+  /// Algorithm 2 (iterative form). γ0 = phi0.
+  std::optional<Word> SampleInternal(int level, const Bitset& state_set,
+                                     double phi0);
+
+  /// Refills S(q^ℓ) with xns attempts, padding to ns (Alg. 3 lines 20-30).
+  void RefillSamples(StateId q, int level);
+
+  double PerturbedCount(int level);
+
+  /// |∪_{q ∈ targets∩reachable(level)} L(q^level)| estimate: N for a
+  /// singleton, AppUnion over the members otherwise.
+  double EstimateUnionOfStates(const Bitset& targets, int level);
+
+  const Nfa* nfa_;
+  FprasParams params_;
+  UnrolledNfa unrolled_;
+  Rng rng_;
+  std::vector<std::vector<StateLevelData>> table_;  // [level][state]
+  // Memo for sample()-context union sizes: per level, P-set -> sz vector.
+  std::vector<std::unordered_map<Bitset, std::vector<double>, BitsetHash>> memo_;
+  int64_t memo_entries_ = 0;
+  double final_estimate_ = 0.0;
+  FprasDiagnostics diag_;
+  bool ran_ok_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------------
+
+/// User-facing options for ApproxCount.
+struct CountOptions {
+  double eps = 0.2;
+  double delta = 0.1;
+  Schedule schedule = Schedule::kFaster;
+  /// Practical() by default: the faithful worst-case constants are
+  /// infeasible on any hardware (DESIGN.md §2) — opt in via Faithful().
+  Calibration calibration = Calibration::Practical();
+  uint64_t seed = 0x5eedf00dULL;
+  bool perturb_support = true;
+  bool memoize_unions = true;
+  bool amortize_oracle = true;
+  bool recycle_samples = true;  ///< see FprasParams::recycle_samples
+};
+
+/// Result of ApproxCount.
+struct CountEstimate {
+  double estimate = 0.0;   ///< ≈ |L(A_n)| within (1±ε) w.p. ≥ 1−δ
+  FprasParams params;
+  FprasDiagnostics diagnostics;
+};
+
+/// The headline API: (ε,δ)-approximation of |L(A_n)| (Theorem 3).
+Result<CountEstimate> ApproxCount(const Nfa& nfa, int n,
+                                  const CountOptions& options = CountOptions());
+
+/// Estimates |L(A_ℓ)| for every ℓ in 0..n from a single FPRAS run (index ℓ
+/// of the result holds the length-ℓ estimate). One engine execution: the
+/// level-by-level dynamic program computes all slices on the way to n, so
+/// this costs the same as ApproxCount(nfa, n) plus n cheap union estimates.
+Result<std::vector<double>> ApproxCountAllLengths(
+    const Nfa& nfa, int n, const CountOptions& options = CountOptions());
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_FPRAS_ESTIMATOR_HPP_

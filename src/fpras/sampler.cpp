@@ -1,0 +1,49 @@
+#include "fpras/sampler.hpp"
+
+namespace nfacount {
+
+Result<WordSampler> WordSampler::Build(const Nfa& nfa, int n,
+                                       const SamplerOptions& options) {
+  NFA_RETURN_NOT_OK(nfa.Validate());
+  if (n < 0) return Status::Invalid("n must be >= 0");
+
+  FprasParams params;
+  NFA_ASSIGN_OR_RETURN(params,
+                       FprasParams::Make(Schedule::kFaster, nfa.num_states(),
+                                         std::max(n, 1), options.eps,
+                                         options.delta, options.calibration));
+  params.n = n == 0 ? 0 : params.n;
+  auto engine = std::make_unique<FprasEngine>(&nfa, params, options.seed);
+  NFA_RETURN_NOT_OK(engine->Run());
+  return WordSampler(&nfa, std::move(engine), options);
+}
+
+Result<Word> WordSampler::Sample() {
+  const int n = engine_->params().n;
+  if (n == 0) {
+    if (nfa_->IsAccepting(nfa_->initial())) return Word{};
+    return Status::NotFound("L(A_0) is empty");
+  }
+  if (!(engine_->Estimate() > 0.0)) {
+    return Status::NotFound("language estimated empty");
+  }
+  for (int attempt = 0; attempt < options_.max_attempts_per_draw; ++attempt) {
+    std::optional<Word> word = engine_->SampleAcceptedWord();
+    if (word.has_value()) return *std::move(word);
+  }
+  return Status::ResourceExhausted(
+      "all sampling attempts rejected; tables likely inaccurate");
+}
+
+Result<std::vector<Word>> WordSampler::SampleMany(int64_t count) {
+  std::vector<Word> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    Word w;
+    NFA_ASSIGN_OR_RETURN(w, Sample());
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace nfacount

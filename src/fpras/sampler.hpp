@@ -1,0 +1,61 @@
+// Almost-uniform generation from L(A_n) — the companion problem the FPRAS is
+// built from (Jerrum-Valiant-Vazirani inter-reducibility, §1.1 of the paper).
+// WordSampler owns one FPRAS engine run and serves repeated draws; each draw
+// retries Algorithm 2 until it returns a word (Theorem 2(2): each attempt
+// succeeds with probability ≥ 2/(3e²) given accurate tables).
+
+#ifndef NFACOUNT_FPRAS_SAMPLER_HPP_
+#define NFACOUNT_FPRAS_SAMPLER_HPP_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fpras/estimator.hpp"
+
+namespace nfacount {
+
+/// Options for building a WordSampler.
+struct SamplerOptions {
+  /// TV-closeness parameter of the sample distribution (plays the role of ε).
+  double eps = 0.2;
+  double delta = 0.1;
+  Calibration calibration = Calibration::Practical();
+  uint64_t seed = 0xa110ca7eULL;
+  /// Give up after this many rejected attempts per draw (well beyond the
+  /// Theorem 2(2) bound; exceeding it indicates inaccurate tables).
+  int max_attempts_per_draw = 4096;
+};
+
+/// Draws words almost-uniformly from L(A_n).
+class WordSampler {
+ public:
+  /// Runs the FPRAS once to build tables. Fails if the NFA is invalid.
+  static Result<WordSampler> Build(const Nfa& nfa, int n,
+                                   const SamplerOptions& options = {});
+
+  /// One almost-uniform word, or NotFound if the language is empty /
+  /// ResourceExhausted if every attempt was rejected.
+  Result<Word> Sample();
+
+  /// `count` independent draws (each retried as in Sample()).
+  Result<std::vector<Word>> SampleMany(int64_t count);
+
+  /// Estimate of |L(A_n)| from the underlying FPRAS run.
+  double CountEstimate() const { return engine_->Estimate(); }
+
+  const FprasDiagnostics& diagnostics() const { return engine_->diagnostics(); }
+
+ private:
+  WordSampler(const Nfa* nfa, std::unique_ptr<FprasEngine> engine,
+              SamplerOptions options)
+      : nfa_(nfa), engine_(std::move(engine)), options_(options) {}
+
+  const Nfa* nfa_;
+  std::unique_ptr<FprasEngine> engine_;
+  SamplerOptions options_;
+};
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_FPRAS_SAMPLER_HPP_

@@ -1,0 +1,203 @@
+#include "util/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nfacount {
+
+BigUint::BigUint(uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<uint32_t>(value));
+    uint32_t hi = static_cast<uint32_t>(value >> 32);
+    if (hi != 0) limbs_.push_back(hi);
+  }
+}
+
+BigUint BigUint::Pow2(uint32_t k) {
+  BigUint out;
+  out.limbs_.assign(k / 32 + 1, 0);
+  out.limbs_.back() = 1u << (k % 32);
+  return out;
+}
+
+BigUint BigUint::Pow(uint64_t base, uint32_t exp) {
+  BigUint result(1);
+  BigUint b(base);
+  while (exp > 0) {
+    if (exp & 1) result = result * b;
+    b = b * b;
+    exp >>= 1;
+  }
+  return result;
+}
+
+BigUint BigUint::FromDecimal(const std::string& digits) {
+  assert(!digits.empty());
+  BigUint out;
+  for (char c : digits) {
+    assert(c >= '0' && c <= '9');
+    out.MulSmall(10);
+    out += BigUint(static_cast<uint64_t>(c - '0'));
+  }
+  return out;
+}
+
+void BigUint::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint& BigUint::operator+=(const BigUint& other) {
+  size_t n = std::max(limbs_.size(), other.limbs_.size());
+  limbs_.resize(n, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry + limbs_[i] +
+                   (i < other.limbs_.size() ? other.limbs_[i] : 0u);
+    limbs_[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
+  return *this;
+}
+
+BigUint BigUint::operator+(const BigUint& other) const {
+  BigUint out = *this;
+  out += other;
+  return out;
+}
+
+BigUint& BigUint::operator-=(const BigUint& other) {
+  assert(*this >= other && "BigUint subtraction would underflow");
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(limbs_[i]) - borrow -
+                   (i < other.limbs_.size() ? other.limbs_[i] : 0u);
+    if (diff < 0) {
+      diff += (1LL << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  assert(borrow == 0);
+  Normalize();
+  return *this;
+}
+
+BigUint BigUint::operator-(const BigUint& other) const {
+  BigUint out = *this;
+  out -= other;
+  return out;
+}
+
+BigUint BigUint::operator*(const BigUint& other) const {
+  if (IsZero() || other.IsZero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] +
+                     static_cast<uint64_t>(limbs_[i]) * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigUint& BigUint::MulSmall(uint64_t factor) {
+  if (factor == 0 || IsZero()) {
+    limbs_.clear();
+    return *this;
+  }
+  uint32_t f_lo = static_cast<uint32_t>(factor);
+  uint32_t f_hi = static_cast<uint32_t>(factor >> 32);
+  if (f_hi == 0) {
+    uint64_t carry = 0;
+    for (uint32_t& limb : limbs_) {
+      uint64_t cur = static_cast<uint64_t>(limb) * f_lo + carry;
+      limb = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    while (carry != 0) {
+      limbs_.push_back(static_cast<uint32_t>(carry));
+      carry >>= 32;
+    }
+  } else {
+    *this = *this * BigUint(factor);
+  }
+  return *this;
+}
+
+uint32_t BigUint::DivSmall(uint32_t divisor) {
+  assert(divisor > 0);
+  uint64_t rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    uint64_t cur = (rem << 32) | limbs_[i];
+    limbs_[i] = static_cast<uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  Normalize();
+  return static_cast<uint32_t>(rem);
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+double BigUint::ToDouble() const {
+  double out = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return out;
+}
+
+uint64_t BigUint::ToU64() const {
+  assert(FitsU64());
+  uint64_t out = 0;
+  if (limbs_.size() > 1) out = static_cast<uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) out |= limbs_[0];
+  return out;
+}
+
+std::string BigUint::ToString() const {
+  if (IsZero()) return "0";
+  BigUint tmp = *this;
+  std::string out;
+  while (!tmp.IsZero()) {
+    uint32_t rem = tmp.DivSmall(1000000000u);
+    if (tmp.IsZero()) {
+      out = std::to_string(rem) + out;
+    } else {
+      std::string chunk = std::to_string(rem);
+      out = std::string(9 - chunk.size(), '0') + chunk + out;
+    }
+  }
+  return out;
+}
+
+size_t BigUint::BitLength() const {
+  if (IsZero()) return 0;
+  uint32_t top = limbs_.back();
+  return (limbs_.size() - 1) * 32 + (32 - __builtin_clz(top));
+}
+
+}  // namespace nfacount

@@ -1,0 +1,76 @@
+// Arbitrary-precision unsigned integers for exact #NFA counts: |L(A_n)| can
+// reach |Σ|^n, which overflows machine words long before the benchmark sizes
+// of interest. Only the operations the exact counters need are provided.
+
+#ifndef NFACOUNT_UTIL_BIGINT_HPP_
+#define NFACOUNT_UTIL_BIGINT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nfacount {
+
+/// Arbitrary-precision natural number, little-endian base-2^32 limbs,
+/// normalized (no trailing zero limbs; zero == empty limb vector).
+class BigUint {
+ public:
+  BigUint() = default;
+  /// From a machine word.
+  explicit BigUint(uint64_t value);
+
+  /// 2^k.
+  static BigUint Pow2(uint32_t k);
+  /// base^exp by square-and-multiply (base is a machine word).
+  static BigUint Pow(uint64_t base, uint32_t exp);
+  /// Parses a non-empty decimal string of digits. Asserts on bad input.
+  static BigUint FromDecimal(const std::string& digits);
+
+  bool IsZero() const { return limbs_.empty(); }
+
+  BigUint& operator+=(const BigUint& other);
+  BigUint operator+(const BigUint& other) const;
+
+  /// Subtraction; requires *this >= other (asserted).
+  BigUint& operator-=(const BigUint& other);
+  BigUint operator-(const BigUint& other) const;
+
+  /// Full school multiplication.
+  BigUint operator*(const BigUint& other) const;
+  /// In-place multiply by a machine word.
+  BigUint& MulSmall(uint64_t factor);
+
+  /// Divides in place by a small divisor (> 0), returning the remainder.
+  uint32_t DivSmall(uint32_t divisor);
+
+  /// -1, 0, +1 comparison.
+  int Compare(const BigUint& other) const;
+  bool operator==(const BigUint& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigUint& o) const { return Compare(o) != 0; }
+  bool operator<(const BigUint& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigUint& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigUint& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigUint& o) const { return Compare(o) >= 0; }
+
+  /// Nearest double (inf if it overflows the double range).
+  double ToDouble() const;
+
+  /// Value as uint64 if it fits, asserting otherwise.
+  uint64_t ToU64() const;
+  /// True if the value fits in 64 bits.
+  bool FitsU64() const { return limbs_.size() <= 2; }
+
+  /// Decimal rendering.
+  std::string ToString() const;
+
+  /// Number of significant bits (0 for zero).
+  size_t BitLength() const;
+
+ private:
+  void Normalize();
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_UTIL_BIGINT_HPP_

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation for all randomized algorithms
+// in the library. Every randomized entry point takes an explicit Rng so runs
+// are reproducible from a single seed; Split() derives statistically
+// independent child streams for subcomputations.
+
+#ifndef NFACOUNT_UTIL_RNG_HPP_
+#define NFACOUNT_UTIL_RNG_HPP_
+
+#include <cstdint>
+#include <vector>
+
+namespace nfacount {
+
+/// SplitMix64: seeding / stream-derivation generator (Steele et al.).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) wrapped with the draw primitives the
+/// counting/sampling algorithms need. Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the four-word state via SplitMix64 (any seed, including 0, is fine).
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Raw 64 uniform bits.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  /// `bound` must be > 0.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double UniformDouble();
+
+  /// Bernoulli draw; p outside [0,1] is clamped.
+  bool Bernoulli(double p);
+
+  /// Index i drawn with probability weights[i] / sum(weights).
+  /// Weights must be non-negative with a positive finite sum; returns -1 if
+  /// the sum is not positive. O(k) per draw (k is small in all call sites).
+  int DiscreteIndex(const std::vector<double>& weights);
+
+  /// Derives an independent child generator (distinct stream).
+  Rng Split();
+
+  /// std::uniform_random_bit_generator interface (for std::shuffle etc.).
+  using result_type = uint64_t;
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+  uint64_t operator()() { return NextU64(); }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_UTIL_RNG_HPP_

@@ -1,0 +1,140 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace nfacount {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double RelativeError(double estimate, double truth) {
+  if (truth == 0.0) {
+    return estimate == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+double EmpiricalTvToUniform(const std::map<std::string, int64_t>& histogram,
+                            int64_t total, int64_t support_size) {
+  assert(total > 0 && support_size > 0);
+  double uniform = 1.0 / static_cast<double>(support_size);
+  double tv = 0.0;
+  int64_t seen_outcomes = 0;
+  for (const auto& [key, count] : histogram) {
+    (void)key;
+    double p = static_cast<double>(count) / static_cast<double>(total);
+    tv += std::abs(p - uniform);
+    ++seen_outcomes;
+  }
+  // Outcomes never observed each contribute |0 - 1/support|.
+  int64_t missing = support_size - seen_outcomes;
+  if (missing > 0) tv += static_cast<double>(missing) * uniform;
+  return tv / 2.0;
+}
+
+double EmpiricalTv(const std::map<std::string, int64_t>& a,
+                   const std::map<std::string, int64_t>& b) {
+  int64_t total_a = 0, total_b = 0;
+  for (const auto& [k, v] : a) {
+    (void)k;
+    total_a += v;
+  }
+  for (const auto& [k, v] : b) {
+    (void)k;
+    total_b += v;
+  }
+  assert(total_a > 0 && total_b > 0);
+  double tv = 0.0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    double pa = 0.0, pb = 0.0;
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      pa = static_cast<double>(ia->second) / static_cast<double>(total_a);
+      ++ia;
+    } else if (ia == a.end() || ib->first < ia->first) {
+      pb = static_cast<double>(ib->second) / static_cast<double>(total_b);
+      ++ib;
+    } else {
+      pa = static_cast<double>(ia->second) / static_cast<double>(total_a);
+      pb = static_cast<double>(ib->second) / static_cast<double>(total_b);
+      ++ia;
+      ++ib;
+    }
+    tv += std::abs(pa - pb);
+  }
+  return tv / 2.0;
+}
+
+double ChiSquareUniform(const std::map<std::string, int64_t>& histogram,
+                        int64_t total, int64_t support_size) {
+  assert(total > 0 && support_size > 0);
+  double expected = static_cast<double>(total) / static_cast<double>(support_size);
+  double stat = 0.0;
+  int64_t seen = 0;
+  for (const auto& [key, count] : histogram) {
+    (void)key;
+    double d = static_cast<double>(count) - expected;
+    stat += d * d / expected;
+    ++seen;
+  }
+  int64_t missing = support_size - seen;
+  if (missing > 0) stat += static_cast<double>(missing) * expected;
+  return stat;
+}
+
+int64_t HoeffdingSamples(double eps, double delta) {
+  assert(eps > 0.0 && delta > 0.0 && delta < 1.0);
+  return static_cast<int64_t>(std::ceil(std::log(2.0 / delta) / (2.0 * eps * eps)));
+}
+
+double LogLogSlope(const std::vector<double>& xs, const std::vector<double>& ys) {
+  assert(xs.size() == ys.size() && xs.size() >= 2);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    assert(xs[i] > 0.0 && ys[i] > 0.0);
+    double lx = std::log(xs[i]);
+    double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  double denom = n * sxx - sx * sx;
+  assert(denom != 0.0);
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace nfacount

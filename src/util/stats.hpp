@@ -1,0 +1,70 @@
+// Statistics helpers used by statistical tests (sampler uniformity, FPRAS
+// accuracy census) and by the benchmark harness tables.
+
+#ifndef NFACOUNT_UTIL_STATS_HPP_
+#define NFACOUNT_UTIL_STATS_HPP_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nfacount {
+
+/// Welford online accumulator for mean/variance plus min/max.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance (0 for fewer than two observations).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// q-th quantile (q in [0,1]) by linear interpolation; input is copied and
+/// sorted. Returns 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Relative error |estimate - truth| / truth; truth must be nonzero, except
+/// that (0, 0) yields 0 and (x != 0, 0) yields +inf.
+double RelativeError(double estimate, double truth);
+
+/// Total variation distance between an empirical histogram (counts over
+/// outcomes) and the uniform distribution over `support_size` outcomes.
+/// Outcomes present in the histogram but conceptually outside the support
+/// contribute their full mass. `total` is the number of trials.
+double EmpiricalTvToUniform(const std::map<std::string, int64_t>& histogram,
+                            int64_t total, int64_t support_size);
+
+/// Total variation distance between two empirical distributions given as
+/// histograms (they are normalized by their own totals).
+double EmpiricalTv(const std::map<std::string, int64_t>& a,
+                   const std::map<std::string, int64_t>& b);
+
+/// Pearson chi-square statistic of a histogram against the uniform law over
+/// `support_size` outcomes (missing outcomes count as zero cells).
+double ChiSquareUniform(const std::map<std::string, int64_t>& histogram,
+                        int64_t total, int64_t support_size);
+
+/// Two-sided Chernoff-Hoeffding sample bound: number of i.i.d. [0,1] samples
+/// so the empirical mean is within `eps` of the truth w.p. >= 1 - delta.
+int64_t HoeffdingSamples(double eps, double delta);
+
+/// Least-squares slope of log(y) against log(x) — empirical polynomial degree
+/// of a scaling curve. Requires equal-sized positive vectors, size >= 2.
+double LogLogSlope(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_UTIL_STATS_HPP_

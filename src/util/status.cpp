@@ -1,0 +1,37 @@
+#include "util/status.hpp"
+
+namespace nfacount {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:                 return "OK";
+    case StatusCode::kInvalidArgument:    return "InvalidArgument";
+    case StatusCode::kOutOfRange:         return "OutOfRange";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:  return "ResourceExhausted";
+    case StatusCode::kNotFound:           return "NotFound";
+    case StatusCode::kUnimplemented:      return "Unimplemented";
+    case StatusCode::kInternal:           return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  assert(code != StatusCode::kOk && "error Status requires a non-OK code");
+  rep_ = std::make_shared<const Rep>(Rep{code, std::move(message)});
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return ok() ? kEmpty : rep_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace nfacount

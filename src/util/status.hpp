@@ -1,0 +1,148 @@
+// Status / Result error model (Arrow-style): library entry points return
+// Status or Result<T> instead of throwing; internal hot paths use assertions.
+
+#ifndef NFACOUNT_UTIL_STATUS_HPP_
+#define NFACOUNT_UTIL_STATUS_HPP_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nfacount {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kNotFound,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation: OK, or a code plus a diagnostic message.
+///
+/// An OK status carries no allocation; error states allocate a small record.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status; `code` must not be kOk.
+  Status(StatusCode code, std::string message);
+
+  static Status Ok() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : rep_->code; }
+  const std::string& message() const;
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; `status.ok()` must be false.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if errored.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define NFA_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::nfacount::Status _st = (expr);       \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+/// Evaluates a Result expression; on error returns its Status, otherwise
+/// assigns the value to `lhs` (which must be declared by the caller).
+#define NFA_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  do {                                     \
+    auto _res = (rexpr);                   \
+    if (!_res.ok()) return _res.status();  \
+    lhs = std::move(_res).value();         \
+  } while (false)
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_UTIL_STATUS_HPP_

@@ -1,0 +1,29 @@
+// Minimal wall-clock timer for diagnostics and benchmark tables.
+
+#ifndef NFACOUNT_UTIL_TIMER_HPP_
+#define NFACOUNT_UTIL_TIMER_HPP_
+
+#include <chrono>
+
+namespace nfacount {
+
+/// Monotonic wall-clock stopwatch, started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_UTIL_TIMER_HPP_

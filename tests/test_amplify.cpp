@@ -1,0 +1,147 @@
+// Tests for the practical-confidence wrappers: median-of-k amplification and
+// adaptive calibration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "automata/generators.hpp"
+#include "counting/exact.hpp"
+#include "fpras/amplify.hpp"
+
+namespace nfacount {
+namespace {
+
+CountOptions Opts(uint64_t seed) {
+  CountOptions o;
+  o.eps = 0.3;
+  o.delta = 0.2;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Median, MedianOfRunsIsAccurate) {
+  Nfa nfa = SubstringNfa(Word{1, 0, 1});
+  const int n = 10;
+  Result<BigUint> exact = ExactCountViaDfa(nfa, n);
+  ASSERT_TRUE(exact.ok());
+  Result<AmplifiedEstimate> amplified = ApproxCountMedian(nfa, n, Opts(1), 5);
+  ASSERT_TRUE(amplified.ok());
+  EXPECT_EQ(amplified->runs.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(amplified->runs.begin(), amplified->runs.end()));
+  EXPECT_NEAR(amplified->estimate / exact->ToDouble(), 1.0, 0.35);
+  EXPECT_GE(amplified->spread, 0.0);
+  // The median is one of the runs for odd k.
+  EXPECT_NE(std::find(amplified->runs.begin(), amplified->runs.end(),
+                      amplified->estimate),
+            amplified->runs.end());
+}
+
+TEST(Median, EvenRunCountAveragesMiddlePair) {
+  Nfa nfa = ParityNfa(2);
+  Result<AmplifiedEstimate> amplified = ApproxCountMedian(nfa, 8, Opts(2), 4);
+  ASSERT_TRUE(amplified.ok());
+  EXPECT_EQ(amplified->runs.size(), 4u);
+  EXPECT_DOUBLE_EQ(amplified->estimate,
+                   0.5 * (amplified->runs[1] + amplified->runs[2]));
+}
+
+TEST(Median, MedianTightensSpreadVersusSingleRun) {
+  // The median's error across seeds should not exceed the worst single-run
+  // error; check on a family with real variance.
+  Nfa nfa = UnionOfLocks(5, 4);
+  const int n = 9;
+  Result<BigUint> exact = ExactCountViaDfa(nfa, n);
+  ASSERT_TRUE(exact.ok());
+  const double truth = exact->ToDouble();
+  Result<AmplifiedEstimate> amplified = ApproxCountMedian(nfa, n, Opts(3), 7);
+  ASSERT_TRUE(amplified.ok());
+  double median_err = std::abs(amplified->estimate / truth - 1.0);
+  double worst_err = 0.0;
+  for (double run : amplified->runs) {
+    worst_err = std::max(worst_err, std::abs(run / truth - 1.0));
+  }
+  EXPECT_LE(median_err, worst_err + 1e-12);
+}
+
+TEST(Median, DiagnosticsAccumulateAcrossRuns) {
+  Nfa nfa = CombinationLock(Word{1, 0});
+  Result<AmplifiedEstimate> one = ApproxCountMedian(nfa, 6, Opts(4), 1);
+  Result<AmplifiedEstimate> three = ApproxCountMedian(nfa, 6, Opts(4), 3);
+  ASSERT_TRUE(one.ok() && three.ok());
+  EXPECT_GT(three->total_diag.sample_calls, one->total_diag.sample_calls);
+  EXPECT_GT(three->total_diag.appunion_calls, one->total_diag.appunion_calls);
+}
+
+TEST(Median, RejectsBadRunCount) {
+  Nfa nfa = CombinationLock(Word{1});
+  EXPECT_FALSE(ApproxCountMedian(nfa, 4, Opts(5), 0).ok());
+}
+
+TEST(Median, RunsForConfidenceFormula) {
+  EXPECT_EQ(MedianRunsForConfidence(0.5) % 2, 1);
+  EXPECT_GT(MedianRunsForConfidence(0.01), MedianRunsForConfidence(0.2));
+  EXPECT_EQ(MedianRunsForConfidence(1.5), 1);  // degenerate input
+}
+
+TEST(Adaptive, ConvergesOnStableInstances) {
+  Nfa nfa = ParityNfa(2);
+  const int n = 9;
+  AdaptiveOptions options;
+  options.base = Opts(6);
+  options.agreement = 0.15;
+  Result<AdaptiveEstimate> adaptive = ApproxCountAdaptive(nfa, n, options);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_TRUE(adaptive->converged);
+  EXPECT_GE(adaptive->rounds, 2);
+  EXPECT_NEAR(adaptive->estimate / 256.0, 1.0, 0.3);  // 2^{n-1}
+  EXPECT_EQ(adaptive->trajectory.size(), static_cast<size_t>(adaptive->rounds));
+}
+
+TEST(Adaptive, EmptyLanguageConvergesToZero) {
+  Nfa nfa(2);
+  nfa.AddStates(2);
+  nfa.SetInitial(0);
+  nfa.AddAccepting(1);  // unreachable
+  nfa.AddTransition(0, 0, 0);
+  nfa.AddTransition(0, 1, 0);
+  AdaptiveOptions options;
+  options.base = Opts(7);
+  Result<AdaptiveEstimate> adaptive = ApproxCountAdaptive(nfa, 6, options);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_TRUE(adaptive->converged);
+  EXPECT_EQ(adaptive->estimate, 0.0);
+  EXPECT_EQ(adaptive->rounds, 2);  // two zero rounds agree immediately
+}
+
+TEST(Adaptive, BudgetsGrowAcrossRounds) {
+  Nfa nfa = SubstringNfa(Word{1, 1});
+  AdaptiveOptions options;
+  options.base = Opts(8);
+  options.agreement = 1e-9;  // unreachably tight: force all rounds
+  options.max_rounds = 3;
+  Result<AdaptiveEstimate> adaptive = ApproxCountAdaptive(nfa, 7, options);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_FALSE(adaptive->converged);
+  EXPECT_EQ(adaptive->rounds, 3);
+  EXPECT_GT(adaptive->final_calibration.ns_floor,
+            options.base.calibration.ns_floor);
+  EXPECT_GT(adaptive->final_calibration.ns_scale,
+            options.base.calibration.ns_scale);
+}
+
+TEST(Adaptive, ValidatesOptions) {
+  Nfa nfa = CombinationLock(Word{1});
+  AdaptiveOptions bad_agreement;
+  bad_agreement.base = Opts(9);
+  bad_agreement.agreement = 0.0;
+  EXPECT_FALSE(ApproxCountAdaptive(nfa, 4, bad_agreement).ok());
+  AdaptiveOptions bad_rounds;
+  bad_rounds.base = Opts(9);
+  bad_rounds.max_rounds = 1;
+  EXPECT_FALSE(ApproxCountAdaptive(nfa, 4, bad_rounds).ok());
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,181 @@
+// Unit and property tests for the arbitrary-precision naturals. Cross-checked
+// against native 64-bit arithmetic on random operands and against known
+// closed forms (powers of two, factorials).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/bigint.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+TEST(BigUint, ZeroProperties) {
+  BigUint z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_EQ(z.ToDouble(), 0.0);
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToU64(), 0u);
+  EXPECT_EQ(BigUint(0), z);
+}
+
+TEST(BigUint, FromU64RoundTrip) {
+  for (uint64_t v : {1ull, 42ull, (1ull << 31), (1ull << 32), (1ull << 33),
+                     0xffffffffffffffffull}) {
+    BigUint b(v);
+    EXPECT_TRUE(b.FitsU64());
+    EXPECT_EQ(b.ToU64(), v);
+    EXPECT_EQ(b.ToString(), std::to_string(v));
+  }
+}
+
+TEST(BigUint, AdditionMatchesNative) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t a = rng.NextU64() >> 1;  // avoid native overflow
+    uint64_t b = rng.NextU64() >> 1;
+    EXPECT_EQ((BigUint(a) + BigUint(b)).ToU64(), a + b);
+  }
+}
+
+TEST(BigUint, AdditionCarriesAcrossLimbs) {
+  BigUint max32(0xffffffffull);
+  BigUint one(1);
+  EXPECT_EQ((max32 + one).ToU64(), 0x100000000ull);
+  // 2^64 - 1 + 1 = 2^64 (needs a third limb).
+  BigUint max64(0xffffffffffffffffull);
+  BigUint r = max64 + one;
+  EXPECT_EQ(r, BigUint::Pow2(64));
+  EXPECT_EQ(r.ToString(), "18446744073709551616");
+}
+
+TEST(BigUint, SubtractionMatchesNative) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t a = rng.NextU64();
+    uint64_t b = rng.NextU64();
+    if (a < b) std::swap(a, b);
+    EXPECT_EQ((BigUint(a) - BigUint(b)).ToU64(), a - b);
+  }
+}
+
+TEST(BigUint, SubtractionBorrowsAcrossLimbs) {
+  BigUint p = BigUint::Pow2(96);
+  BigUint r = p - BigUint(1);
+  EXPECT_EQ(r.BitLength(), 96u);
+  EXPECT_EQ(r + BigUint(1), p);
+}
+
+TEST(BigUint, MultiplicationMatchesNative) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t a = rng.NextU64() & 0xffffffffull;
+    uint64_t b = rng.NextU64() & 0xffffffffull;
+    EXPECT_EQ((BigUint(a) * BigUint(b)).ToU64(), a * b);
+  }
+}
+
+TEST(BigUint, MulSmallMatchesFullMul) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.NextU64();
+    uint64_t f = rng.NextU64() & 0xffffull;
+    BigUint via_small(a);
+    via_small.MulSmall(f);
+    EXPECT_EQ(via_small, BigUint(a) * BigUint(f));
+  }
+}
+
+TEST(BigUint, MulByZeroAndOne) {
+  BigUint x(12345);
+  EXPECT_TRUE((x * BigUint()).IsZero());
+  EXPECT_EQ(x * BigUint(1), x);
+  BigUint y(99);
+  y.MulSmall(0);
+  EXPECT_TRUE(y.IsZero());
+}
+
+TEST(BigUint, Pow2MatchesShifts) {
+  for (uint32_t k : {0u, 1u, 31u, 32u, 33u, 63u, 64u, 100u, 200u}) {
+    BigUint p = BigUint::Pow2(k);
+    EXPECT_EQ(p.BitLength(), k + 1);
+    if (k < 64) {
+      EXPECT_EQ(p.ToU64(), 1ull << k);
+    }
+  }
+}
+
+TEST(BigUint, PowMatchesKnownValues) {
+  EXPECT_EQ(BigUint::Pow(2, 10).ToU64(), 1024u);
+  EXPECT_EQ(BigUint::Pow(3, 0).ToU64(), 1u);
+  EXPECT_EQ(BigUint::Pow(10, 20).ToString(), "100000000000000000000");
+  EXPECT_EQ(BigUint::Pow(2, 64), BigUint::Pow2(64));
+}
+
+TEST(BigUint, FactorialOf30) {
+  // 30! — a classic cross-library anchor value.
+  BigUint f(1);
+  for (uint64_t i = 2; i <= 30; ++i) f.MulSmall(i);
+  EXPECT_EQ(f.ToString(), "265252859812191058636308480000000");
+}
+
+TEST(BigUint, DivSmallMatchesNative) {
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    uint64_t a = rng.NextU64();
+    uint32_t d = static_cast<uint32_t>(rng.UniformU64(1000000) + 1);
+    BigUint b(a);
+    uint32_t rem = b.DivSmall(d);
+    EXPECT_EQ(b.ToU64(), a / d);
+    EXPECT_EQ(rem, a % d);
+  }
+}
+
+TEST(BigUint, CompareTotalOrder) {
+  BigUint a(5), b(7), c = BigUint::Pow2(100);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(c, b);
+  EXPECT_GE(c, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.Compare(b), -1);
+  EXPECT_EQ(b.Compare(a), 1);
+  EXPECT_EQ(a.Compare(BigUint(5)), 0);
+}
+
+TEST(BigUint, ToDoubleLargeValues) {
+  EXPECT_DOUBLE_EQ(BigUint::Pow2(100).ToDouble(), std::pow(2.0, 100));
+  EXPECT_DOUBLE_EQ(BigUint::Pow2(500).ToDouble(), std::pow(2.0, 500));
+}
+
+TEST(BigUint, FromDecimalRoundTrip) {
+  for (const char* s : {"0", "1", "999999999", "1000000000",
+                        "123456789012345678901234567890"}) {
+    EXPECT_EQ(BigUint::FromDecimal(s).ToString(), s);
+  }
+}
+
+TEST(BigUint, ToStringPadsInnerChunks) {
+  // Values whose base-1e9 chunks need zero padding.
+  BigUint b = BigUint(1000000000ull) * BigUint(1000000000ull);  // 10^18
+  EXPECT_EQ(b.ToString(), "1000000000000000000");
+  BigUint c = BigUint(2000000001ull);
+  EXPECT_EQ(c.ToString(), "2000000001");
+}
+
+TEST(BigUint, AssociativityProperty) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    BigUint a(rng.NextU64()), b(rng.NextU64()), c(rng.NextU64());
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);  // distributivity
+  }
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,204 @@
+// Unit tests for determinization, minimization, complement, equivalence, and
+// the exact DFA counting DP.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "automata/dfa.hpp"
+#include "automata/generators.hpp"
+#include "counting/exact.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+TEST(Dfa, ValidateRequiresCompleteTransitions) {
+  Dfa dfa(2, 2);
+  dfa.SetInitial(0);
+  EXPECT_FALSE(dfa.Validate().ok());
+  for (StateId q = 0; q < 2; ++q) {
+    for (int a = 0; a < 2; ++a) dfa.SetTransition(q, static_cast<Symbol>(a), q);
+  }
+  EXPECT_TRUE(dfa.Validate().ok());
+}
+
+TEST(Determinize, AgreesWithNfaOnAllShortWords) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Nfa nfa = RandomNfa(7, 0.3, 0.3, rng);
+    Result<Dfa> dfa = Determinize(nfa);
+    ASSERT_TRUE(dfa.ok());
+    EXPECT_TRUE(dfa->Validate().ok());
+    // All words up to length 8.
+    for (int n = 0; n <= 8; ++n) {
+      Word w(n, 0);
+      int64_t total = int64_t{1} << n;
+      for (int64_t x = 0; x < total; ++x) {
+        for (int i = 0; i < n; ++i) w[i] = static_cast<Symbol>((x >> i) & 1);
+        ASSERT_EQ(dfa->Accepts(w), nfa.Accepts(w))
+            << "trial=" << trial << " word=" << WordToString(w);
+      }
+    }
+  }
+}
+
+TEST(Determinize, BudgetIsEnforced) {
+  // "1 at the 12th position from the end" needs 2^12 DFA states; with a tiny
+  // budget determinization must fail gracefully.
+  Nfa nfa = KthFromEndNfa(12);
+  Result<Dfa> dfa = Determinize(nfa, /*max_states=*/16);
+  EXPECT_FALSE(dfa.ok());
+  EXPECT_EQ(dfa.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Determinize, KthFromEndBlowupIsExactlyExponential) {
+  // The minimal DFA for the k-th-from-the-end language has exactly 2^k
+  // states (it must remember the last k symbols).
+  for (int k = 1; k <= 8; ++k) {
+    Result<Dfa> dfa = Determinize(KthFromEndNfa(k));
+    ASSERT_TRUE(dfa.ok());
+    EXPECT_EQ(Minimize(*dfa).num_states(), 1 << k) << "k=" << k;
+  }
+}
+
+TEST(Minimize, ReducesKnownRedundancy) {
+  // Two states that are language-equivalent must merge.
+  Dfa dfa(3, 2);
+  dfa.SetInitial(0);
+  dfa.AddAccepting(1);
+  dfa.AddAccepting(2);
+  // 1 and 2 behave identically (absorbing accept states).
+  dfa.SetTransition(0, 0, 1);
+  dfa.SetTransition(0, 1, 2);
+  for (StateId q : {1, 2}) {
+    dfa.SetTransition(q, 0, q);
+    dfa.SetTransition(q, 1, q);
+  }
+  Dfa min = Minimize(dfa);
+  EXPECT_EQ(min.num_states(), 2);
+}
+
+TEST(Minimize, PreservesLanguage) {
+  Rng rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
+    Result<Dfa> dfa = Determinize(nfa);
+    ASSERT_TRUE(dfa.ok());
+    Dfa min = Minimize(*dfa);
+    EXPECT_LE(min.num_states(), dfa->num_states());
+    Result<bool> eq = LanguageEquivalent(dfa->ToNfa(), min.ToNfa());
+    ASSERT_TRUE(eq.ok());
+    EXPECT_TRUE(eq.value());
+  }
+}
+
+TEST(Minimize, MinimalDfaIsFixpoint) {
+  Nfa nfa = ParityNfa(3);
+  Result<Dfa> dfa = Determinize(nfa);
+  ASSERT_TRUE(dfa.ok());
+  Dfa min1 = Minimize(*dfa);
+  Dfa min2 = Minimize(min1);
+  EXPECT_EQ(min1.num_states(), min2.num_states());
+}
+
+TEST(Complement, FlipsAcceptance) {
+  Nfa nfa = SubstringNfa(Word{1, 1});
+  Result<Dfa> dfa = Determinize(nfa);
+  ASSERT_TRUE(dfa.ok());
+  Dfa comp = Complement(*dfa);
+  for (int n = 0; n <= 8; ++n) {
+    Word w(n, 0);
+    int64_t total = int64_t{1} << n;
+    for (int64_t x = 0; x < total; ++x) {
+      for (int i = 0; i < n; ++i) w[i] = static_cast<Symbol>((x >> i) & 1);
+      EXPECT_NE(dfa->Accepts(w), comp.Accepts(w));
+    }
+  }
+}
+
+TEST(Complement, CountsAreComplementary) {
+  Nfa nfa = ParityNfa(2);
+  Result<Dfa> dfa = Determinize(nfa);
+  ASSERT_TRUE(dfa.ok());
+  Dfa comp = Complement(*dfa);
+  for (int n = 0; n <= 20; ++n) {
+    BigUint a = dfa->CountWordsOfLength(n);
+    BigUint b = comp.CountWordsOfLength(n);
+    EXPECT_EQ(a + b, BigUint::Pow2(static_cast<uint32_t>(n))) << "n=" << n;
+  }
+}
+
+TEST(LanguageEquivalent, DetectsEquality) {
+  Nfa a = SubstringNfa(Word{1, 0});
+  Nfa b = SubstringNfa(Word{1, 0});
+  Result<bool> eq = LanguageEquivalent(a, b);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value());
+}
+
+TEST(LanguageEquivalent, DetectsInequality) {
+  Result<bool> eq =
+      LanguageEquivalent(SubstringNfa(Word{1, 0}), SubstringNfa(Word{0, 1}));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(eq.value());
+}
+
+TEST(CountWords, CombinationLockClosedForm) {
+  // Lock of length 3: |L(A_n)| = 2^{n-3} for n >= 3, else 0.
+  Nfa lock = CombinationLock(Word{1, 0, 1});
+  Result<Dfa> dfa = Determinize(lock);
+  ASSERT_TRUE(dfa.ok());
+  std::vector<BigUint> counts = dfa->CountWordsUpToLength(10);
+  for (int n = 0; n <= 10; ++n) {
+    if (n < 3) {
+      EXPECT_TRUE(counts[n].IsZero()) << "n=" << n;
+    } else {
+      EXPECT_EQ(counts[n], BigUint::Pow2(static_cast<uint32_t>(n - 3)));
+    }
+  }
+}
+
+TEST(CountWords, ParityClosedForm) {
+  // Even number of 1s: exactly 2^{n-1} words for n >= 1.
+  Nfa parity = ParityNfa(2);
+  Result<Dfa> dfa = Determinize(parity);
+  ASSERT_TRUE(dfa.ok());
+  for (int n = 1; n <= 30; ++n) {
+    EXPECT_EQ(dfa->CountWordsOfLength(n), BigUint::Pow2(static_cast<uint32_t>(n - 1)));
+  }
+  EXPECT_EQ(dfa->CountWordsOfLength(0).ToU64(), 1u);  // empty word has 0 ones
+}
+
+TEST(CountWords, DivisibilityClosedForm) {
+  // Binary numerals (with leading zeros) divisible by 3 among all 2^n:
+  // count = (2^n + 2)/3 for even n, (2^n + 1)/3 for odd n.
+  Nfa div3 = DivisibilityNfa(3);
+  Result<Dfa> dfa = Determinize(div3);
+  ASSERT_TRUE(dfa.ok());
+  for (int n = 1; n <= 24; ++n) {
+    uint64_t total = (uint64_t{1} << n);
+    uint64_t expect = (n % 2 == 0) ? (total + 2) / 3 : (total + 1) / 3;
+    EXPECT_EQ(dfa->CountWordsOfLength(n).ToU64(), expect) << "n=" << n;
+  }
+}
+
+TEST(CountWords, LargeNUsesBigints) {
+  Nfa all = DenseCompleteNfa(1);
+  Result<Dfa> dfa = Determinize(all);
+  ASSERT_TRUE(dfa.ok());
+  BigUint count = dfa->CountWordsOfLength(200);
+  EXPECT_EQ(count, BigUint::Pow2(200));  // far beyond uint64
+}
+
+TEST(ToNfa, RoundTripPreservesLanguage) {
+  Nfa nfa = SubstringNfa(Word{1, 0, 1});
+  Result<Dfa> dfa = Determinize(nfa);
+  ASSERT_TRUE(dfa.ok());
+  Result<bool> eq = LanguageEquivalent(nfa, dfa->ToNfa());
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value());
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,208 @@
+// Tests for the DNF module: evaluation, exact counting, the classic
+// Karp-Luby counter, and the linear DNF → NFA encoding (model counts must
+// transfer exactly, then approximately through the FPRAS).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/dnf.hpp"
+#include "counting/exact.hpp"
+#include "fpras/fpras.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+Dnf SmallDnf() {
+  // (x0 & x1) | (!x2) over 4 variables.
+  Dnf dnf(4);
+  EXPECT_TRUE(dnf.AddClause({{0, 1}, {}}).ok());
+  EXPECT_TRUE(dnf.AddClause({{}, {2}}).ok());
+  return dnf;
+}
+
+Dnf RandomDnf(int vars, int clauses, int width, Rng& rng) {
+  Dnf dnf(vars);
+  for (int c = 0; c < clauses; ++c) {
+    DnfClause clause;
+    for (int l = 0; l < width; ++l) {
+      int v = static_cast<int>(rng.UniformU64(vars));
+      bool pos = rng.Bernoulli(0.5);
+      bool in_pos = std::find(clause.positive.begin(), clause.positive.end(), v) !=
+                    clause.positive.end();
+      bool in_neg = std::find(clause.negative.begin(), clause.negative.end(), v) !=
+                    clause.negative.end();
+      if (in_pos || in_neg) continue;  // avoid contradictions
+      (pos ? clause.positive : clause.negative).push_back(v);
+    }
+    EXPECT_TRUE(dnf.AddClause(std::move(clause)).ok());
+  }
+  return dnf;
+}
+
+// Independent exact counter: brute force over assignments.
+uint64_t BruteForceModels(const Dnf& dnf) {
+  uint64_t count = 0;
+  std::vector<bool> assignment(dnf.num_vars());
+  for (uint64_t mask = 0; mask < (uint64_t{1} << dnf.num_vars()); ++mask) {
+    for (int i = 0; i < dnf.num_vars(); ++i) assignment[i] = (mask >> i) & 1;
+    if (dnf.Evaluate(assignment)) ++count;
+  }
+  return count;
+}
+
+TEST(Dnf, ClauseValidation) {
+  Dnf dnf(3);
+  EXPECT_FALSE(dnf.AddClause({{3}, {}}).ok());   // var out of range
+  EXPECT_FALSE(dnf.AddClause({{}, {-1}}).ok());  // negative var id
+  EXPECT_FALSE(dnf.AddClause({{1}, {1}}).ok());  // x & !x
+  EXPECT_TRUE(dnf.AddClause({{0, 0}, {}}).ok()); // duplicates deduped
+  EXPECT_EQ(dnf.clause(0).positive.size(), 1u);
+}
+
+TEST(Dnf, EvaluateSmall) {
+  Dnf dnf = SmallDnf();
+  // x = (1,1,1,0): clause 0 satisfied.
+  EXPECT_TRUE(dnf.Evaluate({true, true, true, false}));
+  // x = (0,0,0,0): clause 1 (!x2) satisfied.
+  EXPECT_TRUE(dnf.Evaluate({false, false, false, false}));
+  // x = (1,0,1,1): neither.
+  EXPECT_FALSE(dnf.Evaluate({true, false, true, true}));
+}
+
+TEST(Dnf, ClauseModelCount) {
+  Dnf dnf = SmallDnf();
+  EXPECT_EQ(dnf.ClauseModelCount(0).ToU64(), 4u);  // 2^(4-2)
+  EXPECT_EQ(dnf.ClauseModelCount(1).ToU64(), 8u);  // 2^(4-1)
+}
+
+TEST(Dnf, ExactCountMatchesBruteForce) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Dnf dnf = RandomDnf(8, 4, 3, rng);
+    Result<BigUint> exact = ExactDnfCount(dnf);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_EQ(exact->ToU64(), BruteForceModels(dnf)) << dnf.ToString();
+  }
+}
+
+TEST(Dnf, ExactCountRespectsBudget) {
+  Dnf dnf(30);
+  ASSERT_TRUE(dnf.AddClause({{0}, {}}).ok());
+  EXPECT_FALSE(ExactDnfCount(dnf, /*max_vars=*/26).ok());
+}
+
+TEST(Dnf, EmptyDnfIsUnsatisfiable) {
+  Dnf dnf(5);
+  Result<BigUint> exact = ExactDnfCount(dnf);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->IsZero());
+  Rng rng(1);
+  Result<DnfCountResult> kl = KarpLubyDnfCount(dnf, 0.2, 0.1, rng);
+  ASSERT_TRUE(kl.ok());
+  EXPECT_EQ(kl->estimate, 0.0);
+}
+
+TEST(Dnf, EmptyClauseMatchesEverything) {
+  Dnf dnf(4);
+  ASSERT_TRUE(dnf.AddClause({{}, {}}).ok());
+  Result<BigUint> exact = ExactDnfCount(dnf);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->ToU64(), 16u);
+}
+
+TEST(KarpLuby, AccurateOnOverlappingClauses) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    Dnf dnf = RandomDnf(12, 6, 3, rng);
+    uint64_t truth = BruteForceModels(dnf);
+    if (truth == 0) continue;
+    Result<DnfCountResult> kl = KarpLubyDnfCount(dnf, 0.15, 0.05, rng);
+    ASSERT_TRUE(kl.ok());
+    EXPECT_NEAR(kl->estimate / static_cast<double>(truth), 1.0, 0.2)
+        << dnf.ToString();
+  }
+}
+
+TEST(KarpLuby, ValidatesParameters) {
+  Dnf dnf(2);
+  ASSERT_TRUE(dnf.AddClause({{0}, {}}).ok());
+  Rng rng(1);
+  EXPECT_FALSE(KarpLubyDnfCount(dnf, 0.0, 0.1, rng).ok());
+  EXPECT_FALSE(KarpLubyDnfCount(dnf, 0.1, 1.5, rng).ok());
+}
+
+TEST(DnfToNfa, LanguageIsExactlyTheModels) {
+  Rng rng(9);
+  for (int trial = 0; trial < 8; ++trial) {
+    Dnf dnf = RandomDnf(7, 3, 2, rng);
+    Result<Nfa> nfa = DnfToNfa(dnf);
+    ASSERT_TRUE(nfa.ok());
+    // Word w (bit i = var i) accepted iff w satisfies the DNF.
+    std::vector<bool> assignment(dnf.num_vars());
+    Word w(dnf.num_vars());
+    for (uint64_t mask = 0; mask < (uint64_t{1} << dnf.num_vars()); ++mask) {
+      for (int i = 0; i < dnf.num_vars(); ++i) {
+        assignment[i] = (mask >> i) & 1;
+        w[i] = assignment[i] ? 1 : 0;
+      }
+      ASSERT_EQ(nfa->Accepts(w), dnf.Evaluate(assignment))
+          << dnf.ToString() << " @ " << WordToString(w);
+    }
+  }
+}
+
+TEST(DnfToNfa, StateCountIsLinear) {
+  Dnf dnf(10);
+  for (int c = 0; c < 5; ++c) {
+    ASSERT_TRUE(dnf.AddClause({{c}, {}}).ok());
+  }
+  Result<Nfa> nfa = DnfToNfa(dnf);
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_EQ(nfa->num_states(), 1 + 5 * 10);  // start + clauses × vars
+}
+
+TEST(DnfToNfa, RejectsZeroVariables) {
+  Dnf dnf(0);
+  EXPECT_FALSE(DnfToNfa(dnf).ok());
+}
+
+TEST(DnfPipeline, ExactCountsTransferThroughNfa) {
+  Rng rng(11);
+  for (int trial = 0; trial < 6; ++trial) {
+    Dnf dnf = RandomDnf(8, 4, 3, rng);
+    Result<Nfa> nfa = DnfToNfa(dnf);
+    ASSERT_TRUE(nfa.ok());
+    Result<BigUint> via_nfa = ExactCountViaDfa(*nfa, dnf.num_vars());
+    Result<BigUint> direct = ExactDnfCount(dnf);
+    ASSERT_TRUE(via_nfa.ok() && direct.ok());
+    EXPECT_EQ(*via_nfa, *direct) << dnf.ToString();
+  }
+}
+
+TEST(DnfPipeline, FprasApproximatesModelCount) {
+  Rng rng(13);
+  Dnf dnf = RandomDnf(10, 5, 3, rng);
+  uint64_t truth = BruteForceModels(dnf);
+  ASSERT_GT(truth, 0u);
+  Result<Nfa> nfa = DnfToNfa(dnf);
+  ASSERT_TRUE(nfa.ok());
+  CountOptions options;
+  options.eps = 0.3;
+  options.delta = 0.2;
+  options.seed = 2025;
+  Result<CountEstimate> approx = ApproxCount(*nfa, dnf.num_vars(), options);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx->estimate / static_cast<double>(truth), 1.0, 0.5);
+}
+
+TEST(Dnf, ToStringReadable) {
+  Dnf dnf = SmallDnf();
+  EXPECT_EQ(dnf.ToString(), "(x0&x1) | (!x2)");
+  EXPECT_EQ(Dnf(3).ToString(), "false");
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,156 @@
+// Cross-validation of the three exact counters (brute force, subset DP, DFA
+// DP) against each other and against closed forms, plus budget-failure paths
+// and the per-(q,ℓ) counts the FPRAS invariants are tested against.
+
+#include <gtest/gtest.h>
+
+#include "automata/generators.hpp"
+#include "counting/exact.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+class ExactCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactCrossValidation, AllThreeCountersAgreeOnRandomNfas) {
+  Rng rng(GetParam());
+  Nfa nfa = RandomNfa(4 + GetParam() % 5, 0.3, 0.3, rng);
+  const int n = 8;
+  Result<SubsetDp> dp = SubsetDp::Run(nfa, n);
+  ASSERT_TRUE(dp.ok());
+  for (int len = 0; len <= n; ++len) {
+    Result<BigUint> brute = BruteForceCount(nfa, len);
+    Result<BigUint> via_dfa = ExactCountViaDfa(nfa, len);
+    ASSERT_TRUE(brute.ok());
+    ASSERT_TRUE(via_dfa.ok());
+    EXPECT_EQ(*brute, *via_dfa) << "len=" << len;
+    EXPECT_EQ(*brute, dp->AcceptedCount(len)) << "len=" << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactCrossValidation,
+                         ::testing::Range(1, 13));
+
+TEST(SubsetDp, StateLevelCountsMatchEnumeration) {
+  Rng rng(99);
+  for (int trial = 0; trial < 6; ++trial) {
+    Nfa nfa = RandomNfa(6, 0.25, 0.3, rng);
+    const int n = 6;
+    Result<SubsetDp> dp = SubsetDp::Run(nfa, n);
+    ASSERT_TRUE(dp.ok());
+    for (int level = 0; level <= n; ++level) {
+      for (StateId q = 0; q < nfa.num_states(); ++q) {
+        Result<std::vector<Word>> words = EnumerateStateLevel(nfa, q, level);
+        ASSERT_TRUE(words.ok());
+        EXPECT_EQ(dp->StateLevelCount(q, level), BigUint(words->size()))
+            << "q=" << q << " level=" << level;
+      }
+    }
+  }
+}
+
+TEST(SubsetDp, PartitionProperty) {
+  // The level tables partition the live words: summing over all subsets at
+  // level ℓ counts exactly the words with nonempty frontier.
+  Nfa nfa = SubstringNfa(Word{1, 0, 1});
+  const int n = 10;
+  Result<SubsetDp> dp = SubsetDp::Run(nfa, n);
+  ASSERT_TRUE(dp.ok());
+  // This automaton is complete (every word has a nonempty frontier), so the
+  // widths partition 2^ℓ. Check level n via the accepting + complement split.
+  Result<BigUint> accepted = BruteForceCount(nfa, n);
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(dp->AcceptedCount(n), *accepted);
+}
+
+TEST(SubsetDp, BudgetEnforced) {
+  Nfa nfa = KthFromEndNfa(10);
+  Result<SubsetDp> dp = SubsetDp::Run(nfa, 12, /*max_subsets=*/8);
+  EXPECT_FALSE(dp.ok());
+  EXPECT_EQ(dp.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BruteForce, BudgetEnforced) {
+  Nfa nfa = DenseCompleteNfa(2);
+  Result<BigUint> count = BruteForceCount(nfa, 30, /*max_words=*/1000);
+  EXPECT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BruteForce, TernaryAlphabet) {
+  Nfa nfa = DenseCompleteNfa(2, 3);
+  Result<BigUint> count = BruteForceCount(nfa, 7);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->ToU64(), 2187u);  // 3^7
+}
+
+TEST(EnumerateAccepted, SortedAndComplete) {
+  Nfa nfa = ParityNfa(2);  // even # of ones
+  Result<std::vector<Word>> words = EnumerateAccepted(nfa, 4);
+  ASSERT_TRUE(words.ok());
+  EXPECT_EQ(words->size(), 8u);  // 2^3
+  EXPECT_TRUE(std::is_sorted(words->begin(), words->end()));
+  for (const Word& w : *words) {
+    int ones = 0;
+    for (Symbol s : w) ones += s;
+    EXPECT_EQ(ones % 2, 0) << WordToString(w);
+  }
+}
+
+TEST(EnumerateAccepted, EmptyLanguage) {
+  Nfa nfa(2);
+  nfa.AddStates(2);
+  nfa.SetInitial(0);
+  nfa.AddAccepting(1);  // unreachable
+  nfa.AddTransition(0, 0, 0);
+  nfa.AddTransition(0, 1, 0);
+  Result<std::vector<Word>> words = EnumerateAccepted(nfa, 5);
+  ASSERT_TRUE(words.ok());
+  EXPECT_TRUE(words->empty());
+}
+
+TEST(EnumerateAccepted, LengthZero) {
+  Nfa nfa(2);
+  StateId q = nfa.AddState();
+  nfa.SetInitial(q);
+  nfa.AddAccepting(q);
+  Result<std::vector<Word>> words = EnumerateAccepted(nfa, 0);
+  ASSERT_TRUE(words.ok());
+  ASSERT_EQ(words->size(), 1u);
+  EXPECT_TRUE(words->front().empty());
+}
+
+TEST(EnumerateAccepted, BudgetEnforced) {
+  Nfa nfa = DenseCompleteNfa(2);
+  Result<std::vector<Word>> words = EnumerateAccepted(nfa, 12, /*max_words=*/100);
+  EXPECT_FALSE(words.ok());
+}
+
+TEST(EnumerateStateLevel, MatchesReachOracle) {
+  Rng rng(7);
+  Nfa nfa = RandomNfa(5, 0.3, 0.3, rng);
+  const int level = 5;
+  for (StateId q = 0; q < nfa.num_states(); ++q) {
+    Result<std::vector<Word>> words = EnumerateStateLevel(nfa, q, level);
+    ASSERT_TRUE(words.ok());
+    std::set<Word> set(words->begin(), words->end());
+    // Exhaustive check against the frontier-simulation oracle.
+    Word w(level, 0);
+    for (int64_t x = 0; x < (int64_t{1} << level); ++x) {
+      for (int i = 0; i < level; ++i) w[i] = static_cast<Symbol>((x >> i) & 1);
+      EXPECT_EQ(set.count(w) > 0, nfa.Reach(w).Test(q)) << WordToString(w);
+    }
+  }
+}
+
+TEST(ExactCountViaDfa, PropagatesDeterminizeFailure) {
+  // "1 at the 14th position from the end": minimal DFA has 2^14 states.
+  Nfa nfa = KthFromEndNfa(14);
+  Result<BigUint> count = ExactCountViaDfa(nfa, 5, /*max_dfa_states=*/32);
+  EXPECT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,145 @@
+// Cross-module integration: the full FPRAS pipeline against exact counts on
+// the standard families, plus end-to-end determinism and multi-final-state
+// handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "automata/generators.hpp"
+#include "counting/exact.hpp"
+#include "fpras/fpras.hpp"
+#include "util/stats.hpp"
+
+namespace nfacount {
+namespace {
+
+CountOptions TestOptions(uint64_t seed) {
+  CountOptions options;
+  options.eps = 0.35;
+  options.delta = 0.2;
+  options.calibration = Calibration::Practical();
+  options.seed = seed;
+  return options;
+}
+
+TEST(Integration, FprasMatchesExactOnStandardFamilies) {
+  const int n = 8;
+  for (const FamilyInstance& family : StandardFamilies(5, n, /*seed=*/11)) {
+    SCOPED_TRACE(family.name);
+    Result<BigUint> exact = ExactCountViaDfa(family.nfa, n);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    Result<CountEstimate> approx = ApproxCount(family.nfa, n, TestOptions(101));
+    ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+
+    const double truth = exact->ToDouble();
+    if (truth == 0.0) {
+      EXPECT_EQ(approx->estimate, 0.0);
+    } else {
+      // Generous envelope: 2x the requested eps, to keep flake rate ~0 while
+      // still catching real estimator bugs (systematic bias shows up far
+      // beyond this).
+      EXPECT_NEAR(approx->estimate / truth, 1.0, 2 * 0.35)
+          << "estimate=" << approx->estimate << " truth=" << truth;
+    }
+  }
+}
+
+TEST(Integration, DeterministicUnderFixedSeed) {
+  Rng rng(3);
+  Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
+  Result<CountEstimate> a = ApproxCount(nfa, 7, TestOptions(555));
+  Result<CountEstimate> b = ApproxCount(nfa, 7, TestOptions(555));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->estimate, b->estimate);
+}
+
+TEST(Integration, DifferentSeedsGiveDifferentButCloseEstimates) {
+  Nfa nfa = SubstringNfa(Word{1, 0, 1});
+  Result<BigUint> exact = ExactCountViaDfa(nfa, 10);
+  ASSERT_TRUE(exact.ok());
+  const double truth = exact->ToDouble();
+  double est1 = ApproxCount(nfa, 10, TestOptions(1))->estimate;
+  double est2 = ApproxCount(nfa, 10, TestOptions(2))->estimate;
+  EXPECT_NE(est1, est2);  // genuinely randomized
+  EXPECT_NEAR(est1 / truth, 1.0, 0.7);
+  EXPECT_NEAR(est2 / truth, 1.0, 0.7);
+}
+
+TEST(Integration, MultiFinalStateUnionHandling) {
+  // L = words ending in 1 (state f1) OR words ending in 0 (state f2):
+  // the union is everything, 2^n words; per-state sums would double-count
+  // words... here the two languages are disjoint, so also check an
+  // overlapping variant below.
+  Nfa nfa(2);
+  StateId s = nfa.AddState();
+  StateId f1 = nfa.AddState();
+  StateId f2 = nfa.AddState();
+  nfa.SetInitial(s);
+  nfa.AddAccepting(f1);
+  nfa.AddAccepting(f2);
+  for (StateId q : {s, f1, f2}) {
+    nfa.AddTransition(q, Symbol{1}, f1);
+    nfa.AddTransition(q, Symbol{0}, f2);
+  }
+  const int n = 9;
+  Result<CountEstimate> approx = ApproxCount(nfa, n, TestOptions(77));
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx->estimate / std::pow(2.0, n), 1.0, 0.7);
+}
+
+TEST(Integration, MultiFinalOverlappingLanguages) {
+  // f1: contains "11"; f2: contains "1" (superset!) — heavy union overlap.
+  Nfa a = SubstringNfa(Word{1, 1});
+  Nfa b = SubstringNfa(Word{1});
+  Nfa u = Union(a, b);
+  const int n = 8;
+  Result<BigUint> exact = ExactCountViaDfa(u, n);
+  ASSERT_TRUE(exact.ok());
+  Result<CountEstimate> approx = ApproxCount(u, n, TestOptions(88));
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx->estimate / exact->ToDouble(), 1.0, 0.7);
+}
+
+TEST(Integration, EmptyLanguageGivesZero) {
+  Nfa nfa(2);
+  StateId q = nfa.AddState();
+  StateId dead = nfa.AddState();
+  nfa.SetInitial(q);
+  nfa.AddAccepting(dead);  // unreachable accepting state
+  nfa.AddTransition(q, Symbol{0}, q);
+  nfa.AddTransition(q, Symbol{1}, q);
+  Result<CountEstimate> approx = ApproxCount(nfa, 6, TestOptions(5));
+  ASSERT_TRUE(approx.ok());
+  EXPECT_EQ(approx->estimate, 0.0);
+}
+
+TEST(Integration, LengthZero) {
+  Nfa accepting(2);
+  StateId q = accepting.AddState();
+  accepting.SetInitial(q);
+  accepting.AddAccepting(q);
+  accepting.AddTransition(q, Symbol{0}, q);
+  EXPECT_EQ(ApproxCount(accepting, 0, TestOptions(1))->estimate, 1.0);
+
+  Nfa rejecting(2);
+  StateId a = rejecting.AddState();
+  StateId b = rejecting.AddState();
+  rejecting.SetInitial(a);
+  rejecting.AddAccepting(b);
+  rejecting.AddTransition(a, Symbol{0}, b);
+  EXPECT_EQ(ApproxCount(rejecting, 0, TestOptions(1))->estimate, 0.0);
+}
+
+TEST(Integration, SingletonLanguage) {
+  // Exactly one accepted word: estimate should be very close to 1.
+  Word needle{1, 0, 1, 1, 0, 0, 1};
+  Nfa nfa = SparseNeedle(needle);
+  Result<CountEstimate> approx =
+      ApproxCount(nfa, static_cast<int>(needle.size()), TestOptions(9));
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx->estimate, 1.0, 0.5);
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,132 @@
+// Tests for automaton text serialization and DOT export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "automata/generators.hpp"
+#include "automata/io.hpp"
+#include "counting/exact.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+constexpr char kSample[] =
+    "# words containing '1'\n"
+    "nfa 2 2\n"
+    "initial 0\n"
+    "accepting 1\n"
+    "trans 0 0 0\n"
+    "trans 0 1 0\n"
+    "trans 0 1 1\n"
+    "trans 1 0 1\n"
+    "trans 1 1 1\n";
+
+TEST(ParseNfaText, ParsesSample) {
+  Result<Nfa> nfa = ParseNfaText(kSample);
+  ASSERT_TRUE(nfa.ok()) << nfa.status().ToString();
+  EXPECT_EQ(nfa->num_states(), 2);
+  EXPECT_EQ(nfa->alphabet_size(), 2);
+  EXPECT_EQ(nfa->initial(), 0);
+  EXPECT_TRUE(nfa->IsAccepting(1));
+  EXPECT_TRUE(nfa->Accepts(Word{0, 1, 0}));
+  EXPECT_FALSE(nfa->Accepts(Word{0, 0}));
+}
+
+TEST(ParseNfaText, CommentsAndBlankLines) {
+  Result<Nfa> nfa = ParseNfaText(
+      "\n# leading comment\n\nnfa 1 2   # trailing comment\ninitial 0\n"
+      "accepting 0\n\n# done\n");
+  ASSERT_TRUE(nfa.ok()) << nfa.status().ToString();
+  EXPECT_TRUE(nfa->Accepts(Word{}));
+}
+
+TEST(ParseNfaText, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* fragment;
+  };
+  const Case cases[] = {
+      {"initial 0\n", "header must come first"},
+      {"nfa 0 2\n", "need >= 1 state"},
+      {"nfa 2 99\n", "alphabet size out of range"},
+      {"nfa 2 2\nnfa 2 2\n", "duplicate header"},
+      {"nfa 2 2\ninitial 5\n", "bad initial"},
+      {"nfa 2 2\ninitial 0\naccepting 7\n", "out of range"},
+      {"nfa 2 2\ninitial 0\naccepting\n", "at least one state"},
+      {"nfa 2 2\ninitial 0\ntrans 0 2 1\n", "outside the alphabet"},
+      {"nfa 2 2\ninitial 0\ntrans 0 1\n", "expected 'trans"},
+      {"nfa 2 2\ninitial 0\nfrobnicate\n", "unknown keyword"},
+      {"nfa 2 2\n", "missing initial"},
+      {"", "missing header"},
+  };
+  for (const Case& c : cases) {
+    Result<Nfa> nfa = ParseNfaText(c.text);
+    ASSERT_FALSE(nfa.ok()) << c.text;
+    EXPECT_NE(nfa.status().message().find(c.fragment), std::string::npos)
+        << "text=<" << c.text << "> got: " << nfa.status().ToString();
+  }
+}
+
+TEST(NfaToText, RoundTripPreservesEverything) {
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    Nfa original = RandomNfa(6, 0.3, 0.3, rng);
+    Result<Nfa> reparsed = ParseNfaText(NfaToText(original));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_EQ(original.ToString(), reparsed->ToString());
+    Result<bool> eq = LanguageEquivalent(original, *reparsed);
+    ASSERT_TRUE(eq.ok());
+    EXPECT_TRUE(eq.value());
+  }
+}
+
+TEST(NfaToText, LargerAlphabetSymbols) {
+  Nfa nfa(12);  // symbols 0-9, a, b
+  nfa.AddStates(2);
+  nfa.SetInitial(0);
+  nfa.AddAccepting(1);
+  nfa.AddTransition(0, Symbol{11}, 1);
+  std::string text = NfaToText(nfa);
+  EXPECT_NE(text.find("trans 0 b 1"), std::string::npos);
+  Result<Nfa> reparsed = ParseNfaText(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->Accepts(Word{11}));
+}
+
+TEST(Files, SaveAndLoadRoundTrip) {
+  Nfa nfa = SubstringNfa(Word{1, 0});
+  const std::string path = ::testing::TempDir() + "/nfa_io_test.nfa";
+  ASSERT_TRUE(SaveNfaFile(nfa, path).ok());
+  Result<Nfa> loaded = LoadNfaFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Result<bool> eq = LanguageEquivalent(nfa, *loaded);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq.value());
+  std::remove(path.c_str());
+}
+
+TEST(Files, LoadMissingFileFails) {
+  Result<Nfa> loaded = LoadNfaFile("/nonexistent/path/x.nfa");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Dot, ContainsStructure) {
+  Nfa nfa(2);
+  nfa.AddStates(2);
+  nfa.SetInitial(0);
+  nfa.AddAccepting(1);
+  nfa.AddTransition(0, 1, 1);
+  std::string dot = NfaToDot(nfa, "demo");
+  EXPECT_NE(dot.find("digraph demo"), std::string::npos);
+  EXPECT_NE(dot.find("q1 [shape=doublecircle]"), std::string::npos);
+  EXPECT_NE(dot.find("q0 [shape=circle]"), std::string::npos);
+  EXPECT_NE(dot.find("__start -> q0"), std::string::npos);
+  EXPECT_NE(dot.find("q0 -> q1 [label=\"1\"]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfacount

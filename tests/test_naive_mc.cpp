@@ -1,0 +1,86 @@
+// Tests for the naive Monte-Carlo baseline, including a demonstration of the
+// sparse-language failure mode that motivates the FPRAS.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "automata/generators.hpp"
+#include "counting/exact.hpp"
+#include "counting/naive_mc.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+TEST(NaiveMc, AccurateOnDenseLanguage) {
+  // Half of all words (parity): acceptance prob 0.5, naive MC works fine.
+  Nfa nfa = ParityNfa(2);
+  const int n = 12;
+  Rng rng(1);
+  NaiveMcResult result = NaiveMonteCarloCount(nfa, n, 40000, rng);
+  const double truth = std::pow(2.0, n - 1);
+  EXPECT_NEAR(result.estimate / truth, 1.0, 0.05);
+  EXPECT_EQ(result.samples, 40000);
+  EXPECT_EQ(result.accepted,
+            static_cast<int64_t>(result.acceptance_rate * 40000 + 0.5));
+}
+
+TEST(NaiveMc, FullAndEmptyLanguages) {
+  Rng rng(2);
+  NaiveMcResult all = NaiveMonteCarloCount(DenseCompleteNfa(3), 10, 1000, rng);
+  EXPECT_DOUBLE_EQ(all.acceptance_rate, 1.0);
+  EXPECT_DOUBLE_EQ(all.estimate, 1024.0);
+
+  Nfa empty(2);
+  empty.AddStates(2);
+  empty.SetInitial(0);
+  empty.AddAccepting(1);  // unreachable
+  empty.AddTransition(0, 0, 0);
+  empty.AddTransition(0, 1, 0);
+  NaiveMcResult none = NaiveMonteCarloCount(empty, 10, 1000, rng);
+  EXPECT_DOUBLE_EQ(none.estimate, 0.0);
+}
+
+TEST(NaiveMc, FailsOnSparseLanguage) {
+  // Singleton language among 2^24 words: any feasible sample budget almost
+  // surely sees zero hits — the estimate is 0, relative error 100%. This is
+  // the regime where only the FPRAS remains accurate (benchmark E1).
+  Word needle;
+  for (int i = 0; i < 24; ++i) needle.push_back(static_cast<Symbol>(i % 2));
+  Nfa nfa = SparseNeedle(needle);
+  Rng rng(3);
+  NaiveMcResult result = NaiveMonteCarloCount(nfa, 24, 20000, rng);
+  EXPECT_EQ(result.accepted, 0);
+  EXPECT_DOUBLE_EQ(result.estimate, 0.0);  // truth is 1
+}
+
+TEST(NaiveMc, DeterministicUnderSeed) {
+  Nfa nfa = SubstringNfa(Word{1, 0});
+  Rng rng1(7), rng2(7);
+  NaiveMcResult a = NaiveMonteCarloCount(nfa, 10, 5000, rng1);
+  NaiveMcResult b = NaiveMonteCarloCount(nfa, 10, 5000, rng2);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.estimate, b.estimate);
+}
+
+TEST(NaiveMc, TernaryAlphabetScaling) {
+  Nfa nfa = DenseCompleteNfa(2, 3);
+  Rng rng(11);
+  NaiveMcResult result = NaiveMonteCarloCount(nfa, 6, 2000, rng);
+  EXPECT_DOUBLE_EQ(result.estimate, std::pow(3.0, 6));
+}
+
+TEST(NaiveSamplesNeeded, InverseInAcceptanceProb) {
+  double dense = NaiveSamplesNeeded(0.1, 0.1, 0.5);
+  double sparse = NaiveSamplesNeeded(0.1, 0.1, 1e-6);
+  EXPECT_GT(sparse, dense * 1e5);
+  EXPECT_TRUE(std::isinf(NaiveSamplesNeeded(0.1, 0.1, 0.0)));
+  // 1/eps^2 scaling.
+  EXPECT_NEAR(NaiveSamplesNeeded(0.05, 0.1, 0.5) / NaiveSamplesNeeded(0.1, 0.1, 0.5),
+              4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,373 @@
+// Unit tests for the NFA core: construction, adjacency indexes, simulation,
+// reachability, trimming, and the language operations (validated against
+// brute-force word enumeration).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "automata/generators.hpp"
+#include "automata/nfa.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+// Enumerates all words of length n over the alphabet and returns those
+// `accept` approves — an oracle independent of Nfa::Accepts internals.
+template <typename AcceptFn>
+std::vector<Word> WordsWhere(int alphabet, int n, AcceptFn&& accept) {
+  std::vector<Word> out;
+  Word w(n, 0);
+  int64_t total = 1;
+  for (int i = 0; i < n; ++i) total *= alphabet;
+  for (int64_t x = 0; x < total; ++x) {
+    int64_t v = x;
+    for (int i = 0; i < n; ++i) {
+      w[i] = static_cast<Symbol>(v % alphabet);
+      v /= alphabet;
+    }
+    if (accept(w)) out.push_back(w);
+  }
+  return out;
+}
+
+Nfa Contains101() {
+  return SubstringNfa(Word{1, 0, 1});
+}
+
+TEST(Alphabet, SymbolCharRoundTrip) {
+  for (int s = 0; s < kMaxAlphabetSize; ++s) {
+    EXPECT_EQ(CharToSymbol(SymbolToChar(static_cast<Symbol>(s))), s);
+  }
+  EXPECT_EQ(CharToSymbol('#'), -1);
+  EXPECT_EQ(CharToSymbol('Z'), -1);
+}
+
+TEST(Alphabet, WordStringRoundTrip) {
+  Word w{0, 1, 1, 0, 1};
+  EXPECT_EQ(WordToString(w), "01101");
+  Result<Word> parsed = ParseWord("01101", 2);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), w);
+  EXPECT_EQ(WordToString(Word{}), "");
+}
+
+TEST(Alphabet, ParseRejectsOutOfAlphabet) {
+  EXPECT_FALSE(ParseWord("012", 2).ok());
+  EXPECT_TRUE(ParseWord("012", 3).ok());
+  EXPECT_FALSE(ParseWord("0a1", 2).ok());
+  EXPECT_TRUE(ParseWord("0a1", 12).ok());
+}
+
+TEST(Nfa, ValidationCatchesMissingInitial) {
+  Nfa nfa(2);
+  EXPECT_FALSE(nfa.Validate().ok());  // no states
+  nfa.AddState();
+  EXPECT_FALSE(nfa.Validate().ok());  // no initial
+  nfa.SetInitial(0);
+  EXPECT_TRUE(nfa.Validate().ok());
+}
+
+TEST(Nfa, TransitionsDeduplicated) {
+  Nfa nfa(2);
+  nfa.AddStates(2);
+  nfa.SetInitial(0);
+  nfa.AddTransition(0, 1, 1);
+  nfa.AddTransition(0, 1, 1);
+  nfa.AddTransition(0, 1, 1);
+  EXPECT_EQ(nfa.num_transitions(), 1);
+  EXPECT_EQ(nfa.Successors(0, 1).size(), 1u);
+  EXPECT_EQ(nfa.Predecessors(1, 1).size(), 1u);
+}
+
+TEST(Nfa, PredecessorsMirrorSuccessors) {
+  Rng rng(5);
+  Nfa nfa = RandomNfa(10, 0.3, 0.2, rng);
+  for (StateId q = 0; q < nfa.num_states(); ++q) {
+    for (int a = 0; a < nfa.alphabet_size(); ++a) {
+      for (StateId r : nfa.Successors(q, static_cast<Symbol>(a))) {
+        const auto& preds = nfa.Predecessors(r, static_cast<Symbol>(a));
+        EXPECT_NE(std::find(preds.begin(), preds.end(), q), preds.end())
+            << q << " -" << a << "-> " << r;
+      }
+    }
+  }
+}
+
+TEST(Nfa, AcceptsMatchesManualOracle) {
+  Nfa nfa = Contains101();
+  auto oracle = [](const Word& w) {
+    for (size_t i = 0; i + 2 < w.size(); ++i) {
+      if (w[i] == 1 && w[i + 1] == 0 && w[i + 2] == 1) return true;
+    }
+    return false;
+  };
+  for (int n = 0; n <= 10; ++n) {
+    std::vector<Word> expect = WordsWhere(2, n, oracle);
+    std::vector<Word> got =
+        WordsWhere(2, n, [&](const Word& w) { return nfa.Accepts(w); });
+    EXPECT_EQ(got, expect) << "n=" << n;
+  }
+}
+
+TEST(Nfa, ReachMatchesStepComposition) {
+  Rng rng(7);
+  Nfa nfa = RandomNfa(8, 0.25, 0.3, rng);
+  Word w{1, 0, 0, 1, 1};
+  Bitset via_reach = nfa.Reach(w);
+  Bitset cur(nfa.num_states());
+  cur.Set(nfa.initial());
+  for (Symbol s : w) cur = nfa.Step(cur, s);
+  EXPECT_EQ(via_reach, cur);
+}
+
+TEST(Nfa, StepBackIsAdjointOfStep) {
+  Rng rng(11);
+  Nfa nfa = RandomNfa(9, 0.3, 0.2, rng);
+  // For singletons {p}, {q}: q in Step({p}, a) iff p in StepBack({q}, a).
+  for (StateId p = 0; p < nfa.num_states(); ++p) {
+    Bitset from(nfa.num_states());
+    from.Set(p);
+    for (int a = 0; a < 2; ++a) {
+      Bitset img = nfa.Step(from, static_cast<Symbol>(a));
+      img.ForEachSet([&](int q) {
+        Bitset into(nfa.num_states());
+        into.Set(q);
+        EXPECT_TRUE(nfa.StepBack(into, static_cast<Symbol>(a)).Test(p));
+      });
+    }
+  }
+}
+
+TEST(Nfa, ReachableAndCoReachable) {
+  // 0 -> 1 -> 2(acc), 3 isolated, 4 -> 2 (not reachable from 0).
+  Nfa nfa(2);
+  nfa.AddStates(5);
+  nfa.SetInitial(0);
+  nfa.AddAccepting(2);
+  nfa.AddTransition(0, 0, 1);
+  nfa.AddTransition(1, 0, 2);
+  nfa.AddTransition(4, 0, 2);
+  Bitset reach = nfa.ReachableStates();
+  EXPECT_EQ(reach.ToIndices(), (std::vector<int>{0, 1, 2}));
+  Bitset coreach = nfa.CoReachableStates();
+  EXPECT_EQ(coreach.ToIndices(), (std::vector<int>{0, 1, 2, 4}));
+}
+
+TEST(Nfa, TrimmedPreservesLanguage) {
+  Nfa nfa(2);
+  nfa.AddStates(6);
+  nfa.SetInitial(0);
+  nfa.AddAccepting(2);
+  nfa.AddTransition(0, 1, 1);
+  nfa.AddTransition(1, 0, 2);
+  nfa.AddTransition(2, 1, 2);
+  nfa.AddTransition(0, 0, 3);  // 3 is a dead end
+  nfa.AddTransition(4, 0, 2);  // 4 unreachable
+  nfa.AddTransition(3, 0, 5);  // 5 dead
+  Nfa trimmed = nfa.Trimmed();
+  EXPECT_EQ(trimmed.num_states(), 3);
+  for (int n = 0; n <= 8; ++n) {
+    EXPECT_EQ(WordsWhere(2, n, [&](const Word& w) { return nfa.Accepts(w); }),
+              WordsWhere(2, n, [&](const Word& w) { return trimmed.Accepts(w); }))
+        << "n=" << n;
+  }
+}
+
+TEST(Nfa, TrimmedEmptyLanguageCollapses) {
+  Nfa nfa(2);
+  nfa.AddStates(3);
+  nfa.SetInitial(0);
+  nfa.AddAccepting(2);  // unreachable
+  nfa.AddTransition(0, 0, 1);
+  Nfa trimmed = nfa.Trimmed();
+  EXPECT_EQ(trimmed.num_states(), 1);
+  EXPECT_FALSE(trimmed.Accepts(Word{0}));
+  EXPECT_FALSE(trimmed.Accepts(Word{}));
+}
+
+TEST(LanguageOps, IntersectMatchesAndOfAccepts) {
+  Nfa a = Contains101();
+  Nfa b = ParityNfa(2);  // even number of 1s
+  Nfa prod = Intersect(a, b);
+  for (int n = 0; n <= 9; ++n) {
+    std::vector<Word> expect = WordsWhere(
+        2, n, [&](const Word& w) { return a.Accepts(w) && b.Accepts(w); });
+    std::vector<Word> got =
+        WordsWhere(2, n, [&](const Word& w) { return prod.Accepts(w); });
+    EXPECT_EQ(got, expect) << "n=" << n;
+  }
+}
+
+TEST(LanguageOps, UnionMatchesOrOfAccepts) {
+  Nfa a = SubstringNfa(Word{1, 1});
+  Nfa b = CombinationLock(Word{0, 0});
+  Nfa u = Union(a, b);
+  for (int n = 0; n <= 9; ++n) {
+    std::vector<Word> expect = WordsWhere(
+        2, n, [&](const Word& w) { return a.Accepts(w) || b.Accepts(w); });
+    std::vector<Word> got =
+        WordsWhere(2, n, [&](const Word& w) { return u.Accepts(w); });
+    EXPECT_EQ(got, expect) << "n=" << n;
+  }
+}
+
+TEST(LanguageOps, UnionHandlesEmptyWordAcceptance) {
+  Nfa a(2);  // accepts λ
+  StateId qa = a.AddState();
+  a.SetInitial(qa);
+  a.AddAccepting(qa);
+
+  Nfa b(2);  // accepts {1}
+  StateId qb0 = b.AddState();
+  StateId qb1 = b.AddState();
+  b.SetInitial(qb0);
+  b.AddAccepting(qb1);
+  b.AddTransition(qb0, 1, qb1);
+
+  Nfa u = Union(a, b);
+  EXPECT_TRUE(u.Accepts(Word{}));
+  EXPECT_TRUE(u.Accepts(Word{1}));
+  EXPECT_FALSE(u.Accepts(Word{0}));
+}
+
+TEST(LanguageOps, ReverseMatchesReversedWords) {
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
+    Nfa rev = Reverse(nfa);
+    for (int n = 0; n <= 7; ++n) {
+      std::vector<Word> expect = WordsWhere(2, n, [&](const Word& w) {
+        Word r(w.rbegin(), w.rend());
+        return nfa.Accepts(r);
+      });
+      std::vector<Word> got =
+          WordsWhere(2, n, [&](const Word& w) { return rev.Accepts(w); });
+      EXPECT_EQ(got, expect) << "trial=" << trial << " n=" << n;
+    }
+  }
+}
+
+TEST(LanguageOps, DoubleReverseSameLanguage) {
+  Rng rng(17);
+  Nfa nfa = RandomNfa(5, 0.35, 0.3, rng);
+  Nfa rr = Reverse(Reverse(nfa));
+  for (int n = 0; n <= 7; ++n) {
+    EXPECT_EQ(WordsWhere(2, n, [&](const Word& w) { return nfa.Accepts(w); }),
+              WordsWhere(2, n, [&](const Word& w) { return rr.Accepts(w); }));
+  }
+}
+
+TEST(LanguageOps, ConcatMatchesSplitOracle) {
+  Nfa a = CombinationLock(Word{1, 0});  // 10·Σ*
+  Nfa b = SubstringNfa(Word{1, 1});     // contains 11
+  Nfa cat = Concat(a, b);
+  for (int n = 0; n <= 9; ++n) {
+    std::vector<Word> expect = WordsWhere(2, n, [&](const Word& w) {
+      for (int split = 0; split <= n; ++split) {
+        Word left(w.begin(), w.begin() + split);
+        Word right(w.begin() + split, w.end());
+        if (a.Accepts(left) && b.Accepts(right)) return true;
+      }
+      return false;
+    });
+    std::vector<Word> got =
+        WordsWhere(2, n, [&](const Word& w) { return cat.Accepts(w); });
+    EXPECT_EQ(got, expect) << "n=" << n;
+  }
+}
+
+TEST(LanguageOps, ConcatEmptyWordCases) {
+  // a accepts λ; b = {1}: λ·1 = 1 must be accepted from the very start.
+  Nfa a(2);
+  StateId qa = a.AddState();
+  a.SetInitial(qa);
+  a.AddAccepting(qa);
+  a.AddTransition(qa, 0, qa);  // 0*
+  Nfa b = SparseNeedle(Word{1});
+  Nfa cat = Concat(a, b);
+  EXPECT_TRUE(cat.Accepts(Word{1}));
+  EXPECT_TRUE(cat.Accepts(Word{0, 0, 1}));
+  EXPECT_FALSE(cat.Accepts(Word{}));
+  EXPECT_FALSE(cat.Accepts(Word{0}));
+  // b accepting λ: concat accepts L(a) itself.
+  Nfa lambda(2);
+  StateId ql = lambda.AddState();
+  lambda.SetInitial(ql);
+  lambda.AddAccepting(ql);
+  Nfa cat2 = Concat(a, lambda);
+  EXPECT_TRUE(cat2.Accepts(Word{}));
+  EXPECT_TRUE(cat2.Accepts(Word{0, 0}));
+}
+
+TEST(LanguageOps, StarMatchesFactorization) {
+  // a = {01, 1}: L(a)* over length <= 8 by dynamic programming oracle.
+  Nfa a(2);
+  StateId s0 = a.AddState();
+  StateId s1 = a.AddState();
+  StateId s2 = a.AddState();
+  a.SetInitial(s0);
+  a.AddAccepting(s2);
+  a.AddTransition(s0, 0, s1);
+  a.AddTransition(s1, 1, s2);
+  a.AddTransition(s0, 1, s2);
+  Nfa star = Star(a);
+  for (int n = 0; n <= 8; ++n) {
+    std::vector<Word> expect = WordsWhere(2, n, [&](const Word& w) {
+      // dp[i] = w[0..i) decomposes into factors.
+      std::vector<bool> dp(w.size() + 1, false);
+      dp[0] = true;
+      for (size_t i = 1; i <= w.size(); ++i) {
+        for (size_t j = 0; j < i; ++j) {
+          if (!dp[j]) continue;
+          Word factor(w.begin() + j, w.begin() + i);
+          if (a.Accepts(factor)) {
+            dp[i] = true;
+            break;
+          }
+        }
+      }
+      return static_cast<bool>(dp[w.size()]);  // avoid vector<bool> proxy
+    });
+    std::vector<Word> got =
+        WordsWhere(2, n, [&](const Word& w) { return star.Accepts(w); });
+    EXPECT_EQ(got, expect) << "n=" << n;
+  }
+}
+
+TEST(LanguageOps, StarAlwaysAcceptsEmptyWord) {
+  Nfa needle = SparseNeedle(Word{1, 0, 1});
+  Nfa star = Star(needle);
+  EXPECT_TRUE(star.Accepts(Word{}));
+  EXPECT_TRUE(star.Accepts(Word{1, 0, 1}));
+  EXPECT_TRUE(star.Accepts(Word{1, 0, 1, 1, 0, 1}));
+  EXPECT_FALSE(star.Accepts(Word{1, 0}));
+  EXPECT_FALSE(star.Accepts(Word{1, 0, 1, 1}));
+}
+
+TEST(Nfa, LargerAlphabet) {
+  // Over {0,1,2}: words where symbol 2 appears at least once.
+  Nfa nfa = SubstringNfa(Word{2}, 3);
+  auto oracle = [](const Word& w) {
+    return std::find(w.begin(), w.end(), Symbol{2}) != w.end();
+  };
+  for (int n = 0; n <= 6; ++n) {
+    EXPECT_EQ(WordsWhere(3, n, [&](const Word& w) { return nfa.Accepts(w); }),
+              WordsWhere(3, n, oracle));
+  }
+}
+
+TEST(Nfa, ToStringContainsTransitions) {
+  Nfa nfa(2);
+  nfa.AddStates(2);
+  nfa.SetInitial(0);
+  nfa.AddAccepting(1);
+  nfa.AddTransition(0, 1, 1);
+  std::string s = nfa.ToString();
+  EXPECT_NE(s.find("0 --1--> 1"), std::string::npos);
+  EXPECT_NE(s.find("accepting={1}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,155 @@
+// Tests for the FPRAS parameter schedules: the paper's closed-form values,
+// monotonicity/shape properties, the ACJR comparison, and calibration knobs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fpras/params.hpp"
+
+namespace nfacount {
+namespace {
+
+TEST(Params, MakeValidatesInputs) {
+  EXPECT_FALSE(FprasParams::Make(Schedule::kFaster, 0, 5, 0.1, 0.1).ok());
+  EXPECT_FALSE(FprasParams::Make(Schedule::kFaster, 3, -1, 0.1, 0.1).ok());
+  EXPECT_FALSE(FprasParams::Make(Schedule::kFaster, 3, 5, 0.0, 0.1).ok());
+  EXPECT_FALSE(FprasParams::Make(Schedule::kFaster, 3, 5, 0.1, 0.0).ok());
+  EXPECT_FALSE(FprasParams::Make(Schedule::kFaster, 3, 5, 0.1, 1.0).ok());
+  EXPECT_TRUE(FprasParams::Make(Schedule::kFaster, 3, 5, 0.1, 0.1).ok());
+}
+
+TEST(Params, BetaAndEtaMatchAlgorithmThreeLineOne) {
+  Result<FprasParams> p = FprasParams::Make(Schedule::kFaster, 7, 9, 0.3, 0.05);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->beta, 0.3 / (4.0 * 81.0));
+  EXPECT_DOUBLE_EQ(p->eta, 0.05 / (2.0 * 9.0 * 7.0));
+}
+
+TEST(Params, FaithfulNsMatchesClosedForm) {
+  const int m = 5, n = 6;
+  const double eps = 0.25, delta = 0.1;
+  const double e = std::exp(1.0);
+  double inner = std::max(std::log(1.0 / (eps * eps)), 1.0);
+  double expect = 4096.0 * e * std::pow(n, 4) / (eps * eps) *
+                  std::log(4096.0 * m * m * n * n * inner / delta);
+  EXPECT_NEAR(FasterScheduleNs(m, n, eps, delta) / expect, 1.0, 1e-12);
+}
+
+TEST(Params, FaithfulNsIsAstronomical) {
+  // The motivation for calibration: even a small instance needs > 10^9
+  // samples per (state, level) at the paper's constants.
+  EXPECT_GT(FasterScheduleNs(8, 10, 0.2, 0.1), 1e9);
+}
+
+TEST(Params, AcjrNsIsKappaSeventh) {
+  const double kappa = 6.0 * 8.0 / 0.5;
+  EXPECT_DOUBLE_EQ(AcjrScheduleNs(6, 8, 0.5), std::pow(kappa, 7));
+}
+
+TEST(Params, SampleBudgetIndependentOfMForFaster) {
+  // The headline structural claim: ns does not grow polynomially with m
+  // (only logarithmically), while the ACJR budget grows ~m^7.
+  double ns_small = FasterScheduleNs(4, 10, 0.2, 0.1);
+  double ns_large = FasterScheduleNs(400, 10, 0.2, 0.1);
+  EXPECT_LT(ns_large / ns_small, 2.0);  // log factor only
+
+  double acjr_ratio = AcjrScheduleNs(400, 10, 0.2) / AcjrScheduleNs(4, 10, 0.2);
+  EXPECT_NEAR(acjr_ratio, std::pow(100.0, 7), std::pow(100.0, 7) * 1e-9);
+}
+
+TEST(Params, ScheduleGapGrowsWithEverything) {
+  // ns_acjr / ns_faster increases in m, n and 1/ε.
+  struct Case {
+    int m, n;
+    double eps;
+  };
+  double prev = 0;
+  for (const Case& c :
+       {Case{4, 6, 0.5}, Case{8, 6, 0.5}, Case{8, 12, 0.5}, Case{8, 12, 0.25}}) {
+    double ratio = AcjrScheduleNs(c.m, c.n, c.eps) /
+                   FasterScheduleNs(c.m, c.n, c.eps, 0.1);
+    EXPECT_GT(ratio, prev);
+    prev = ratio;
+  }
+  EXPECT_GT(prev, 1e6);  // the gap is enormous already at toy sizes
+}
+
+TEST(Params, NsGrowsAsFourthPowerOfN) {
+  // log-log slope of the uncalibrated schedule ~ 4 (up to the log factor).
+  double r = FasterScheduleNs(5, 32, 0.2, 0.1) / FasterScheduleNs(5, 16, 0.2, 0.1);
+  EXPECT_GT(r, 15.5);  // 2^4 = 16 modulo the slowly-growing log
+  EXPECT_LT(r, 18.0);
+}
+
+TEST(Params, NsGrowsAsInverseSquareOfEps) {
+  double r = FasterScheduleNs(5, 10, 0.1, 0.1) / FasterScheduleNs(5, 10, 0.2, 0.1);
+  EXPECT_NEAR(r, 4.0, 0.5);
+}
+
+TEST(Params, CalibrationScalesAndFloors) {
+  Calibration cal;
+  cal.ns_scale = 1e-12;
+  cal.ns_floor = 123;
+  Result<FprasParams> p = FprasParams::Make(Schedule::kFaster, 5, 6, 0.3, 0.1, cal);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ns, 123);
+  EXPECT_GE(p->xns, p->ns * 4);  // multiplier floor
+
+  Calibration faithful;  // scale 1.0
+  Result<FprasParams> f =
+      FprasParams::Make(Schedule::kFaster, 5, 6, 0.3, 0.1, faithful);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->ns, static_cast<int64_t>(std::ceil(FasterScheduleNs(5, 6, 0.3, 0.1))));
+}
+
+TEST(Params, XnsMatchesLineThreeAtFaithfulScale) {
+  Result<FprasParams> p = FprasParams::Make(Schedule::kFaster, 4, 5, 0.4, 0.2);
+  ASSERT_TRUE(p.ok());
+  const double e = std::exp(1.0);
+  double mult = 12.0 / (1.0 - 2.0 / (3.0 * e * e)) * std::log(8.0 / p->eta);
+  EXPECT_EQ(p->xns, static_cast<int64_t>(std::ceil(p->ns * mult)));
+}
+
+TEST(Params, EpsSzAtLevelMatchesAlgorithmTwoLineThree) {
+  Result<FprasParams> p = FprasParams::Make(Schedule::kFaster, 4, 8, 0.2, 0.1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->EpsSzAtLevel(1), 0.0);
+  EXPECT_DOUBLE_EQ(p->EpsSzAtLevel(4), std::pow(1.0 + p->beta, 3) - 1.0);
+  // Bounded across all levels: (1+β)^{n-1} ≤ e^{ε/4n} (small).
+  EXPECT_LT(p->EpsSzAtLevel(8), 0.01);
+}
+
+TEST(Params, DeltaSplitsMatchAlgorithmThree) {
+  Result<FprasParams> p = FprasParams::Make(Schedule::kFaster, 4, 6, 0.2, 0.1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->DeltaForCountUnion(),
+                   p->eta / (2.0 * (1.0 - std::pow(2.0, -7.0))));
+  EXPECT_DOUBLE_EQ(p->EtaForSampleCall(), p->eta / (2.0 * p->xns));
+}
+
+TEST(Params, PresetsAreOrdered) {
+  Calibration practical = Calibration::Practical();
+  Calibration thorough = Calibration::Thorough();
+  EXPECT_LT(practical.ns_scale, thorough.ns_scale);
+  EXPECT_LT(practical.trial_scale, thorough.trial_scale);
+  EXPECT_LE(practical.ns_floor, thorough.ns_floor);
+}
+
+TEST(Params, ToStringMentionsKeyFields) {
+  Result<FprasParams> p = FprasParams::Make(Schedule::kAcjr, 4, 6, 0.2, 0.1,
+                                            Calibration::Practical());
+  ASSERT_TRUE(p.ok());
+  std::string s = p->ToString();
+  EXPECT_NE(s.find("acjr"), std::string::npos);
+  EXPECT_NE(s.find("m=4"), std::string::npos);
+  EXPECT_NE(s.find("n=6"), std::string::npos);
+}
+
+TEST(Params, ScheduleNames) {
+  EXPECT_STREQ(ScheduleName(Schedule::kFaster), "faster(MCM24)");
+  EXPECT_STREQ(ScheduleName(Schedule::kAcjr), "acjr(ACJR21)");
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,332 @@
+// Tests for probabilistic query evaluation: lineage construction against
+// hand-computed homomorphism sets, exact probabilities against possible-world
+// enumeration, and the full approximate pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "apps/pqe.hpp"
+#include "counting/exact.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+// A 2-layer path database: R0 edges a->b, R1 edges b->c.
+//   nodes: 0,1 (layer A), 2,3 (layer B), 4 (layer C)
+ProbGraphDb TwoHopDb() {
+  ProbGraphDb db(5, 2);
+  EXPECT_TRUE(db.AddFact(0, 0, 2).ok());  // fact 0
+  EXPECT_TRUE(db.AddFact(0, 1, 2).ok());  // fact 1
+  EXPECT_TRUE(db.AddFact(0, 1, 3).ok());  // fact 2
+  EXPECT_TRUE(db.AddFact(1, 2, 4).ok());  // fact 3
+  EXPECT_TRUE(db.AddFact(1, 3, 4).ok());  // fact 4
+  return db;
+}
+
+// Independent exact PQE: enumerate all 2^facts worlds, evaluate the path
+// query by direct graph search in each world.
+double WorldEnumerationPqe(const ProbGraphDb& db, const PathQuery& query) {
+  const int f = db.num_facts();
+  int64_t satisfied = 0;
+  for (uint64_t world = 0; world < (uint64_t{1} << f); ++world) {
+    // Does a path a0 -R1-> a1 ... exist using only facts in `world`?
+    std::vector<int> frontier;
+    for (int v = 0; v < db.num_nodes(); ++v) frontier.push_back(v);
+    for (int relation : query.relations) {
+      std::set<int> next;
+      for (int src : frontier) {
+        for (int fact_id : db.FactsFrom(relation, src)) {
+          if ((world >> fact_id) & 1) next.insert(db.fact(fact_id).dst);
+        }
+      }
+      frontier.assign(next.begin(), next.end());
+      if (frontier.empty()) break;
+    }
+    if (!frontier.empty()) ++satisfied;
+  }
+  return static_cast<double>(satisfied) / std::pow(2.0, f);
+}
+
+TEST(ProbGraphDb, FactBookkeeping) {
+  ProbGraphDb db = TwoHopDb();
+  EXPECT_EQ(db.num_facts(), 5);
+  EXPECT_EQ(db.fact(2).relation, 0);
+  EXPECT_EQ(db.fact(2).src, 1);
+  EXPECT_EQ(db.fact(2).dst, 3);
+  EXPECT_EQ(db.FactsFrom(0, 1), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(db.FactsFrom(1, 0).empty());
+}
+
+TEST(ProbGraphDb, AddFactValidates) {
+  ProbGraphDb db(3, 1);
+  EXPECT_FALSE(db.AddFact(1, 0, 1).ok());   // relation out of range
+  EXPECT_FALSE(db.AddFact(0, 3, 1).ok());   // node out of range
+  EXPECT_FALSE(db.AddFact(0, 0, -1).ok());
+  EXPECT_TRUE(db.AddFact(0, 0, 1).ok());
+}
+
+TEST(PathQuery, Validation) {
+  ProbGraphDb db = TwoHopDb();
+  EXPECT_TRUE(ValidatePathQuery(db, PathQuery{{0, 1}}).ok());
+  EXPECT_FALSE(ValidatePathQuery(db, PathQuery{{}}).ok());
+  EXPECT_FALSE(ValidatePathQuery(db, PathQuery{{0, 0}}).ok());  // self join
+  EXPECT_FALSE(ValidatePathQuery(db, PathQuery{{0, 5}}).ok());
+}
+
+TEST(Lineage, EnumeratesExactlyTheHomomorphisms) {
+  ProbGraphDb db = TwoHopDb();
+  Result<Dnf> lineage = LineageDnf(db, PathQuery{{0, 1}});
+  ASSERT_TRUE(lineage.ok());
+  // Paths: 0-2-4 (facts 0,3), 1-2-4 (facts 1,3), 1-3-4 (facts 2,4).
+  EXPECT_EQ(lineage->num_clauses(), 3);
+  std::set<std::vector<int>> clauses;
+  for (int i = 0; i < lineage->num_clauses(); ++i) {
+    clauses.insert(lineage->clause(i).positive);
+    EXPECT_TRUE(lineage->clause(i).negative.empty());  // monotone lineage
+  }
+  EXPECT_TRUE(clauses.count({0, 3}));
+  EXPECT_TRUE(clauses.count({1, 3}));
+  EXPECT_TRUE(clauses.count({2, 4}));
+}
+
+TEST(Lineage, SingleRelationQuery) {
+  ProbGraphDb db = TwoHopDb();
+  Result<Dnf> lineage = LineageDnf(db, PathQuery{{1}});
+  ASSERT_TRUE(lineage.ok());
+  EXPECT_EQ(lineage->num_clauses(), 2);  // facts 3 and 4
+}
+
+TEST(Lineage, NoHomomorphismGivesEmptyDnf) {
+  ProbGraphDb db(3, 2);
+  ASSERT_TRUE(db.AddFact(0, 0, 1).ok());
+  // R1 has no facts: query R0;R1 has no homomorphism.
+  Result<Dnf> lineage = LineageDnf(db, PathQuery{{0, 1}});
+  ASSERT_TRUE(lineage.ok());
+  EXPECT_EQ(lineage->num_clauses(), 0);
+}
+
+TEST(Lineage, ClauseBudgetEnforced) {
+  // Complete bipartite layers: k² homomorphisms for a 2-hop query.
+  ProbGraphDb db(12, 2);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 4; b < 8; ++b) ASSERT_TRUE(db.AddFact(0, a, b).ok());
+  }
+  for (int b = 4; b < 8; ++b) {
+    for (int c = 8; c < 12; ++c) ASSERT_TRUE(db.AddFact(1, b, c).ok());
+  }
+  Result<Dnf> bounded = LineageDnf(db, PathQuery{{0, 1}}, /*max_clauses=*/10);
+  EXPECT_FALSE(bounded.ok());
+  Result<Dnf> full = LineageDnf(db, PathQuery{{0, 1}});
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->num_clauses(), 64);  // 4 starts × 4 mids × 4 ends
+}
+
+TEST(ExactPqe, MatchesWorldEnumeration) {
+  ProbGraphDb db = TwoHopDb();
+  for (PathQuery query : {PathQuery{{0, 1}}, PathQuery{{0}}, PathQuery{{1}}}) {
+    Result<double> exact = ExactPqe(db, query);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_NEAR(exact.value(), WorldEnumerationPqe(db, query), 1e-12);
+  }
+}
+
+TEST(ExactPqe, KnownHandValue) {
+  // Single fact, single-relation query: Pr = 1/2.
+  ProbGraphDb db(2, 1);
+  ASSERT_TRUE(db.AddFact(0, 0, 1).ok());
+  Result<double> p = ExactPqe(db, PathQuery{{0}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value(), 0.5);
+}
+
+TEST(ApproxPqe, TracksExactOnRandomDatabases) {
+  Rng rng(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    // Random 3-layer DAG with ~10 facts.
+    ProbGraphDb db(9, 2);
+    for (int a = 0; a < 3; ++a) {
+      for (int b = 3; b < 6; ++b) {
+        if (rng.Bernoulli(0.6)) {
+          ASSERT_TRUE(db.AddFact(0, a, b).ok());
+        }
+      }
+    }
+    for (int b = 3; b < 6; ++b) {
+      for (int c = 6; c < 9; ++c) {
+        if (rng.Bernoulli(0.6)) {
+          ASSERT_TRUE(db.AddFact(1, b, c).ok());
+        }
+      }
+    }
+    PathQuery query{{0, 1}};
+    Result<double> exact = ExactPqe(db, query);
+    ASSERT_TRUE(exact.ok());
+
+    CountOptions options;
+    options.eps = 0.3;
+    options.delta = 0.2;
+    options.seed = 400 + trial;
+    Result<PqeResult> approx = ApproxPqe(db, query, options);
+    ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+    if (exact.value() == 0.0) {
+      EXPECT_EQ(approx->probability, 0.0);
+    } else {
+      EXPECT_NEAR(approx->probability / exact.value(), 1.0, 0.5)
+          << "trial=" << trial << " exact=" << exact.value();
+    }
+    EXPECT_EQ(approx->nfa_states,
+              1 + approx->lineage_clauses * db.num_facts());
+  }
+}
+
+TEST(ApproxPqe, EmptyLineageGivesZero) {
+  ProbGraphDb db(3, 2);
+  ASSERT_TRUE(db.AddFact(0, 0, 1).ok());
+  Result<PqeResult> r = ApproxPqe(db, PathQuery{{0, 1}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->probability, 0.0);
+  EXPECT_EQ(r->lineage_clauses, 0);
+}
+
+TEST(DyadicProb, Validation) {
+  ProbGraphDb db(2, 1);
+  EXPECT_FALSE(db.AddFactWithProb(0, 0, 1, DyadicProb{0, 1}).ok());   // p = 0
+  EXPECT_FALSE(db.AddFactWithProb(0, 0, 1, DyadicProb{5, 2}).ok());   // p > 1
+  EXPECT_FALSE(db.AddFactWithProb(0, 0, 1, DyadicProb{1, 0}).ok());   // no bits
+  EXPECT_FALSE(db.AddFactWithProb(0, 0, 1, DyadicProb{1, 25}).ok());  // too fine
+  EXPECT_TRUE(db.AddFactWithProb(0, 0, 1, DyadicProb{3, 2}).ok());    // 3/4
+  EXPECT_TRUE(db.AddFactWithProb(0, 0, 1, DyadicProb{4, 2}).ok());    // 1
+  EXPECT_TRUE(db.HasNonUniformProbs());
+  EXPECT_FALSE(TwoHopDb().HasNonUniformProbs());
+  const DyadicProb three_eighths{3, 3};
+  EXPECT_DOUBLE_EQ(three_eighths.Value(), 0.375);
+}
+
+TEST(WeightedPqe, SingleFactProbabilityTransfersExactly) {
+  // One fact with p = c/2^b: Pr[Q] must equal p exactly in expectation; the
+  // threshold-gadget NFA has exactly c·2^{B-b}... here B = b so |L| = c.
+  for (uint32_t c : {1u, 3u, 5u, 7u, 8u}) {
+    ProbGraphDb db(2, 1);
+    ASSERT_TRUE(db.AddFactWithProb(0, 0, 1, DyadicProb{c, 3}).ok());
+    PathQuery query{{0}};
+    Result<WeightedPqeInstance> instance = BuildWeightedPqeNfa(db, query);
+    ASSERT_TRUE(instance.ok());
+    EXPECT_EQ(instance->word_length, 3);
+    Result<BigUint> exact_count = BruteForceCount(instance->nfa, 3);
+    ASSERT_TRUE(exact_count.ok());
+    EXPECT_EQ(exact_count->ToU64(), c) << "c=" << c;
+  }
+}
+
+TEST(WeightedPqe, ExactMatchesClosedFormTwoFacts) {
+  // Two parallel facts with p1 = 3/4, p2 = 1/8; Pr[Q] = 1-(1-p1)(1-p2).
+  ProbGraphDb db(2, 1);
+  ASSERT_TRUE(db.AddFactWithProb(0, 0, 1, DyadicProb{3, 2}).ok());
+  ASSERT_TRUE(db.AddFactWithProb(0, 0, 1, DyadicProb{1, 3}).ok());
+  PathQuery query{{0}};
+  Result<double> exact = ExactPqeWeighted(db, query);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(exact.value(), 1.0 - 0.25 * 0.875, 1e-12);
+
+  // And the NFA path reproduces it exactly: |L(A_5)| / 2^5.
+  Result<WeightedPqeInstance> instance = BuildWeightedPqeNfa(db, query);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->word_length, 5);
+  Result<BigUint> count = BruteForceCount(instance->nfa, 5);
+  ASSERT_TRUE(count.ok());
+  EXPECT_NEAR(count->ToDouble() / 32.0, exact.value(), 1e-12);
+}
+
+TEST(WeightedPqe, ApproxTracksExactOnMixedProbabilities) {
+  // Two-hop query with a mix of probabilities 1/2, 3/4, 1/8, 15/16.
+  ProbGraphDb db(5, 2);
+  ASSERT_TRUE(db.AddFactWithProb(0, 0, 2, DyadicProb{3, 2}).ok());
+  ASSERT_TRUE(db.AddFactWithProb(0, 1, 2, DyadicProb{1, 3}).ok());
+  ASSERT_TRUE(db.AddFact(0, 1, 3).ok());
+  ASSERT_TRUE(db.AddFactWithProb(1, 2, 4, DyadicProb{15, 4}).ok());
+  ASSERT_TRUE(db.AddFact(1, 3, 4).ok());
+  PathQuery query{{0, 1}};
+
+  Result<double> exact = ExactPqeWeighted(db, query);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_GT(exact.value(), 0.0);
+
+  CountOptions options;
+  options.eps = 0.25;
+  options.delta = 0.2;
+  options.seed = 11;
+  Result<PqeResult> approx = ApproxPqeWeighted(db, query, options);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  EXPECT_NEAR(approx->probability / exact.value(), 1.0, 0.4)
+      << "exact=" << exact.value() << " approx=" << approx->probability;
+}
+
+TEST(WeightedPqe, UniformSpecialCaseAgreesWithUnweightedPipeline) {
+  ProbGraphDb db = TwoHopDb();
+  PathQuery query{{0, 1}};
+  Result<double> exact_weighted = ExactPqeWeighted(db, query);
+  Result<double> exact_plain = ExactPqe(db, query);
+  ASSERT_TRUE(exact_weighted.ok() && exact_plain.ok());
+  EXPECT_DOUBLE_EQ(exact_weighted.value(), exact_plain.value());
+
+  CountOptions options;
+  options.eps = 0.3;
+  options.delta = 0.2;
+  options.seed = 12;
+  Result<PqeResult> weighted = ApproxPqeWeighted(db, query, options);
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_NEAR(weighted->probability / exact_plain.value(), 1.0, 0.45);
+}
+
+TEST(WeightedPqe, ProbabilityOneFactsAlwaysPresent) {
+  // p = 1 facts make the query certain when they form a full path.
+  ProbGraphDb db(3, 2);
+  ASSERT_TRUE(db.AddFactWithProb(0, 0, 1, DyadicProb{2, 1}).ok());  // p = 1
+  ASSERT_TRUE(db.AddFactWithProb(1, 1, 2, DyadicProb{4, 2}).ok());  // p = 1
+  PathQuery query{{0, 1}};
+  Result<double> exact = ExactPqeWeighted(db, query);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(exact.value(), 1.0);
+  Result<PqeResult> approx = ApproxPqeWeighted(db, query, CountOptions());
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx->probability, 1.0, 0.3);
+}
+
+TEST(WeightedPqe, NoHomomorphismIsZero) {
+  ProbGraphDb db(3, 2);
+  ASSERT_TRUE(db.AddFactWithProb(0, 0, 1, DyadicProb{3, 2}).ok());
+  Result<PqeResult> r = ApproxPqeWeighted(db, PathQuery{{0, 1}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->probability, 0.0);
+}
+
+TEST(WeightedPqe, PlainApproxPqeRejectsNonUniform) {
+  ProbGraphDb db(2, 1);
+  ASSERT_TRUE(db.AddFactWithProb(0, 0, 1, DyadicProb{3, 2}).ok());
+  Result<PqeResult> r = ApproxPqe(db, PathQuery{{0}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApproxPqe, ProbabilityIsAtMostOne) {
+  // A query that is almost surely true: many disjoint witnesses.
+  ProbGraphDb db(8, 1);
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(db.AddFact(0, i, i + 1).ok());
+  CountOptions options;
+  options.eps = 0.3;
+  options.seed = 5;
+  Result<PqeResult> r = ApproxPqe(db, PathQuery{{0}}, options);
+  ASSERT_TRUE(r.ok());
+  Result<double> exact = ExactPqe(db, PathQuery{{0}});
+  ASSERT_TRUE(exact.ok());
+  // Pr[at least one of 7 fair-coin facts] = 1 - 2^-7.
+  EXPECT_NEAR(exact.value(), 1.0 - std::pow(2.0, -7), 1e-12);
+  EXPECT_NEAR(r->probability, exact.value(), 0.35);
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,123 @@
+// Tests for the forward-bisimulation quotient: language preservation on
+// random automata, exact count preservation per length, redundancy collapse
+// on the structured instances the reductions produce, and idempotence.
+
+#include <gtest/gtest.h>
+
+#include "apps/dnf.hpp"
+#include "automata/generators.hpp"
+#include "automata/reduce.hpp"
+#include "counting/exact.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+TEST(Reduce, PreservesLanguageOnRandomNfas) {
+  Rng rng(1);
+  for (int trial = 0; trial < 12; ++trial) {
+    Nfa nfa = RandomNfa(7, 0.3, 0.3, rng);
+    ReductionResult red = BisimulationQuotient(nfa);
+    EXPECT_LE(red.reduced_states, nfa.num_states());
+    Result<bool> eq = LanguageEquivalent(nfa, red.nfa);
+    ASSERT_TRUE(eq.ok());
+    EXPECT_TRUE(eq.value()) << "trial=" << trial;
+  }
+}
+
+TEST(Reduce, PreservesCountsPerLength) {
+  Rng rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    Nfa nfa = RandomNfa(6, 0.25, 0.3, rng);
+    ReductionResult red = BisimulationQuotient(nfa);
+    for (int n = 0; n <= 8; ++n) {
+      EXPECT_EQ(BruteForceCount(nfa, n).value(),
+                BruteForceCount(red.nfa, n).value())
+          << "trial=" << trial << " n=" << n;
+    }
+  }
+}
+
+TEST(Reduce, CollapsesDuplicatedStates) {
+  // Two parallel identical chains from the start must merge completely.
+  Nfa nfa(2);
+  StateId start = nfa.AddState();
+  nfa.SetInitial(start);
+  for (int copy = 0; copy < 2; ++copy) {
+    StateId prev = start;
+    for (int i = 0; i < 4; ++i) {
+      StateId next = nfa.AddState();
+      nfa.AddTransition(prev, Symbol{1}, next);
+      prev = next;
+    }
+    nfa.AddAccepting(prev);
+  }
+  ReductionResult red = BisimulationQuotient(nfa);
+  EXPECT_EQ(red.reduced_states, 5);  // one chain's worth
+  EXPECT_TRUE(LanguageEquivalent(nfa, red.nfa).value());
+}
+
+TEST(Reduce, ShrinksDnfEncodingsSubstantially) {
+  // Clause chains share free-tail structure: the quotient must merge them.
+  Dnf dnf(10);
+  for (int c = 0; c < 6; ++c) {
+    ASSERT_TRUE(dnf.AddClause({{c}, {}}).ok());
+  }
+  Result<Nfa> nfa = DnfToNfa(dnf);
+  ASSERT_TRUE(nfa.ok());
+  ASSERT_EQ(nfa->num_states(), 61);  // 1 + 6 clauses × 10 vars
+  ReductionResult red = ReduceNfa(*nfa);
+  EXPECT_LT(red.reduced_states, 31);  // > 2x reduction from suffix sharing
+  for (int n = 0; n <= 10; ++n) {
+    EXPECT_EQ(BruteForceCount(*nfa, n).value(),
+              BruteForceCount(red.nfa, n).value());
+  }
+}
+
+TEST(Reduce, QuotientIsIdempotent) {
+  Rng rng(3);
+  Nfa nfa = RandomNfa(8, 0.3, 0.3, rng);
+  ReductionResult once = BisimulationQuotient(nfa);
+  ReductionResult twice = BisimulationQuotient(once.nfa);
+  EXPECT_EQ(once.reduced_states, twice.reduced_states);
+}
+
+TEST(Reduce, StateClassMapIsConsistent) {
+  Rng rng(4);
+  Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
+  ReductionResult red = BisimulationQuotient(nfa);
+  ASSERT_EQ(red.state_class.size(), static_cast<size_t>(nfa.num_states()));
+  // The initial state's class is the quotient initial.
+  EXPECT_EQ(red.state_class[nfa.initial()], red.nfa.initial());
+  // Accepting states map to accepting classes and vice versa.
+  for (StateId q = 0; q < nfa.num_states(); ++q) {
+    if (nfa.IsAccepting(q)) {
+      EXPECT_TRUE(red.nfa.IsAccepting(red.state_class[q]));
+    }
+  }
+}
+
+TEST(Reduce, SingleStateAutomaton) {
+  Nfa nfa(2);
+  StateId q = nfa.AddState();
+  nfa.SetInitial(q);
+  nfa.AddAccepting(q);
+  nfa.AddTransition(q, 0, q);
+  ReductionResult red = BisimulationQuotient(nfa);
+  EXPECT_EQ(red.reduced_states, 1);
+  EXPECT_TRUE(red.nfa.Accepts(Word{0, 0}));
+  EXPECT_FALSE(red.nfa.Accepts(Word{1}));
+}
+
+TEST(Reduce, DeterministicInputMatchesDfaMinimizationSize) {
+  // On a DFA, bisimulation coincides with Myhill-Nerode refinement of the
+  // reachable part, so the quotient size equals the minimized DFA size.
+  Nfa parity = ParityNfa(4);
+  ReductionResult red = ReduceNfa(parity);
+  Result<Dfa> dfa = Determinize(parity);
+  ASSERT_TRUE(dfa.ok());
+  EXPECT_EQ(red.reduced_states, Minimize(*dfa).num_states());
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,166 @@
+// Regex compiler tests: parser acceptance/rejection, and semantic agreement
+// between the compiled NFA and the independent AST reference matcher on
+// exhaustive short-word sweeps.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "automata/regex.hpp"
+
+namespace nfacount {
+namespace {
+
+// All words of length up to `max_len` over the given alphabet.
+std::vector<Word> AllWordsUpTo(int alphabet, int max_len) {
+  std::vector<Word> out = {Word{}};
+  std::vector<Word> frontier = {Word{}};
+  for (int len = 1; len <= max_len; ++len) {
+    std::vector<Word> next;
+    for (const Word& w : frontier) {
+      for (int s = 0; s < alphabet; ++s) {
+        Word e = w;
+        e.push_back(static_cast<Symbol>(s));
+        next.push_back(e);
+        out.push_back(std::move(e));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+TEST(RegexParser, AcceptsValidPatterns) {
+  for (const char* pattern :
+       {"0", "01", "0|1", "(0|1)*", "1+0?", "0{3}", "0{2,5}", "1{2,}", "[01]",
+        "[^0]", ".", ".*1.*", "((0))", "", "0|", "(0|1){2,3}(01)*"}) {
+    Result<std::unique_ptr<RegexNode>> ast = ParseRegex(pattern, 2);
+    EXPECT_TRUE(ast.ok()) << pattern << ": " << ast.status().ToString();
+  }
+}
+
+TEST(RegexParser, RejectsInvalidPatterns) {
+  for (const char* pattern :
+       {"(", ")", "(0", "0)", "[0", "0{", "0{a}", "0{3,2}", "2", "*", "0{,3}"}) {
+    EXPECT_FALSE(ParseRegex(pattern, 2).ok()) << pattern;
+  }
+}
+
+TEST(RegexParser, AlphabetBoundsEnforced) {
+  EXPECT_FALSE(ParseRegex("2", 2).ok());
+  EXPECT_TRUE(ParseRegex("2", 3).ok());
+  EXPECT_FALSE(ParseRegex("a", 5).ok());
+  EXPECT_TRUE(ParseRegex("a", 11).ok());
+  EXPECT_FALSE(ParseRegex("0", 0).ok());
+  EXPECT_FALSE(ParseRegex("0", kMaxAlphabetSize + 1).ok());
+}
+
+TEST(RegexParser, ToStringRoundTripsSemantics) {
+  // Rendering an AST and re-parsing it must give the same language.
+  for (const char* pattern : {"0|1", "(01)*", "1{2,4}", "[01]+0"}) {
+    Result<std::unique_ptr<RegexNode>> ast1 = ParseRegex(pattern, 2);
+    ASSERT_TRUE(ast1.ok());
+    Result<std::unique_ptr<RegexNode>> ast2 =
+        ParseRegex(ast1.value()->ToString(), 2);
+    ASSERT_TRUE(ast2.ok()) << ast1.value()->ToString();
+    for (const Word& w : AllWordsUpTo(2, 6)) {
+      EXPECT_EQ(RegexMatches(*ast1.value(), w), RegexMatches(*ast2.value(), w))
+          << pattern << " vs " << ast1.value()->ToString() << " on "
+          << WordToString(w);
+    }
+  }
+}
+
+struct RegexCase {
+  const char* pattern;
+  int alphabet;
+  int max_len;
+};
+
+class RegexSemanticsTest : public ::testing::TestWithParam<RegexCase> {};
+
+TEST_P(RegexSemanticsTest, CompiledNfaAgreesWithReferenceMatcher) {
+  const RegexCase& c = GetParam();
+  Result<std::unique_ptr<RegexNode>> ast = ParseRegex(c.pattern, c.alphabet);
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  Nfa nfa = CompileRegexAst(*ast.value(), c.alphabet);
+  ASSERT_TRUE(nfa.Validate().ok());
+  for (const Word& w : AllWordsUpTo(c.alphabet, c.max_len)) {
+    EXPECT_EQ(nfa.Accepts(w), RegexMatches(*ast.value(), w))
+        << "pattern=" << c.pattern << " word=\"" << WordToString(w) << "\"";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, RegexSemanticsTest,
+    ::testing::Values(
+        RegexCase{"0", 2, 5},               // single symbol
+        RegexCase{"", 2, 4},                // empty pattern = empty word
+        RegexCase{"01", 2, 5},              // concatenation
+        RegexCase{"0|1", 2, 5},             // alternation
+        RegexCase{"0*", 2, 6},              // star
+        RegexCase{"0+", 2, 6},              // plus
+        RegexCase{"0?1", 2, 5},             // optional
+        RegexCase{"(01)*", 2, 8},           // grouped star
+        RegexCase{"(0|1)*11", 2, 7},        // suffix condition
+        RegexCase{".*101.*", 2, 8},         // substring
+        RegexCase{"0{3}", 2, 6},            // exact repeat
+        RegexCase{"0{2,4}", 2, 6},          // bounded repeat
+        RegexCase{"1{2,}", 2, 6},           // unbounded repeat
+        RegexCase{"(0|1){2}0", 2, 6},       // repeat of group
+        RegexCase{"[01]1[01]", 2, 5},       // classes
+        RegexCase{"[^1]*", 2, 6},           // negated class
+        RegexCase{"0(1|00)*1", 2, 8},       // nested
+        RegexCase{"((0|1)(0|1))*", 2, 8},   // even length
+        RegexCase{"0?1?0?1?", 2, 6},        // chained optionals
+        RegexCase{"(012)*", 3, 6},          // ternary alphabet
+        RegexCase{"[02]*1[02]*", 3, 6},     // ternary classes
+        RegexCase{".{2,3}", 3, 5},          // dot with repeats
+        RegexCase{"(0{2}|1{3})+", 2, 8},    // repeats under plus
+        RegexCase{"(|0)1*", 2, 6}));        // empty alternative
+
+TEST(RegexCompile, NeverMatchesEmptyClass) {
+  Result<Nfa> nfa = CompileRegex("[]", 2);
+  ASSERT_TRUE(nfa.ok());
+  for (const Word& w : AllWordsUpTo(2, 4)) {
+    EXPECT_FALSE(nfa->Accepts(w));
+  }
+}
+
+TEST(RegexCompile, RepeatZeroTimes) {
+  Result<Nfa> nfa = CompileRegex("1{0}", 2);
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_TRUE(nfa->Accepts(Word{}));
+  EXPECT_FALSE(nfa->Accepts(Word{1}));
+}
+
+TEST(RegexCompile, RepeatZeroToTwo) {
+  Result<Nfa> nfa = CompileRegex("1{0,2}", 2);
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_TRUE(nfa->Accepts(Word{}));
+  EXPECT_TRUE(nfa->Accepts(Word{1}));
+  EXPECT_TRUE(nfa->Accepts(Word{1, 1}));
+  EXPECT_FALSE(nfa->Accepts(Word{1, 1, 1}));
+  EXPECT_FALSE(nfa->Accepts(Word{0}));
+}
+
+TEST(RegexCompile, ResultIsEpsilonFreeAndTrimmed) {
+  Result<Nfa> nfa = CompileRegex("(0|1)*101", 2);
+  ASSERT_TRUE(nfa.ok());
+  // Trimmed: every state reachable and co-reachable.
+  Bitset useful = nfa->ReachableStates();
+  useful &= nfa->CoReachableStates();
+  EXPECT_EQ(useful.Count(), static_cast<size_t>(nfa->num_states()));
+}
+
+TEST(RegexCompile, LongPatternStressCompiles) {
+  std::string pattern;
+  for (int i = 0; i < 30; ++i) pattern += (i % 2) ? "(0|1)" : "1?";
+  Result<Nfa> nfa = CompileRegex(pattern, 2);
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_GT(nfa->num_states(), 0);
+}
+
+}  // namespace
+}  // namespace nfacount

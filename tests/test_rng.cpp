@@ -1,0 +1,161 @@
+// Unit and statistical tests for the PRNG suite. Statistical bounds are set
+// for negligible flake probability (many sigma).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, ZeroSeedIsFine) {
+  Rng rng(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.NextU64());
+  EXPECT_GT(seen.size(), 95u);  // not stuck
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformU64BoundOneAlwaysZero) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.UniformU64(1), 0u);
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng(21);
+  const int buckets = 10;
+  const int trials = 100000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < trials; ++i) ++counts[rng.UniformU64(buckets)];
+  // Expected 10000 per bucket, sigma ~ 95; allow 8 sigma.
+  for (int c : counts) EXPECT_NEAR(c, trials / buckets, 800);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);  // ~10 sigma
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.015);
+}
+
+TEST(Rng, DiscreteIndexMatchesWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  std::vector<int> counts(4, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    int idx = rng.DiscreteIndex(weights);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, 4);
+    ++counts[idx];
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / trials, weights[i] / 10.0, 0.02);
+  }
+}
+
+TEST(Rng, DiscreteIndexSkipsZeroWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(rng.DiscreteIndex(weights), 1);
+}
+
+TEST(Rng, DiscreteIndexAllZeroReturnsMinusOne) {
+  Rng rng(29);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.DiscreteIndex(weights), -1);
+  EXPECT_EQ(rng.DiscreteIndex({}), -1);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StdShuffleInterface) {
+  Rng rng(37);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  std::shuffle(v.begin(), v.end(), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);  // a permutation
+}
+
+}  // namespace
+}  // namespace nfacount

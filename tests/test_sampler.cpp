@@ -1,0 +1,216 @@
+// Tests for the almost-uniform word sampler (Algorithm 2 / Theorem 2 /
+// Inv-2): support correctness, empirical closeness to uniform in TV distance
+// on exactly-enumerable languages, rejection-rate bounds, and the public
+// WordSampler facade.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "automata/generators.hpp"
+#include "counting/exact.hpp"
+#include "fpras/fpras.hpp"
+#include "util/stats.hpp"
+
+namespace nfacount {
+namespace {
+
+SamplerOptions Opts(uint64_t seed) {
+  SamplerOptions o;
+  o.eps = 0.3;
+  o.delta = 0.2;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Sampler, SamplesAreAlwaysInLanguage) {
+  Rng rng(2);
+  for (int trial = 0; trial < 4; ++trial) {
+    Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
+    const int n = 7;
+    Result<std::vector<Word>> lang = EnumerateAccepted(nfa, n);
+    ASSERT_TRUE(lang.ok());
+    if (lang->empty()) continue;
+    Result<WordSampler> sampler = WordSampler::Build(nfa, n, Opts(50 + trial));
+    ASSERT_TRUE(sampler.ok()) << sampler.status().ToString();
+    std::set<Word> language(lang->begin(), lang->end());
+    for (int i = 0; i < 200; ++i) {
+      Result<Word> w = sampler.value().Sample();
+      ASSERT_TRUE(w.ok()) << w.status().ToString();
+      ASSERT_TRUE(language.count(w.value()))
+          << WordToString(w.value()) << " not in L(A_n)";
+    }
+  }
+}
+
+TEST(Sampler, EmpiricallyCloseToUniformInTv) {
+  // Inv-2 check on a small language (|L| = 11 words of length 5 containing
+  // "101"): empirical TV to uniform over ~6000 draws should be small.
+  Nfa nfa = SubstringNfa(Word{1, 0, 1});
+  const int n = 5;
+  Result<std::vector<Word>> lang = EnumerateAccepted(nfa, n);
+  ASSERT_TRUE(lang.ok());
+  const int64_t support = static_cast<int64_t>(lang->size());
+  ASSERT_GT(support, 0);
+
+  Result<WordSampler> sampler = WordSampler::Build(nfa, n, Opts(404));
+  ASSERT_TRUE(sampler.ok());
+  std::map<std::string, int64_t> histogram;
+  const int64_t draws = 6000;
+  for (int64_t i = 0; i < draws; ++i) {
+    Result<Word> w = sampler.value().Sample();
+    ASSERT_TRUE(w.ok());
+    ++histogram[WordToString(w.value())];
+  }
+  EXPECT_EQ(static_cast<int64_t>(histogram.size()), support)
+      << "sampler missed part of the support";
+  // Sampling noise alone gives TV ~ sqrt(|L|/draws)/2 ~ 0.02; the sampler's
+  // own bias (eps-calibrated) adds a bit. 0.12 catches real skew.
+  EXPECT_LT(EmpiricalTvToUniform(histogram, draws, support), 0.12);
+}
+
+TEST(Sampler, UniformAcrossDisjointBranchesOfUnevenSize) {
+  // Language = {00xx...} ∪ {1yyy..}: branch proportions must follow language
+  // sizes, not branch counts. Words: 0 0 w (w free, 2^3) plus 1 w (2^4):
+  // proportions 8/24 vs 16/24.
+  Nfa nfa(2);
+  StateId s = nfa.AddState();
+  StateId a1 = nfa.AddState();
+  StateId a2 = nfa.AddState();
+  StateId free_a = nfa.AddState();
+  StateId free_b = nfa.AddState();
+  nfa.SetInitial(s);
+  nfa.AddTransition(s, 0, a1);
+  nfa.AddTransition(a1, 0, a2);
+  nfa.AddTransition(a2, 0, free_a);
+  nfa.AddTransition(a2, 1, free_a);
+  nfa.AddTransition(free_a, 0, free_a);
+  nfa.AddTransition(free_a, 1, free_a);
+  nfa.AddTransition(s, 1, free_b);
+  nfa.AddTransition(free_b, 0, free_b);
+  nfa.AddTransition(free_b, 1, free_b);
+  nfa.AddAccepting(free_a);
+  nfa.AddAccepting(free_b);
+  const int n = 5;
+  // L = 00 + 3 free (8 words) ∪ 1 + 4 free (16 words); disjoint.
+  Result<WordSampler> sampler = WordSampler::Build(nfa, n, Opts(777));
+  ASSERT_TRUE(sampler.ok());
+  int64_t zeros = 0, ones = 0;
+  const int64_t draws = 4000;
+  for (int64_t i = 0; i < draws; ++i) {
+    Result<Word> w = sampler.value().Sample();
+    ASSERT_TRUE(w.ok());
+    (w.value()[0] == 0 ? zeros : ones) += 1;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / draws, 16.0 / 24.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(zeros) / draws, 8.0 / 24.0, 0.05);
+}
+
+TEST(Sampler, RejectionRateRespectsTheorem2Bound) {
+  // Theorem 2(2): per-attempt failure ≤ 1 − 2/(3e²) ≈ 0.9098 given accurate
+  // tables; empirically the success rate should be near 2/(3e)·L/N ≈ 0.245
+  // for accurate N. Check the diagnostic counters of a full run.
+  Nfa nfa = SubstringNfa(Word{1, 0, 1});
+  CountOptions options;
+  options.eps = 0.3;
+  options.delta = 0.2;
+  options.seed = 31337;
+  Result<CountEstimate> r = ApproxCount(nfa, 10, options);
+  ASSERT_TRUE(r.ok());
+  const FprasDiagnostics& d = r->diagnostics;
+  const double success_rate =
+      static_cast<double>(d.sample_success) / static_cast<double>(d.sample_calls);
+  EXPECT_GT(success_rate, 0.12);  // comfortably above catastrophic rejection
+  EXPECT_LT(success_rate, 0.45);  // and below the γ0 ceiling 2/(3e) ≈ 0.245 + noise
+}
+
+TEST(Sampler, EmptyLanguageReportsNotFound) {
+  Nfa nfa(2);
+  nfa.AddStates(2);
+  nfa.SetInitial(0);
+  nfa.AddAccepting(1);  // unreachable
+  nfa.AddTransition(0, 0, 0);
+  nfa.AddTransition(0, 1, 0);
+  Result<WordSampler> sampler = WordSampler::Build(nfa, 5, Opts(1));
+  ASSERT_TRUE(sampler.ok());
+  Result<Word> w = sampler.value().Sample();
+  EXPECT_FALSE(w.ok());
+  EXPECT_EQ(w.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Sampler, LengthZeroLanguage) {
+  Nfa nfa(2);
+  StateId q = nfa.AddState();
+  nfa.SetInitial(q);
+  nfa.AddAccepting(q);
+  nfa.AddTransition(q, 0, q);
+  Result<WordSampler> sampler = WordSampler::Build(nfa, 0, Opts(1));
+  ASSERT_TRUE(sampler.ok());
+  Result<Word> w = sampler.value().Sample();
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w.value().empty());
+}
+
+TEST(Sampler, SampleManyCountsAndDeterminism) {
+  Nfa nfa = ParityNfa(2);
+  Result<WordSampler> s1 = WordSampler::Build(nfa, 6, Opts(99));
+  Result<WordSampler> s2 = WordSampler::Build(nfa, 6, Opts(99));
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  Result<std::vector<Word>> w1 = s1.value().SampleMany(25);
+  Result<std::vector<Word>> w2 = s2.value().SampleMany(25);
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  EXPECT_EQ(w1->size(), 25u);
+  EXPECT_EQ(*w1, *w2);  // same seed, same words
+}
+
+TEST(Sampler, CountEstimateExposedMatchesFprasAccuracy) {
+  Nfa nfa = ParityNfa(2);
+  const int n = 8;
+  Result<WordSampler> sampler = WordSampler::Build(nfa, n, Opts(5));
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_NEAR(sampler.value().CountEstimate() / 128.0, 1.0, 0.45);
+}
+
+TEST(Sampler, SingletonLanguageAlwaysReturnsTheWord) {
+  Word needle{1, 1, 0, 1, 0, 0};
+  Nfa nfa = SparseNeedle(needle);
+  Result<WordSampler> sampler =
+      WordSampler::Build(nfa, static_cast<int>(needle.size()), Opts(8));
+  ASSERT_TRUE(sampler.ok());
+  for (int i = 0; i < 20; ++i) {
+    Result<Word> w = sampler.value().Sample();
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(w.value(), needle);
+  }
+}
+
+TEST(Sampler, EngineSampleWordTargetsArbitraryStateSets) {
+  // Directly exercise FprasEngine::SampleWord on an interior level/state set.
+  Rng rng(10);
+  Nfa nfa = RandomNfa(6, 0.35, 0.3, rng);
+  const int n = 6;
+  Result<FprasParams> params = FprasParams::Make(
+      Schedule::kFaster, nfa.num_states(), n, 0.3, 0.2, Calibration::Practical());
+  ASSERT_TRUE(params.ok());
+  FprasEngine engine(&nfa, *params, 44);
+  ASSERT_TRUE(engine.Run().ok());
+
+  const int level = 4;
+  Bitset targets = engine.unrolled().ReachableAt(level);
+  ASSERT_TRUE(targets.Any());
+  int successes = 0;
+  for (int i = 0; i < 300; ++i) {
+    std::optional<Word> w = engine.SampleWord(targets, level);
+    if (!w.has_value()) continue;
+    ++successes;
+    ASSERT_EQ(static_cast<int>(w->size()), level);
+    // Word must reach at least one target state.
+    EXPECT_TRUE(nfa.Reach(*w).Intersects(targets));
+  }
+  EXPECT_GT(successes, 30);
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,139 @@
+// Unit tests for the statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/stats.hpp"
+
+namespace nfacount {
+namespace {
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleObservation) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, EmptyIsSafe) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.1), 1.4);
+}
+
+TEST(Quantile, UnsortedInputIsSorted) {
+  EXPECT_DOUBLE_EQ(Quantile({5, 1, 3}, 0.5), 3.0);
+}
+
+TEST(Quantile, EmptyReturnsZero) { EXPECT_EQ(Quantile({}, 0.5), 0.0); }
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeError(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(0, 0), 0.0);
+  EXPECT_TRUE(std::isinf(RelativeError(1, 0)));
+  EXPECT_DOUBLE_EQ(RelativeError(-50, -100), 0.5);
+}
+
+TEST(EmpiricalTvToUniform, PerfectUniformIsZero) {
+  std::map<std::string, int64_t> h = {{"a", 25}, {"b", 25}, {"c", 25}, {"d", 25}};
+  EXPECT_NEAR(EmpiricalTvToUniform(h, 100, 4), 0.0, 1e-12);
+}
+
+TEST(EmpiricalTvToUniform, PointMassVsUniform) {
+  std::map<std::string, int64_t> h = {{"a", 100}};
+  // TV(point mass, uniform over 4) = 1 - 1/4.
+  EXPECT_NEAR(EmpiricalTvToUniform(h, 100, 4), 0.75, 1e-12);
+}
+
+TEST(EmpiricalTvToUniform, MissingOutcomesCount) {
+  std::map<std::string, int64_t> h = {{"a", 50}, {"b", 50}};
+  // p = (1/2, 1/2, 0, 0) vs (1/4 x4): TV = (1/4+1/4+1/4+1/4)/2 = 1/2... wait:
+  // sum |p-u| = 2*(1/4) + 2*(1/4) = 1, halved = 1/2.
+  EXPECT_NEAR(EmpiricalTvToUniform(h, 100, 4), 0.5, 1e-12);
+}
+
+TEST(EmpiricalTv, IdenticalDistributionsZero) {
+  std::map<std::string, int64_t> a = {{"x", 10}, {"y", 30}};
+  std::map<std::string, int64_t> b = {{"x", 20}, {"y", 60}};  // same after norm
+  EXPECT_NEAR(EmpiricalTv(a, b), 0.0, 1e-12);
+}
+
+TEST(EmpiricalTv, DisjointSupportsIsOne) {
+  std::map<std::string, int64_t> a = {{"x", 10}};
+  std::map<std::string, int64_t> b = {{"y", 10}};
+  EXPECT_NEAR(EmpiricalTv(a, b), 1.0, 1e-12);
+}
+
+TEST(EmpiricalTv, PartialOverlap) {
+  std::map<std::string, int64_t> a = {{"x", 50}, {"y", 50}};
+  std::map<std::string, int64_t> b = {{"y", 50}, {"z", 50}};
+  // |1/2-0| + |1/2-1/2| + |0-1/2| = 1, halved = 1/2.
+  EXPECT_NEAR(EmpiricalTv(a, b), 0.5, 1e-12);
+}
+
+TEST(ChiSquareUniform, UniformHistogramIsZero) {
+  std::map<std::string, int64_t> h = {{"a", 10}, {"b", 10}};
+  EXPECT_NEAR(ChiSquareUniform(h, 20, 2), 0.0, 1e-12);
+}
+
+TEST(ChiSquareUniform, KnownValue) {
+  std::map<std::string, int64_t> h = {{"a", 30}, {"b", 10}};
+  // expected 20 each: (10^2 + 10^2)/20 = 10.
+  EXPECT_NEAR(ChiSquareUniform(h, 40, 2), 10.0, 1e-12);
+}
+
+TEST(HoeffdingSamples, MatchesFormula) {
+  // n = ln(2/δ)/(2ε²)
+  EXPECT_EQ(HoeffdingSamples(0.1, 0.05),
+            static_cast<int64_t>(std::ceil(std::log(40.0) / 0.02)));
+  EXPECT_GT(HoeffdingSamples(0.01, 0.05), HoeffdingSamples(0.1, 0.05));
+}
+
+TEST(LogLogSlope, RecoversPolynomialDegree) {
+  std::vector<double> xs = {1, 2, 4, 8, 16};
+  std::vector<double> cubes, squares;
+  for (double x : xs) {
+    cubes.push_back(x * x * x);
+    squares.push_back(7.0 * x * x);  // scale factor must not matter
+  }
+  EXPECT_NEAR(LogLogSlope(xs, cubes), 3.0, 1e-9);
+  EXPECT_NEAR(LogLogSlope(xs, squares), 2.0, 1e-9);
+}
+
+TEST(LogLogSlope, NoisyDataApproximates) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::pow(i, 4.0) * (1.0 + 0.01 * ((i % 2) ? 1 : -1)));
+  }
+  EXPECT_NEAR(LogLogSlope(xs, ys), 4.0, 0.05);
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,125 @@
+// Unit tests for the Status/Result error model.
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace nfacount {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, FactoryConstructorsCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::Invalid("a"), StatusCode::kInvalidArgument, "InvalidArgument"},
+      {Status::OutOfRange("b"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::FailedPrecondition("c"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::ResourceExhausted("d"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+      {Status::NotFound("e"), StatusCode::kNotFound, "NotFound"},
+      {Status::Unimplemented("f"), StatusCode::kUnimplemented, "Unimplemented"},
+      {Status::Internal("g"), StatusCode::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeName(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::Invalid("x"), Status::Invalid("x"));
+  EXPECT_FALSE(Status::Invalid("x") == Status::Invalid("y"));
+  EXPECT_FALSE(Status::Invalid("x") == Status::NotFound("x"));
+}
+
+TEST(Status, CopyingSharesRepresentation) {
+  Status a = Status::Internal("boom");
+  Status b = a;  // shallow copy of the shared rep
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "boom");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(Result, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::Invalid("negative");
+  return Status::Ok();
+}
+
+Status UseReturnNotOk(int x) {
+  NFA_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(Macros, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UseReturnNotOk(1).ok());
+  EXPECT_EQ(UseReturnNotOk(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::Invalid("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  int h = 0;
+  NFA_ASSIGN_OR_RETURN(h, Half(x));
+  NFA_ASSIGN_OR_RETURN(h, Half(h));
+  return h;
+}
+
+TEST(Macros, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3, odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -1,0 +1,303 @@
+// Tests for Algorithm 1 (AppUnion): trial-count formulas, estimator accuracy
+// under exact and perturbed size estimates, overlap handling, starvation
+// policies, and the fresh-draw Karp-Luby variant.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "counting/union_mc.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+/// Test input: an explicit integer set with a pre-drawn uniform sample list.
+struct IntSetInput {
+  std::set<int> elements;
+  std::vector<int> samples;  // pre-drawn uniformly with replacement
+  double reported_size;      // possibly perturbed estimate
+
+  double size_estimate() const { return reported_size; }
+  int64_t num_samples() const { return static_cast<int64_t>(samples.size()); }
+  const int& Sample(int64_t i) const { return samples[static_cast<size_t>(i)]; }
+  bool Contains(const int& x) const { return elements.count(x) > 0; }
+};
+
+IntSetInput MakeInput(std::set<int> elements, int64_t num_samples, Rng& rng,
+                      double size_factor = 1.0) {
+  IntSetInput input;
+  input.elements = std::move(elements);
+  std::vector<int> pool(input.elements.begin(), input.elements.end());
+  for (int64_t i = 0; i < num_samples; ++i) {
+    input.samples.push_back(pool[rng.UniformU64(pool.size())]);
+  }
+  input.reported_size = static_cast<double>(input.elements.size()) * size_factor;
+  return input;
+}
+
+double TrueUnionSize(const std::vector<IntSetInput>& inputs) {
+  std::set<int> u;
+  for (const auto& in : inputs) u.insert(in.elements.begin(), in.elements.end());
+  return static_cast<double>(u.size());
+}
+
+AppUnionOutcome RunAppUnion(const std::vector<IntSetInput>& inputs,
+                            const AppUnionParams& params, Rng& rng) {
+  std::vector<const IntSetInput*> ptrs;
+  for (const auto& in : inputs) ptrs.push_back(&in);
+  return AppUnion(ptrs, params, rng);
+}
+
+TEST(TrialCount, MatchesFormula) {
+  AppUnionParams p;
+  p.eps = 0.5;
+  p.delta = 0.25;
+  p.eps_sz = 0.0;
+  p.min_trials = 1;
+  // m̄ = ceil(10/4) = 3; t = ceil(12·3/0.25·ln(16)).
+  int64_t t = AppUnionTrialCount(p, /*sum_sz=*/10.0, /*max_sz=*/4.0);
+  EXPECT_EQ(t, static_cast<int64_t>(std::ceil(12.0 * 3 / 0.25 * std::log(16.0))));
+}
+
+TEST(TrialCount, ScaleAndFloors) {
+  AppUnionParams p;
+  p.eps = 0.1;
+  p.delta = 0.1;
+  p.trial_scale = 1e-9;
+  p.min_trials = 77;
+  EXPECT_EQ(AppUnionTrialCount(p, 10, 10), 77);
+  p.min_trials = 1;
+  p.max_trials = 1000;
+  p.trial_scale = 1e12;
+  EXPECT_EQ(AppUnionTrialCount(p, 10, 10), 1000);
+}
+
+TEST(Thresh, MatchesTheoremFormula) {
+  AppUnionParams p;
+  p.eps = 0.5;
+  p.delta = 0.2;
+  p.eps_sz = 0.1;
+  double expect = 24.0 * 1.1 * 1.1 / 0.25 * std::log(4.0 * 3 / 0.2);
+  EXPECT_NEAR(AppUnionThresh(p, 3), expect, 1e-9);
+}
+
+TEST(AppUnion, EmptyInputsGiveZero) {
+  Rng rng(1);
+  std::vector<IntSetInput> inputs;
+  AppUnionParams p;
+  EXPECT_EQ(RunAppUnion(inputs, p, rng).estimate, 0.0);
+  // All-zero size estimates: union is (estimated) empty.
+  inputs.push_back(IntSetInput{{}, {}, 0.0});
+  EXPECT_EQ(RunAppUnion(inputs, p, rng).estimate, 0.0);
+}
+
+TEST(AppUnion, SingleSetIsItsSize) {
+  Rng rng(2);
+  std::set<int> s;
+  for (int i = 0; i < 100; ++i) s.insert(i);
+  std::vector<IntSetInput> inputs = {MakeInput(s, 4096, rng)};
+  AppUnionParams p;
+  p.eps = 0.2;
+  p.delta = 0.1;
+  AppUnionOutcome out = RunAppUnion(inputs, p, rng);
+  // Every sampled pair is in U_unique for a single set: estimate == sum_sz.
+  EXPECT_DOUBLE_EQ(out.estimate, 100.0);
+  EXPECT_EQ(out.hits, out.completed_trials);
+}
+
+class AppUnionAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppUnionAccuracy, DisjointSetsSumUp) {
+  Rng rng(GetParam());
+  std::vector<IntSetInput> inputs;
+  int base = 0;
+  double total = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::set<int> s;
+    int size = 20 * (i + 1);
+    for (int x = 0; x < size; ++x) s.insert(base + x);
+    base += 1000;
+    total += size;
+    inputs.push_back(MakeInput(std::move(s), 8192, rng));
+  }
+  AppUnionParams p;
+  p.eps = 0.15;
+  p.delta = 0.05;
+  AppUnionOutcome out = RunAppUnion(inputs, p, rng);
+  EXPECT_NEAR(out.estimate / total, 1.0, 0.15);
+}
+
+TEST_P(AppUnionAccuracy, HeavyOverlapIsNotOvercounted) {
+  Rng rng(GetParam() + 100);
+  // Four sets that are 90% shared: naive summing overcounts ~3.4x.
+  std::set<int> shared;
+  for (int x = 0; x < 90; ++x) shared.insert(x);
+  std::vector<IntSetInput> inputs;
+  for (int i = 0; i < 4; ++i) {
+    std::set<int> s = shared;
+    for (int x = 0; x < 10; ++x) s.insert(1000 + 10 * i + x);
+    inputs.push_back(MakeInput(std::move(s), 8192, rng));
+  }
+  const double truth = TrueUnionSize(inputs);  // 90 + 40 = 130
+  ASSERT_EQ(truth, 130.0);
+  AppUnionParams p;
+  p.eps = 0.15;
+  p.delta = 0.05;
+  AppUnionOutcome out = RunAppUnion(inputs, p, rng);
+  EXPECT_NEAR(out.estimate / truth, 1.0, 0.15);
+}
+
+TEST_P(AppUnionAccuracy, NestedSetsCollapseToLargest) {
+  Rng rng(GetParam() + 200);
+  // T1 ⊂ T2 ⊂ T3: union = T3.
+  std::vector<IntSetInput> inputs;
+  for (int size : {25, 50, 100}) {
+    std::set<int> s;
+    for (int x = 0; x < size; ++x) s.insert(x);
+    inputs.push_back(MakeInput(std::move(s), 8192, rng));
+  }
+  AppUnionParams p;
+  p.eps = 0.15;
+  p.delta = 0.05;
+  AppUnionOutcome out = RunAppUnion(inputs, p, rng);
+  EXPECT_NEAR(out.estimate / 100.0, 1.0, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AppUnionAccuracy, ::testing::Range(1, 6));
+
+TEST(AppUnion, ToleratesPerturbedSizeEstimates) {
+  // Size estimates off by (1±ε_sz) still give (1+ε)(1+ε_sz) accuracy
+  // (Theorem 1). Perturb sizes by ±20% and pass eps_sz = 0.2.
+  Rng rng(42);
+  std::vector<IntSetInput> inputs;
+  inputs.push_back(MakeInput([] {
+                     std::set<int> s;
+                     for (int x = 0; x < 80; ++x) s.insert(x);
+                     return s;
+                   }(),
+                   8192, rng, /*size_factor=*/1.2));
+  inputs.push_back(MakeInput([] {
+                     std::set<int> s;
+                     for (int x = 40; x < 140; ++x) s.insert(x);
+                     return s;
+                   }(),
+                   8192, rng, /*size_factor=*/0.8333));
+  AppUnionParams p;
+  p.eps = 0.15;
+  p.delta = 0.05;
+  p.eps_sz = 0.2;
+  AppUnionOutcome out = RunAppUnion(inputs, p, rng);
+  const double truth = 140.0;
+  // Combined guarantee: within (1+0.15)(1+0.2) multiplicative.
+  EXPECT_GT(out.estimate, truth / (1.15 * 1.2) * 0.9);
+  EXPECT_LT(out.estimate, truth * 1.15 * 1.2 * 1.1);
+}
+
+TEST(AppUnion, StarvationBreakUndercounts) {
+  // Tiny sample lists + kBreak: the Y/t estimate collapses (the failure mode
+  // the paper's thresh bound protects against; see union_mc.hpp).
+  Rng rng(7);
+  std::set<int> s;
+  for (int x = 0; x < 50; ++x) s.insert(x);
+  std::vector<IntSetInput> inputs = {MakeInput(s, /*num_samples=*/5, rng)};
+  AppUnionParams p;
+  p.eps = 0.1;
+  p.delta = 0.1;
+  p.starvation = StarvationPolicy::kBreak;
+  AppUnionOutcome out = RunAppUnion(inputs, p, rng);
+  EXPECT_TRUE(out.starved);
+  EXPECT_LT(out.estimate, 50.0 * 0.5);
+}
+
+TEST(AppUnion, StarvationRecycleStaysAccurate) {
+  Rng rng(8);
+  std::set<int> s;
+  for (int x = 0; x < 50; ++x) s.insert(x);
+  std::vector<IntSetInput> inputs = {MakeInput(s, /*num_samples=*/64, rng)};
+  AppUnionParams p;
+  p.eps = 0.1;
+  p.delta = 0.1;
+  p.starvation = StarvationPolicy::kRecycle;
+  AppUnionOutcome out = RunAppUnion(inputs, p, rng);
+  EXPECT_TRUE(out.starved);  // the event is still reported
+  EXPECT_DOUBLE_EQ(out.estimate, 50.0);
+}
+
+TEST(AppUnion, StarvationScaleByCompletedSingleSet) {
+  Rng rng(9);
+  std::set<int> s;
+  for (int x = 0; x < 50; ++x) s.insert(x);
+  std::vector<IntSetInput> inputs = {MakeInput(s, /*num_samples=*/16, rng)};
+  AppUnionParams p;
+  p.eps = 0.1;
+  p.delta = 0.1;
+  p.starvation = StarvationPolicy::kScaleByCompleted;
+  AppUnionOutcome out = RunAppUnion(inputs, p, rng);
+  // Single set: every completed trial hits, so Y/completed = 1 exactly.
+  EXPECT_DOUBLE_EQ(out.estimate, 50.0);
+}
+
+TEST(AppUnion, MembershipChecksOnlyAgainstEarlierSets) {
+  Rng rng(10);
+  std::vector<IntSetInput> inputs;
+  std::set<int> s = {1, 2, 3};
+  inputs.push_back(MakeInput(s, 4096, rng));
+  inputs.push_back(MakeInput(s, 4096, rng));
+  AppUnionParams p;
+  p.eps = 0.2;
+  p.delta = 0.1;
+  AppUnionOutcome out = RunAppUnion(inputs, p, rng);
+  // Identical sets: union = 3. Checks happen only for draws from input 1.
+  EXPECT_NEAR(out.estimate, 3.0, 0.8);
+  EXPECT_GT(out.membership_checks, 0);
+  EXPECT_LT(out.membership_checks, out.trials);  // never 2 checks per trial
+}
+
+/// Fresh-draw input for the classic variant.
+struct DrawInput {
+  std::set<int> elements;
+  double size_estimate() const { return static_cast<double>(elements.size()); }
+  int Draw(Rng& rng) const {
+    std::vector<int> pool(elements.begin(), elements.end());
+    return pool[rng.UniformU64(pool.size())];
+  }
+  bool Contains(const int& x) const { return elements.count(x) > 0; }
+};
+
+TEST(AppUnionResample, ClassicKarpLubyAccurate) {
+  Rng rng(11);
+  std::vector<DrawInput> inputs;
+  std::set<int> a, b, c;
+  for (int x = 0; x < 60; ++x) a.insert(x);
+  for (int x = 30; x < 90; ++x) b.insert(x);
+  for (int x = 60; x < 150; ++x) c.insert(x);
+  inputs.push_back(DrawInput{a});
+  inputs.push_back(DrawInput{b});
+  inputs.push_back(DrawInput{c});
+  std::vector<const DrawInput*> ptrs;
+  for (const auto& in : inputs) ptrs.push_back(&in);
+  AppUnionParams p;
+  p.eps = 0.1;
+  p.delta = 0.05;
+  AppUnionOutcome out = AppUnionResample(ptrs, p, rng);
+  EXPECT_NEAR(out.estimate / 150.0, 1.0, 0.1);
+}
+
+TEST(AppUnion, DeterministicUnderSeed) {
+  Rng build(12);
+  std::set<int> s;
+  for (int x = 0; x < 40; ++x) s.insert(x);
+  std::vector<IntSetInput> inputs = {MakeInput(s, 2048, build)};
+  AppUnionParams p;
+  p.eps = 0.2;
+  p.delta = 0.2;
+  Rng r1(77), r2(77);
+  EXPECT_DOUBLE_EQ(RunAppUnion(inputs, p, r1).estimate,
+                   RunAppUnion(inputs, p, r2).estimate);
+}
+
+}  // namespace
+}  // namespace nfacount
