@@ -1,0 +1,50 @@
+# Resolve a GoogleTest dependency without assuming network access.
+#
+# Resolution order:
+#   1. An installed package (find_package(GTest)) — e.g. Debian's libgtest-dev
+#      built binaries, or a vcpkg/conan toolchain file.
+#   2. Vendored / distro sources (e.g. /usr/src/googletest on Debian/Ubuntu
+#      when only the source half of libgtest-dev is present), built in-tree.
+#   3. FetchContent from GitHub — the only step that needs the network; pinned
+#      to a release tag so CI caching is stable.
+#
+# Defines the imported targets GTest::gtest and GTest::gtest_main either way.
+
+if(TARGET GTest::gtest)
+  return()
+endif()
+
+find_package(GTest QUIET)
+if(GTest_FOUND)
+  message(STATUS "nfacount: using installed GoogleTest (${GTEST_INCLUDE_DIRS})")
+  return()
+endif()
+
+set(NFACOUNT_GTEST_SOURCE_DIR "/usr/src/googletest" CACHE PATH
+  "Fallback GoogleTest source tree used when no installed package is found")
+if(EXISTS "${NFACOUNT_GTEST_SOURCE_DIR}/CMakeLists.txt")
+  message(STATUS
+    "nfacount: building GoogleTest from ${NFACOUNT_GTEST_SOURCE_DIR}")
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  # For shared-CRT consistency on Windows; harmless elsewhere.
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  add_subdirectory("${NFACOUNT_GTEST_SOURCE_DIR}"
+    "${CMAKE_BINARY_DIR}/_deps/googletest-build" EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+  return()
+endif()
+
+message(STATUS "nfacount: fetching GoogleTest v1.14.0 via FetchContent")
+include(FetchContent)
+FetchContent_Declare(googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+  URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+  DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

@@ -7,9 +7,12 @@
 #include "automata/generators.hpp"
 #include "counting/exact.hpp"
 #include "fpras/fpras.hpp"
+#include "test_seed.hpp"
 
 namespace nfacount {
 namespace {
+
+using testing_support::TestSeed;
 
 TEST(Acjr, ScheduleRatioMatchesHeadlineGap) {
   // ns_acjr/ns_faster = (mn/ε)⁷ / ~O(n⁴/ε² log) — grows with every knob.
@@ -43,7 +46,7 @@ TEST(Acjr, EndToEndAccurateOnSmallInstances) {
   CountOptions options;
   options.eps = 0.4;
   options.delta = 0.2;
-  options.seed = 64;
+  options.seed = TestSeed(64);
   // Trim the ACJR budget so the test stays fast: the κ⁷ formula under the
   // practical scale still dwarfs the fast schedule.
   options.calibration.ns_scale = 1e-11;

@@ -9,9 +9,12 @@
 #include "automata/generators.hpp"
 #include "counting/exact.hpp"
 #include "fpras/amplify.hpp"
+#include "test_seed.hpp"
 
 namespace nfacount {
 namespace {
+
+using testing_support::TestSeed;
 
 CountOptions Opts(uint64_t seed) {
   CountOptions o;
@@ -26,7 +29,7 @@ TEST(Median, MedianOfRunsIsAccurate) {
   const int n = 10;
   Result<BigUint> exact = ExactCountViaDfa(nfa, n);
   ASSERT_TRUE(exact.ok());
-  Result<AmplifiedEstimate> amplified = ApproxCountMedian(nfa, n, Opts(1), 5);
+  Result<AmplifiedEstimate> amplified = ApproxCountMedian(nfa, n, Opts(TestSeed(1)), 5);
   ASSERT_TRUE(amplified.ok());
   EXPECT_EQ(amplified->runs.size(), 5u);
   EXPECT_TRUE(std::is_sorted(amplified->runs.begin(), amplified->runs.end()));
@@ -40,7 +43,7 @@ TEST(Median, MedianOfRunsIsAccurate) {
 
 TEST(Median, EvenRunCountAveragesMiddlePair) {
   Nfa nfa = ParityNfa(2);
-  Result<AmplifiedEstimate> amplified = ApproxCountMedian(nfa, 8, Opts(2), 4);
+  Result<AmplifiedEstimate> amplified = ApproxCountMedian(nfa, 8, Opts(TestSeed(2)), 4);
   ASSERT_TRUE(amplified.ok());
   EXPECT_EQ(amplified->runs.size(), 4u);
   EXPECT_DOUBLE_EQ(amplified->estimate,
@@ -55,7 +58,7 @@ TEST(Median, MedianTightensSpreadVersusSingleRun) {
   Result<BigUint> exact = ExactCountViaDfa(nfa, n);
   ASSERT_TRUE(exact.ok());
   const double truth = exact->ToDouble();
-  Result<AmplifiedEstimate> amplified = ApproxCountMedian(nfa, n, Opts(3), 7);
+  Result<AmplifiedEstimate> amplified = ApproxCountMedian(nfa, n, Opts(TestSeed(3)), 7);
   ASSERT_TRUE(amplified.ok());
   double median_err = std::abs(amplified->estimate / truth - 1.0);
   double worst_err = 0.0;
@@ -67,8 +70,8 @@ TEST(Median, MedianTightensSpreadVersusSingleRun) {
 
 TEST(Median, DiagnosticsAccumulateAcrossRuns) {
   Nfa nfa = CombinationLock(Word{1, 0});
-  Result<AmplifiedEstimate> one = ApproxCountMedian(nfa, 6, Opts(4), 1);
-  Result<AmplifiedEstimate> three = ApproxCountMedian(nfa, 6, Opts(4), 3);
+  Result<AmplifiedEstimate> one = ApproxCountMedian(nfa, 6, Opts(TestSeed(4)), 1);
+  Result<AmplifiedEstimate> three = ApproxCountMedian(nfa, 6, Opts(TestSeed(4)), 3);
   ASSERT_TRUE(one.ok() && three.ok());
   EXPECT_GT(three->total_diag.sample_calls, one->total_diag.sample_calls);
   EXPECT_GT(three->total_diag.appunion_calls, one->total_diag.appunion_calls);
@@ -76,7 +79,7 @@ TEST(Median, DiagnosticsAccumulateAcrossRuns) {
 
 TEST(Median, RejectsBadRunCount) {
   Nfa nfa = CombinationLock(Word{1});
-  EXPECT_FALSE(ApproxCountMedian(nfa, 4, Opts(5), 0).ok());
+  EXPECT_FALSE(ApproxCountMedian(nfa, 4, Opts(TestSeed(5)), 0).ok());
 }
 
 TEST(Median, RunsForConfidenceFormula) {
@@ -89,7 +92,7 @@ TEST(Adaptive, ConvergesOnStableInstances) {
   Nfa nfa = ParityNfa(2);
   const int n = 9;
   AdaptiveOptions options;
-  options.base = Opts(6);
+  options.base = Opts(TestSeed(6));
   options.agreement = 0.15;
   Result<AdaptiveEstimate> adaptive = ApproxCountAdaptive(nfa, n, options);
   ASSERT_TRUE(adaptive.ok());
@@ -107,7 +110,7 @@ TEST(Adaptive, EmptyLanguageConvergesToZero) {
   nfa.AddTransition(0, 0, 0);
   nfa.AddTransition(0, 1, 0);
   AdaptiveOptions options;
-  options.base = Opts(7);
+  options.base = Opts(TestSeed(7));
   Result<AdaptiveEstimate> adaptive = ApproxCountAdaptive(nfa, 6, options);
   ASSERT_TRUE(adaptive.ok());
   EXPECT_TRUE(adaptive->converged);
@@ -118,7 +121,7 @@ TEST(Adaptive, EmptyLanguageConvergesToZero) {
 TEST(Adaptive, BudgetsGrowAcrossRounds) {
   Nfa nfa = SubstringNfa(Word{1, 1});
   AdaptiveOptions options;
-  options.base = Opts(8);
+  options.base = Opts(TestSeed(8));
   options.agreement = 1e-9;  // unreachably tight: force all rounds
   options.max_rounds = 3;
   Result<AdaptiveEstimate> adaptive = ApproxCountAdaptive(nfa, 7, options);
@@ -134,11 +137,11 @@ TEST(Adaptive, BudgetsGrowAcrossRounds) {
 TEST(Adaptive, ValidatesOptions) {
   Nfa nfa = CombinationLock(Word{1});
   AdaptiveOptions bad_agreement;
-  bad_agreement.base = Opts(9);
+  bad_agreement.base = Opts(TestSeed(9));
   bad_agreement.agreement = 0.0;
   EXPECT_FALSE(ApproxCountAdaptive(nfa, 4, bad_agreement).ok());
   AdaptiveOptions bad_rounds;
-  bad_rounds.base = Opts(9);
+  bad_rounds.base = Opts(TestSeed(9));
   bad_rounds.max_rounds = 1;
   EXPECT_FALSE(ApproxCountAdaptive(nfa, 4, bad_rounds).ok());
 }

@@ -7,11 +7,14 @@
 #include <cmath>
 #include <cstdint>
 
+#include "test_seed.hpp"
 #include "util/bigint.hpp"
 #include "util/rng.hpp"
 
 namespace nfacount {
 namespace {
+
+using testing_support::TestSeed;
 
 TEST(BigUint, ZeroProperties) {
   BigUint z;
@@ -34,7 +37,7 @@ TEST(BigUint, FromU64RoundTrip) {
 }
 
 TEST(BigUint, AdditionMatchesNative) {
-  Rng rng(1);
+  Rng rng(TestSeed(1));
   for (int i = 0; i < 500; ++i) {
     uint64_t a = rng.NextU64() >> 1;  // avoid native overflow
     uint64_t b = rng.NextU64() >> 1;
@@ -54,7 +57,7 @@ TEST(BigUint, AdditionCarriesAcrossLimbs) {
 }
 
 TEST(BigUint, SubtractionMatchesNative) {
-  Rng rng(2);
+  Rng rng(TestSeed(2));
   for (int i = 0; i < 500; ++i) {
     uint64_t a = rng.NextU64();
     uint64_t b = rng.NextU64();
@@ -71,7 +74,7 @@ TEST(BigUint, SubtractionBorrowsAcrossLimbs) {
 }
 
 TEST(BigUint, MultiplicationMatchesNative) {
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   for (int i = 0; i < 500; ++i) {
     uint64_t a = rng.NextU64() & 0xffffffffull;
     uint64_t b = rng.NextU64() & 0xffffffffull;
@@ -80,7 +83,7 @@ TEST(BigUint, MultiplicationMatchesNative) {
 }
 
 TEST(BigUint, MulSmallMatchesFullMul) {
-  Rng rng(4);
+  Rng rng(TestSeed(4));
   for (int i = 0; i < 200; ++i) {
     uint64_t a = rng.NextU64();
     uint64_t f = rng.NextU64() & 0xffffull;
@@ -124,7 +127,7 @@ TEST(BigUint, FactorialOf30) {
 }
 
 TEST(BigUint, DivSmallMatchesNative) {
-  Rng rng(5);
+  Rng rng(TestSeed(5));
   for (int i = 0; i < 300; ++i) {
     uint64_t a = rng.NextU64();
     uint32_t d = static_cast<uint32_t>(rng.UniformU64(1000000) + 1);
@@ -168,13 +171,119 @@ TEST(BigUint, ToStringPadsInnerChunks) {
 }
 
 TEST(BigUint, AssociativityProperty) {
-  Rng rng(6);
+  Rng rng(TestSeed(6));
   for (int i = 0; i < 100; ++i) {
     BigUint a(rng.NextU64()), b(rng.NextU64()), c(rng.NextU64());
     EXPECT_EQ((a + b) + c, a + (b + c));
     EXPECT_EQ((a * b) * c, a * (b * c));
     EXPECT_EQ(a * (b + c), a * b + a * c);  // distributivity
   }
+}
+
+TEST(BigUint, CarryChainsThroughSaturatedLimbs) {
+  // 2^k - 1 is all-ones in every limb: adding 1 must ripple the carry across
+  // the whole limb vector and grow it by one.
+  for (uint32_t k : {32u, 64u, 96u, 160u, 1024u}) {
+    BigUint all_ones = BigUint::Pow2(k) - BigUint(1);
+    EXPECT_EQ(all_ones.BitLength(), k);
+    BigUint bumped = all_ones + BigUint(1);
+    EXPECT_EQ(bumped, BigUint::Pow2(k));
+    EXPECT_EQ(bumped.BitLength(), k + 1);
+  }
+}
+
+TEST(BigUint, SubtractionToZeroNormalizes) {
+  BigUint big = BigUint::Pow2(200);
+  BigUint r = big - big;
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_EQ(r.ToString(), "0");
+  EXPECT_EQ(r, BigUint());
+  // Result of an underflow-free chain dropping back into one limb.
+  BigUint small = (BigUint::Pow2(64) + BigUint(7)) - BigUint::Pow2(64);
+  EXPECT_EQ(small.ToU64(), 7u);
+  EXPECT_EQ(small.BitLength(), 3u);
+}
+
+TEST(BigUint, AliasedAdditionAndSubtraction) {
+  BigUint a = BigUint::Pow2(90) + BigUint(12345);
+  BigUint expected = a * BigUint(2);
+  a += a;  // self-aliased operand
+  EXPECT_EQ(a, expected);
+  a -= a;
+  EXPECT_TRUE(a.IsZero());
+}
+
+TEST(BigUint, CompareAtLimbBoundaries) {
+  // Same limb count, difference only in the lowest limb.
+  BigUint hi_equal_a = BigUint::Pow2(64) + BigUint(1);
+  BigUint hi_equal_b = BigUint::Pow2(64) + BigUint(2);
+  EXPECT_EQ(hi_equal_a.Compare(hi_equal_b), -1);
+  EXPECT_EQ(hi_equal_b.Compare(hi_equal_a), 1);
+  // Limb-count difference dominates limb values.
+  BigUint three_limbs = BigUint::Pow2(64);
+  BigUint two_limbs_max = BigUint(0xffffffffffffffffull);
+  EXPECT_GT(three_limbs, two_limbs_max);
+  EXPECT_LT(two_limbs_max, three_limbs);
+  // Adjacent values straddling a 32-bit limb boundary.
+  EXPECT_LT(BigUint(0xffffffffull), BigUint(0x100000000ull));
+}
+
+TEST(BigUint, FitsU64Boundary) {
+  EXPECT_TRUE(BigUint(0xffffffffffffffffull).FitsU64());
+  EXPECT_EQ((BigUint::Pow2(64) - BigUint(1)).ToU64(), 0xffffffffffffffffull);
+  EXPECT_FALSE(BigUint::Pow2(64).FitsU64());
+  EXPECT_FALSE((BigUint::Pow2(64) + BigUint(1)).FitsU64());
+}
+
+TEST(BigUint, MulSmallWithWideFactorMatchesFullMul) {
+  // factor >= 2^32 takes the full-multiplication path inside MulSmall.
+  Rng rng(TestSeed(7));
+  for (int i = 0; i < 100; ++i) {
+    uint64_t factor = rng.NextU64() | (1ull << 32);  // force the wide path
+    BigUint base = BigUint(rng.NextU64()) * BigUint(rng.NextU64());
+    BigUint via_small = base;
+    via_small.MulSmall(factor);
+    EXPECT_EQ(via_small, base * BigUint(factor));
+  }
+}
+
+TEST(BigUint, DivSmallReconstructsMultiLimbValues) {
+  Rng rng(TestSeed(8));
+  for (int i = 0; i < 100; ++i) {
+    BigUint value = BigUint(rng.NextU64()) * BigUint(rng.NextU64()) +
+                    BigUint(rng.NextU64());
+    uint32_t divisor = static_cast<uint32_t>(rng.UniformU64(0xfffffffeull) + 1);
+    BigUint quotient = value;
+    uint32_t rem = quotient.DivSmall(divisor);
+    EXPECT_LT(rem, divisor);
+    BigUint back = quotient;
+    back.MulSmall(divisor);
+    EXPECT_EQ(back + BigUint(rem), value);
+  }
+}
+
+TEST(BigUint, DivSmallCollapsingQuotient) {
+  // Quotient loses limbs: 2^64 / 2^32 = 2^32, then / 2^32 again = 1.
+  BigUint v = BigUint::Pow2(64);
+  EXPECT_EQ(v.DivSmall(0x80000000u), 0u);  // 2^64 / 2^31 = 2^33
+  EXPECT_EQ(v, BigUint::Pow2(33));
+  BigUint one = BigUint(3);
+  EXPECT_EQ(one.DivSmall(4), 3u);  // divisor larger than value
+  EXPECT_TRUE(one.IsZero());
+}
+
+TEST(BigUint, ToDoubleOverflowsToInfinity) {
+  // 2^2000 far exceeds DBL_MAX (~1.8e308 = 2^1024): documented as inf.
+  EXPECT_TRUE(std::isinf(BigUint::Pow2(2000).ToDouble()));
+  // Just below the double range still finite.
+  EXPECT_TRUE(std::isfinite(BigUint::Pow2(1000).ToDouble()));
+}
+
+TEST(BigUint, BitLengthAtWordBoundaries) {
+  EXPECT_EQ(BigUint(0xffffffffull).BitLength(), 32u);
+  EXPECT_EQ(BigUint(0x100000000ull).BitLength(), 33u);
+  EXPECT_EQ((BigUint::Pow2(128) - BigUint(1)).BitLength(), 128u);
+  EXPECT_EQ(BigUint::Pow2(128).BitLength(), 129u);
 }
 
 }  // namespace

@@ -10,10 +10,13 @@
 #include "apps/dnf.hpp"
 #include "counting/exact.hpp"
 #include "fpras/fpras.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace nfacount {
 namespace {
+
+using testing_support::TestSeed;
 
 Dnf SmallDnf() {
   // (x0 & x1) | (!x2) over 4 variables.
@@ -79,7 +82,7 @@ TEST(Dnf, ClauseModelCount) {
 }
 
 TEST(Dnf, ExactCountMatchesBruteForce) {
-  Rng rng(5);
+  Rng rng(TestSeed(5));
   for (int trial = 0; trial < 10; ++trial) {
     Dnf dnf = RandomDnf(8, 4, 3, rng);
     Result<BigUint> exact = ExactDnfCount(dnf);
@@ -99,7 +102,7 @@ TEST(Dnf, EmptyDnfIsUnsatisfiable) {
   Result<BigUint> exact = ExactDnfCount(dnf);
   ASSERT_TRUE(exact.ok());
   EXPECT_TRUE(exact->IsZero());
-  Rng rng(1);
+  Rng rng(TestSeed(1));
   Result<DnfCountResult> kl = KarpLubyDnfCount(dnf, 0.2, 0.1, rng);
   ASSERT_TRUE(kl.ok());
   EXPECT_EQ(kl->estimate, 0.0);
@@ -114,7 +117,7 @@ TEST(Dnf, EmptyClauseMatchesEverything) {
 }
 
 TEST(KarpLuby, AccurateOnOverlappingClauses) {
-  Rng rng(7);
+  Rng rng(TestSeed(7));
   for (int trial = 0; trial < 5; ++trial) {
     Dnf dnf = RandomDnf(12, 6, 3, rng);
     uint64_t truth = BruteForceModels(dnf);
@@ -129,13 +132,13 @@ TEST(KarpLuby, AccurateOnOverlappingClauses) {
 TEST(KarpLuby, ValidatesParameters) {
   Dnf dnf(2);
   ASSERT_TRUE(dnf.AddClause({{0}, {}}).ok());
-  Rng rng(1);
+  Rng rng(TestSeed(1));
   EXPECT_FALSE(KarpLubyDnfCount(dnf, 0.0, 0.1, rng).ok());
   EXPECT_FALSE(KarpLubyDnfCount(dnf, 0.1, 1.5, rng).ok());
 }
 
 TEST(DnfToNfa, LanguageIsExactlyTheModels) {
-  Rng rng(9);
+  Rng rng(TestSeed(9));
   for (int trial = 0; trial < 8; ++trial) {
     Dnf dnf = RandomDnf(7, 3, 2, rng);
     Result<Nfa> nfa = DnfToNfa(dnf);
@@ -170,7 +173,7 @@ TEST(DnfToNfa, RejectsZeroVariables) {
 }
 
 TEST(DnfPipeline, ExactCountsTransferThroughNfa) {
-  Rng rng(11);
+  Rng rng(TestSeed(11));
   for (int trial = 0; trial < 6; ++trial) {
     Dnf dnf = RandomDnf(8, 4, 3, rng);
     Result<Nfa> nfa = DnfToNfa(dnf);
@@ -183,7 +186,7 @@ TEST(DnfPipeline, ExactCountsTransferThroughNfa) {
 }
 
 TEST(DnfPipeline, FprasApproximatesModelCount) {
-  Rng rng(13);
+  Rng rng(TestSeed(13));
   Dnf dnf = RandomDnf(10, 5, 3, rng);
   uint64_t truth = BruteForceModels(dnf);
   ASSERT_GT(truth, 0u);
@@ -192,7 +195,7 @@ TEST(DnfPipeline, FprasApproximatesModelCount) {
   CountOptions options;
   options.eps = 0.3;
   options.delta = 0.2;
-  options.seed = 2025;
+  options.seed = TestSeed(2025);
   Result<CountEstimate> approx = ApproxCount(*nfa, dnf.num_vars(), options);
   ASSERT_TRUE(approx.ok());
   EXPECT_NEAR(approx->estimate / static_cast<double>(truth), 1.0, 0.5);

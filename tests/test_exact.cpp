@@ -6,10 +6,13 @@
 
 #include "automata/generators.hpp"
 #include "counting/exact.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace nfacount {
 namespace {
+
+using testing_support::TestSeed;
 
 class ExactCrossValidation : public ::testing::TestWithParam<int> {};
 
@@ -33,7 +36,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ExactCrossValidation,
                          ::testing::Range(1, 13));
 
 TEST(SubsetDp, StateLevelCountsMatchEnumeration) {
-  Rng rng(99);
+  Rng rng(TestSeed(99));
   for (int trial = 0; trial < 6; ++trial) {
     Nfa nfa = RandomNfa(6, 0.25, 0.3, rng);
     const int n = 6;
@@ -128,7 +131,7 @@ TEST(EnumerateAccepted, BudgetEnforced) {
 }
 
 TEST(EnumerateStateLevel, MatchesReachOracle) {
-  Rng rng(7);
+  Rng rng(TestSeed(7));
   Nfa nfa = RandomNfa(5, 0.3, 0.3, rng);
   const int level = 5;
   for (StateId q = 0; q < nfa.num_states(); ++q) {

@@ -11,10 +11,13 @@
 #include "automata/generators.hpp"
 #include "counting/exact.hpp"
 #include "fpras/fpras.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace nfacount {
 namespace {
+
+using testing_support::TestSeed;
 
 CountOptions Opts(uint64_t seed, double eps = 0.3, double delta = 0.2) {
   CountOptions o;
@@ -28,7 +31,7 @@ TEST(Fpras, Inv1HoldsPerStateAndLevel) {
   // AccurateN_{q,ℓ}: N(q^ℓ) within (1±β)^ℓ ≈ (1 ± ε/2n²)·ℓ of |L(q^ℓ)|.
   // Empirically (calibrated constants) we verify a generous multiplicative
   // envelope per (q, ℓ) — systematic estimator bugs blow far past it.
-  Rng rng(17);
+  Rng rng(TestSeed(17));
   Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
   const int n = 7;
   Result<SubsetDp> dp = SubsetDp::Run(nfa, n);
@@ -38,7 +41,7 @@ TEST(Fpras, Inv1HoldsPerStateAndLevel) {
       FprasParams::Make(Schedule::kFaster, nfa.num_states(), n, 0.3, 0.2,
                         Calibration::Practical());
   ASSERT_TRUE(params.ok());
-  FprasEngine engine(&nfa, *params, /*seed=*/2024);
+  FprasEngine engine(&nfa, *params, /*seed=*/TestSeed(2024));
   ASSERT_TRUE(engine.Run().ok());
 
   for (int level = 1; level <= n; ++level) {
@@ -56,13 +59,13 @@ TEST(Fpras, Inv1HoldsPerStateAndLevel) {
 }
 
 TEST(Fpras, SampleSetsHaveExactlyNsEntriesInLanguage) {
-  Rng rng(23);
+  Rng rng(TestSeed(23));
   Nfa nfa = RandomNfa(5, 0.3, 0.3, rng);
   const int n = 6;
   Result<FprasParams> params = FprasParams::Make(
       Schedule::kFaster, nfa.num_states(), n, 0.4, 0.2, Calibration::Practical());
   ASSERT_TRUE(params.ok());
-  FprasEngine engine(&nfa, *params, 7);
+  FprasEngine engine(&nfa, *params, TestSeed(7));
   ASSERT_TRUE(engine.Run().ok());
   const UnrolledNfa& unr = engine.unrolled();
   for (int level = 0; level <= n; ++level) {
@@ -104,7 +107,8 @@ TEST_P(FprasFamilyAccuracy, EstimateWithinEnvelope) {
 
   Result<BigUint> exact = ExactCountViaDfa(family.nfa, n);
   ASSERT_TRUE(exact.ok());
-  Result<CountEstimate> approx = ApproxCount(family.nfa, n, Opts(1234 + n));
+  Result<CountEstimate> approx =
+      ApproxCount(family.nfa, n, Opts(TestSeed(1234 + n)));
   ASSERT_TRUE(approx.ok()) << approx.status().ToString();
 
   const double truth = exact->ToDouble();
@@ -137,7 +141,8 @@ TEST(Fpras, RepeatedRunsConcentrateAroundTruth) {
   double sum = 0.0;
   const int trials = 20;
   for (int i = 0; i < trials; ++i) {
-    Result<CountEstimate> approx = ApproxCount(nfa, n, Opts(9000 + i, 0.3, 0.2));
+    Result<CountEstimate> approx =
+        ApproxCount(nfa, n, Opts(TestSeed(9000 + i), 0.3, 0.2));
     ASSERT_TRUE(approx.ok());
     const double ratio = approx->estimate / truth;
     sum += ratio;
@@ -148,9 +153,9 @@ TEST(Fpras, RepeatedRunsConcentrateAroundTruth) {
 }
 
 TEST(Fpras, DiagnosticsAreConsistent) {
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   Nfa nfa = RandomNfa(5, 0.3, 0.3, rng);
-  Result<CountEstimate> r = ApproxCount(nfa, 6, Opts(5));
+  Result<CountEstimate> r = ApproxCount(nfa, 6, Opts(TestSeed(5)));
   ASSERT_TRUE(r.ok());
   const FprasDiagnostics& d = r->diagnostics;
   EXPECT_GT(d.appunion_calls, 0);
@@ -171,8 +176,8 @@ TEST(Fpras, MemoizationDoesNotChangeAccuracyButSavesWork) {
   ASSERT_TRUE(exact.ok());
   const double truth = exact->ToDouble();
 
-  CountOptions with_memo = Opts(77);
-  CountOptions without_memo = Opts(77);
+  CountOptions with_memo = Opts(TestSeed(77));
+  CountOptions without_memo = Opts(TestSeed(77));
   without_memo.memoize_unions = false;
 
   Result<CountEstimate> a = ApproxCount(nfa, n, with_memo);
@@ -188,8 +193,8 @@ TEST(Fpras, MemoizationDoesNotChangeAccuracyButSavesWork) {
 TEST(Fpras, OracleAmortizationAblationAgrees) {
   Nfa nfa = ParityNfa(3);
   const int n = 7;
-  CountOptions amortized = Opts(11);
-  CountOptions slow = Opts(11);
+  CountOptions amortized = Opts(TestSeed(11));
+  CountOptions slow = Opts(TestSeed(11));
   slow.amortize_oracle = false;
   Result<CountEstimate> a = ApproxCount(nfa, n, amortized);
   Result<CountEstimate> b = ApproxCount(nfa, n, slow);
@@ -201,7 +206,7 @@ TEST(Fpras, OracleAmortizationAblationAgrees) {
 
 TEST(Fpras, PerturbationBranchOffIsCleanRun) {
   Nfa nfa = SubstringNfa(Word{0, 1});
-  CountOptions o = Opts(13);
+  CountOptions o = Opts(TestSeed(13));
   o.perturb_support = false;
   Result<CountEstimate> r = ApproxCount(nfa, 8, o);
   ASSERT_TRUE(r.ok());
@@ -213,8 +218,8 @@ TEST(Fpras, AcjrScheduleAlsoAccurateOnTinyInstance) {
   // schedules must land near the truth.
   Nfa nfa = CombinationLock(Word{1, 0});
   const int n = 6;  // truth = 2^4 = 16
-  Result<CountEstimate> fast = ApproxCount(nfa, n, Opts(21));
-  Result<CountEstimate> acjr = ApproxCountAcjr(nfa, n, Opts(21));
+  Result<CountEstimate> fast = ApproxCount(nfa, n, Opts(TestSeed(21)));
+  Result<CountEstimate> acjr = ApproxCountAcjr(nfa, n, Opts(TestSeed(21)));
   ASSERT_TRUE(fast.ok() && acjr.ok());
   EXPECT_NEAR(fast->estimate, 16.0, 8.0);
   EXPECT_NEAR(acjr->estimate, 16.0, 8.0);
@@ -248,8 +253,8 @@ TEST(Fpras, UnaryAlphabet) {
   nfa.AddTransition(1, 0, 2);
   nfa.AddTransition(2, 0, 0);
   // Accepts 0^n iff n ≡ 2 (mod 3).
-  Result<CountEstimate> r5 = ApproxCount(nfa, 5, Opts(3));
-  Result<CountEstimate> r6 = ApproxCount(nfa, 6, Opts(3));
+  Result<CountEstimate> r5 = ApproxCount(nfa, 5, Opts(TestSeed(3)));
+  Result<CountEstimate> r6 = ApproxCount(nfa, 6, Opts(TestSeed(3)));
   ASSERT_TRUE(r5.ok() && r6.ok());
   EXPECT_NEAR(r5->estimate, 1.0, 0.4);
   EXPECT_EQ(r6->estimate, 0.0);
@@ -261,7 +266,7 @@ TEST(Fpras, QuaternaryAlphabet) {
   const int n = 6;
   Result<BigUint> exact = BruteForceCount(nfa, n);
   ASSERT_TRUE(exact.ok());
-  Result<CountEstimate> approx = ApproxCount(nfa, n, Opts(19));
+  Result<CountEstimate> approx = ApproxCount(nfa, n, Opts(TestSeed(19)));
   ASSERT_TRUE(approx.ok());
   EXPECT_NEAR(approx->estimate / exact->ToDouble(), 1.0, 0.5);
 }
@@ -269,7 +274,8 @@ TEST(Fpras, QuaternaryAlphabet) {
 TEST(Fpras, AllLengthsFromOneRunMatchExact) {
   Nfa nfa = SubstringNfa(Word{1, 0, 1});
   const int n = 10;
-  Result<std::vector<double>> lengths = ApproxCountAllLengths(nfa, n, Opts(404));
+  Result<std::vector<double>> lengths =
+      ApproxCountAllLengths(nfa, n, Opts(TestSeed(404)));
   ASSERT_TRUE(lengths.ok());
   ASSERT_EQ(lengths->size(), static_cast<size_t>(n + 1));
   Result<Dfa> dfa = Determinize(nfa);
@@ -292,11 +298,13 @@ TEST(Fpras, AllLengthsLengthZeroAndEmpty) {
   nfa.AddAccepting(q);
   nfa.AddTransition(q, 0, q);
   // Accepts 0* only: |L(A_len)| = 1 for every length.
-  Result<std::vector<double>> lengths = ApproxCountAllLengths(nfa, 5, Opts(1));
+  Result<std::vector<double>> lengths =
+      ApproxCountAllLengths(nfa, 5, Opts(TestSeed(1)));
   ASSERT_TRUE(lengths.ok());
   for (double est : *lengths) EXPECT_NEAR(est, 1.0, 0.4);
 
-  Result<std::vector<double>> zero = ApproxCountAllLengths(nfa, 0, Opts(1));
+  Result<std::vector<double>> zero =
+      ApproxCountAllLengths(nfa, 0, Opts(TestSeed(1)));
   ASSERT_TRUE(zero.ok());
   ASSERT_EQ(zero->size(), 1u);
   EXPECT_EQ((*zero)[0], 1.0);
@@ -307,8 +315,9 @@ TEST(Fpras, AllLengthsConsistentWithSingleCount) {
   // with the same seed share the same DP, so they must agree exactly.
   Nfa nfa = ParityNfa(3);
   const int n = 8;
-  Result<std::vector<double>> lengths = ApproxCountAllLengths(nfa, n, Opts(777));
-  Result<CountEstimate> single = ApproxCount(nfa, n, Opts(777));
+  Result<std::vector<double>> lengths =
+      ApproxCountAllLengths(nfa, n, Opts(TestSeed(777)));
+  Result<CountEstimate> single = ApproxCount(nfa, n, Opts(TestSeed(777)));
   ASSERT_TRUE(lengths.ok() && single.ok());
   EXPECT_DOUBLE_EQ((*lengths)[n], single->estimate);
 }
@@ -319,7 +328,8 @@ TEST(Fpras, LongerWordsStillAccurate) {
   const int n = 24;
   Result<BigUint> exact = ExactCountViaDfa(nfa, n);
   ASSERT_TRUE(exact.ok());
-  Result<CountEstimate> approx = ApproxCount(nfa, n, Opts(1001, 0.25, 0.2));
+  Result<CountEstimate> approx =
+      ApproxCount(nfa, n, Opts(TestSeed(1001), 0.25, 0.2));
   ASSERT_TRUE(approx.ok());
   EXPECT_NEAR(approx->estimate / exact->ToDouble(), 1.0, 0.4);
 }

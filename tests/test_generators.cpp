@@ -8,13 +8,16 @@
 
 #include "automata/generators.hpp"
 #include "counting/exact.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace nfacount {
 namespace {
 
+using testing_support::TestSeed;
+
 TEST(Generators, RandomNfaIsValidAndLive) {
-  Rng rng(1);
+  Rng rng(TestSeed(1));
   for (int trial = 0; trial < 20; ++trial) {
     Nfa nfa = RandomNfa(5 + trial % 7, 0.2, 0.3, rng);
     ASSERT_TRUE(nfa.Validate().ok());
@@ -128,7 +131,7 @@ TEST(Generators, DivisibilityNfaIsCorrectNumerically) {
 }
 
 TEST(Generators, ReverseDeterministicHasUniquePredecessors) {
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   Nfa nfa = ReverseDeterministic(8, rng);
   ASSERT_TRUE(nfa.Validate().ok());
   // Reversal of a DFA: each (state, symbol) has at most one predecessor

@@ -9,23 +9,26 @@
 #include "automata/generators.hpp"
 #include "counting/exact.hpp"
 #include "fpras/fpras.hpp"
+#include "test_seed.hpp"
 #include "util/stats.hpp"
 
 namespace nfacount {
 namespace {
+
+using testing_support::TestSeed;
 
 CountOptions TestOptions(uint64_t seed) {
   CountOptions options;
   options.eps = 0.35;
   options.delta = 0.2;
   options.calibration = Calibration::Practical();
-  options.seed = seed;
+  options.seed = TestSeed(seed);
   return options;
 }
 
 TEST(Integration, FprasMatchesExactOnStandardFamilies) {
   const int n = 8;
-  for (const FamilyInstance& family : StandardFamilies(5, n, /*seed=*/11)) {
+  for (const FamilyInstance& family : StandardFamilies(5, n, /*seed=*/TestSeed(11))) {
     SCOPED_TRACE(family.name);
     Result<BigUint> exact = ExactCountViaDfa(family.nfa, n);
     ASSERT_TRUE(exact.ok()) << exact.status().ToString();
@@ -46,7 +49,7 @@ TEST(Integration, FprasMatchesExactOnStandardFamilies) {
 }
 
 TEST(Integration, DeterministicUnderFixedSeed) {
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
   Result<CountEstimate> a = ApproxCount(nfa, 7, TestOptions(555));
   Result<CountEstimate> b = ApproxCount(nfa, 7, TestOptions(555));

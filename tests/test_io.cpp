@@ -8,10 +8,13 @@
 #include "automata/generators.hpp"
 #include "automata/io.hpp"
 #include "counting/exact.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace nfacount {
 namespace {
+
+using testing_support::TestSeed;
 
 constexpr char kSample[] =
     "# words containing '1'\n"
@@ -71,7 +74,7 @@ TEST(ParseNfaText, ErrorsCarryLineNumbers) {
 }
 
 TEST(NfaToText, RoundTripPreservesEverything) {
-  Rng rng(5);
+  Rng rng(TestSeed(5));
   for (int trial = 0; trial < 8; ++trial) {
     Nfa original = RandomNfa(6, 0.3, 0.3, rng);
     Result<Nfa> reparsed = ParseNfaText(NfaToText(original));

@@ -1,0 +1,34 @@
+// Shared gtest main linked into every nfacount test binary (instead of
+// gtest_main) so all suites report the active base seed and understand the
+// `--smoke` alias.
+//
+//   --smoke   expands to --gtest_filter=-*/* : skips every value-parameterized
+//             sweep instance (names contain '/'), leaving the fast
+//             deterministic core of each binary. Handy for a sub-second
+//             sanity pass: ./build/tests/test_fpras --smoke
+//             (A binary whose tests are all parameterized sweeps — e.g.
+//             test_properties — runs 0 tests under --smoke and exits 0.)
+//
+// NFACOUNT_TEST_SEED=<uint64> shifts every randomized call site's seed; see
+// tests/test_seed.hpp.
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "test_seed.hpp"
+
+int main(int argc, char** argv) {
+  static char smoke_filter[] = "--gtest_filter=-*/*";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) argv[i] = smoke_filter;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  const uint64_t base = nfacount::testing_support::TestSeedBase();
+  if (base != 0) {
+    std::printf("[nfacount] NFACOUNT_TEST_SEED base = %" PRIu64 "\n", base);
+  }
+  return RUN_ALL_TESTS();
+}

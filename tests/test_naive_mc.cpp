@@ -9,16 +9,19 @@
 #include "automata/generators.hpp"
 #include "counting/exact.hpp"
 #include "counting/naive_mc.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace nfacount {
 namespace {
 
+using testing_support::TestSeed;
+
 TEST(NaiveMc, AccurateOnDenseLanguage) {
   // Half of all words (parity): acceptance prob 0.5, naive MC works fine.
   Nfa nfa = ParityNfa(2);
   const int n = 12;
-  Rng rng(1);
+  Rng rng(TestSeed(1));
   NaiveMcResult result = NaiveMonteCarloCount(nfa, n, 40000, rng);
   const double truth = std::pow(2.0, n - 1);
   EXPECT_NEAR(result.estimate / truth, 1.0, 0.05);
@@ -28,7 +31,7 @@ TEST(NaiveMc, AccurateOnDenseLanguage) {
 }
 
 TEST(NaiveMc, FullAndEmptyLanguages) {
-  Rng rng(2);
+  Rng rng(TestSeed(2));
   NaiveMcResult all = NaiveMonteCarloCount(DenseCompleteNfa(3), 10, 1000, rng);
   EXPECT_DOUBLE_EQ(all.acceptance_rate, 1.0);
   EXPECT_DOUBLE_EQ(all.estimate, 1024.0);
@@ -50,7 +53,7 @@ TEST(NaiveMc, FailsOnSparseLanguage) {
   Word needle;
   for (int i = 0; i < 24; ++i) needle.push_back(static_cast<Symbol>(i % 2));
   Nfa nfa = SparseNeedle(needle);
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   NaiveMcResult result = NaiveMonteCarloCount(nfa, 24, 20000, rng);
   EXPECT_EQ(result.accepted, 0);
   EXPECT_DOUBLE_EQ(result.estimate, 0.0);  // truth is 1
@@ -67,7 +70,7 @@ TEST(NaiveMc, DeterministicUnderSeed) {
 
 TEST(NaiveMc, TernaryAlphabetScaling) {
   Nfa nfa = DenseCompleteNfa(2, 3);
-  Rng rng(11);
+  Rng rng(TestSeed(11));
   NaiveMcResult result = NaiveMonteCarloCount(nfa, 6, 2000, rng);
   EXPECT_DOUBLE_EQ(result.estimate, std::pow(3.0, 6));
 }

@@ -10,10 +10,13 @@
 
 #include "apps/pqe.hpp"
 #include "counting/exact.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace nfacount {
 namespace {
+
+using testing_support::TestSeed;
 
 // A 2-layer path database: R0 edges a->b, R1 edges b->c.
 //   nodes: 0,1 (layer A), 2,3 (layer B), 4 (layer C)
@@ -144,7 +147,7 @@ TEST(ExactPqe, KnownHandValue) {
 }
 
 TEST(ApproxPqe, TracksExactOnRandomDatabases) {
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   for (int trial = 0; trial < 4; ++trial) {
     // Random 3-layer DAG with ~10 facts.
     ProbGraphDb db(9, 2);
@@ -169,7 +172,7 @@ TEST(ApproxPqe, TracksExactOnRandomDatabases) {
     CountOptions options;
     options.eps = 0.3;
     options.delta = 0.2;
-    options.seed = 400 + trial;
+    options.seed = TestSeed(400 + trial);
     Result<PqeResult> approx = ApproxPqe(db, query, options);
     ASSERT_TRUE(approx.ok()) << approx.status().ToString();
     if (exact.value() == 0.0) {
@@ -258,7 +261,7 @@ TEST(WeightedPqe, ApproxTracksExactOnMixedProbabilities) {
   CountOptions options;
   options.eps = 0.25;
   options.delta = 0.2;
-  options.seed = 11;
+  options.seed = TestSeed(11);
   Result<PqeResult> approx = ApproxPqeWeighted(db, query, options);
   ASSERT_TRUE(approx.ok()) << approx.status().ToString();
   EXPECT_NEAR(approx->probability / exact.value(), 1.0, 0.4)
@@ -276,7 +279,7 @@ TEST(WeightedPqe, UniformSpecialCaseAgreesWithUnweightedPipeline) {
   CountOptions options;
   options.eps = 0.3;
   options.delta = 0.2;
-  options.seed = 12;
+  options.seed = TestSeed(12);
   Result<PqeResult> weighted = ApproxPqeWeighted(db, query, options);
   ASSERT_TRUE(weighted.ok());
   EXPECT_NEAR(weighted->probability / exact_plain.value(), 1.0, 0.45);
@@ -318,7 +321,7 @@ TEST(ApproxPqe, ProbabilityIsAtMostOne) {
   for (int i = 0; i < 7; ++i) ASSERT_TRUE(db.AddFact(0, i, i + 1).ok());
   CountOptions options;
   options.eps = 0.3;
-  options.seed = 5;
+  options.seed = TestSeed(5);
   Result<PqeResult> r = ApproxPqe(db, PathQuery{{0}}, options);
   ASSERT_TRUE(r.ok());
   Result<double> exact = ExactPqe(db, PathQuery{{0}});

@@ -15,10 +15,13 @@
 #include "automata/regex.hpp"
 #include "counting/exact.hpp"
 #include "fpras/fpras.hpp"
+#include "test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace nfacount {
 namespace {
+
+using testing_support::TestSeed;
 
 // ---------------------------------------------------------------------------
 // Random regex generation (for compiler fuzzing against the AST matcher)
@@ -66,7 +69,7 @@ std::string RandomRegex(Rng& rng, int depth, int alphabet) {
 class RegexFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(RegexFuzz, CompiledNfaAgreesWithAstMatcherOnAllShortWords) {
-  Rng rng(1000 + GetParam());
+  Rng rng(TestSeed(1000 + GetParam()));
   const int alphabet = 2 + GetParam() % 2;
   std::string pattern = RandomRegex(rng, 3, alphabet);
   SCOPED_TRACE(pattern);
@@ -103,7 +106,7 @@ class CountingAlgebra : public ::testing::TestWithParam<int> {};
 
 TEST_P(CountingAlgebra, InclusionExclusionAcrossUnionAndIntersection) {
   // |L_n(A)| + |L_n(B)| = |L_n(A ∪ B)| + |L_n(A ∩ B)| for every n.
-  Rng rng(2000 + GetParam());
+  Rng rng(TestSeed(2000 + GetParam()));
   Nfa a = RandomNfa(5, 0.3, 0.3, rng);
   Nfa b = RandomNfa(4, 0.35, 0.3, rng);
   Nfa u = Union(a, b);
@@ -116,7 +119,7 @@ TEST_P(CountingAlgebra, InclusionExclusionAcrossUnionAndIntersection) {
 }
 
 TEST_P(CountingAlgebra, ReversePreservesCounts) {
-  Rng rng(3000 + GetParam());
+  Rng rng(TestSeed(3000 + GetParam()));
   Nfa a = RandomNfa(5, 0.3, 0.3, rng);
   Nfa r = Reverse(a);
   for (int n = 0; n <= 7; ++n) {
@@ -126,7 +129,7 @@ TEST_P(CountingAlgebra, ReversePreservesCounts) {
 }
 
 TEST_P(CountingAlgebra, ComplementCountsSumToAlphabetPower) {
-  Rng rng(4000 + GetParam());
+  Rng rng(TestSeed(4000 + GetParam()));
   Nfa a = RandomNfa(5, 0.3, 0.3, rng);
   Result<Dfa> dfa = Determinize(a);
   ASSERT_TRUE(dfa.ok());
@@ -138,7 +141,7 @@ TEST_P(CountingAlgebra, ComplementCountsSumToAlphabetPower) {
 }
 
 TEST_P(CountingAlgebra, MinimizationPreservesCounts) {
-  Rng rng(5000 + GetParam());
+  Rng rng(TestSeed(5000 + GetParam()));
   Nfa a = RandomNfa(6, 0.25, 0.3, rng);
   Result<Dfa> dfa = Determinize(a);
   ASSERT_TRUE(dfa.ok());
@@ -149,7 +152,7 @@ TEST_P(CountingAlgebra, MinimizationPreservesCounts) {
 }
 
 TEST_P(CountingAlgebra, TextRoundTripPreservesCounts) {
-  Rng rng(6000 + GetParam());
+  Rng rng(TestSeed(6000 + GetParam()));
   Nfa a = RandomNfa(5, 0.3, 0.3, rng);
   Result<Nfa> round = ParseNfaText(NfaToText(a));
   ASSERT_TRUE(round.ok());
@@ -168,12 +171,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CountingAlgebra, ::testing::Range(0, 8));
 class FprasProperties : public ::testing::TestWithParam<int> {};
 
 TEST_P(FprasProperties, EstimateNonNegativeFiniteAndSeedStable) {
-  Rng rng(7000 + GetParam());
+  Rng rng(TestSeed(7000 + GetParam()));
   Nfa a = RandomNfa(4 + GetParam() % 4, 0.3, 0.3, rng);
   CountOptions options;
   options.eps = 0.4;
   options.delta = 0.25;
-  options.seed = 42 + GetParam();
+  options.seed = TestSeed(42 + GetParam());
   Result<CountEstimate> r1 = ApproxCount(a, 6, options);
   Result<CountEstimate> r2 = ApproxCount(a, 6, options);
   ASSERT_TRUE(r1.ok() && r2.ok());
@@ -183,7 +186,7 @@ TEST_P(FprasProperties, EstimateNonNegativeFiniteAndSeedStable) {
 }
 
 TEST_P(FprasProperties, EstimateZeroIffLanguageEmpty) {
-  Rng rng(8000 + GetParam());
+  Rng rng(TestSeed(8000 + GetParam()));
   Nfa a = RandomNfa(5, 0.2, 0.15, rng);
   const int n = 6;
   Result<BigUint> exact = BruteForceCount(a, n);
@@ -191,14 +194,14 @@ TEST_P(FprasProperties, EstimateZeroIffLanguageEmpty) {
   CountOptions options;
   options.eps = 0.4;
   options.delta = 0.25;
-  options.seed = 5 + GetParam();
+  options.seed = TestSeed(5 + GetParam());
   Result<CountEstimate> r = ApproxCount(a, n, options);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->estimate == 0.0, exact->IsZero());
 }
 
 TEST_P(FprasProperties, SchedulesAgreeWithinTolerance) {
-  Rng rng(9000 + GetParam());
+  Rng rng(TestSeed(9000 + GetParam()));
   Nfa a = RandomNfa(4, 0.35, 0.3, rng);
   const int n = 6;
   Result<BigUint> exact = BruteForceCount(a, n);
@@ -208,7 +211,7 @@ TEST_P(FprasProperties, SchedulesAgreeWithinTolerance) {
   CountOptions options;
   options.eps = 0.4;
   options.delta = 0.25;
-  options.seed = 77 + GetParam();
+  options.seed = TestSeed(77 + GetParam());
   options.calibration.ns_scale = 1e-11;  // keep the κ⁷ budget feasible
   Result<CountEstimate> fast = ApproxCount(a, n, options);
   Result<CountEstimate> acjr = ApproxCountAcjr(a, n, options);
@@ -225,7 +228,7 @@ TEST_P(FprasProperties, AllLengthsMonotoneUnderPrefixClosedLanguages) {
   CountOptions options;
   options.eps = 0.3;
   options.delta = 0.2;
-  options.seed = 88 + GetParam();
+  options.seed = TestSeed(88 + GetParam());
   Result<std::vector<double>> lengths = ApproxCountAllLengths(a, 9, options);
   ASSERT_TRUE(lengths.ok());
   for (size_t i = 3; i < lengths->size(); ++i) {
@@ -243,7 +246,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FprasProperties, ::testing::Range(0, 8));
 class SamplerProperties : public ::testing::TestWithParam<int> {};
 
 TEST_P(SamplerProperties, EverySampleIsAccepted) {
-  Rng rng(10000 + GetParam());
+  Rng rng(TestSeed(10000 + GetParam()));
   Nfa a = RandomNfa(5, 0.3, 0.35, rng);
   const int n = 6;
   Result<BigUint> exact = BruteForceCount(a, n);
@@ -252,7 +255,7 @@ TEST_P(SamplerProperties, EverySampleIsAccepted) {
   SamplerOptions options;
   options.eps = 0.35;
   options.delta = 0.25;
-  options.seed = 3 + GetParam();
+  options.seed = TestSeed(3 + GetParam());
   Result<WordSampler> sampler = WordSampler::Build(a, n, options);
   ASSERT_TRUE(sampler.ok());
   for (int i = 0; i < 60; ++i) {

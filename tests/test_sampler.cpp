@@ -12,10 +12,13 @@
 #include "automata/generators.hpp"
 #include "counting/exact.hpp"
 #include "fpras/fpras.hpp"
+#include "test_seed.hpp"
 #include "util/stats.hpp"
 
 namespace nfacount {
 namespace {
+
+using testing_support::TestSeed;
 
 SamplerOptions Opts(uint64_t seed) {
   SamplerOptions o;
@@ -26,14 +29,15 @@ SamplerOptions Opts(uint64_t seed) {
 }
 
 TEST(Sampler, SamplesAreAlwaysInLanguage) {
-  Rng rng(2);
+  Rng rng(TestSeed(2));
   for (int trial = 0; trial < 4; ++trial) {
     Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
     const int n = 7;
     Result<std::vector<Word>> lang = EnumerateAccepted(nfa, n);
     ASSERT_TRUE(lang.ok());
     if (lang->empty()) continue;
-    Result<WordSampler> sampler = WordSampler::Build(nfa, n, Opts(50 + trial));
+    Result<WordSampler> sampler =
+        WordSampler::Build(nfa, n, Opts(TestSeed(50 + trial)));
     ASSERT_TRUE(sampler.ok()) << sampler.status().ToString();
     std::set<Word> language(lang->begin(), lang->end());
     for (int i = 0; i < 200; ++i) {
@@ -55,7 +59,7 @@ TEST(Sampler, EmpiricallyCloseToUniformInTv) {
   const int64_t support = static_cast<int64_t>(lang->size());
   ASSERT_GT(support, 0);
 
-  Result<WordSampler> sampler = WordSampler::Build(nfa, n, Opts(404));
+  Result<WordSampler> sampler = WordSampler::Build(nfa, n, Opts(TestSeed(404)));
   ASSERT_TRUE(sampler.ok());
   std::map<std::string, int64_t> histogram;
   const int64_t draws = 6000;
@@ -95,7 +99,7 @@ TEST(Sampler, UniformAcrossDisjointBranchesOfUnevenSize) {
   nfa.AddAccepting(free_b);
   const int n = 5;
   // L = 00 + 3 free (8 words) ∪ 1 + 4 free (16 words); disjoint.
-  Result<WordSampler> sampler = WordSampler::Build(nfa, n, Opts(777));
+  Result<WordSampler> sampler = WordSampler::Build(nfa, n, Opts(TestSeed(777)));
   ASSERT_TRUE(sampler.ok());
   int64_t zeros = 0, ones = 0;
   const int64_t draws = 4000;
@@ -116,7 +120,7 @@ TEST(Sampler, RejectionRateRespectsTheorem2Bound) {
   CountOptions options;
   options.eps = 0.3;
   options.delta = 0.2;
-  options.seed = 31337;
+  options.seed = TestSeed(31337);
   Result<CountEstimate> r = ApproxCount(nfa, 10, options);
   ASSERT_TRUE(r.ok());
   const FprasDiagnostics& d = r->diagnostics;
@@ -133,7 +137,7 @@ TEST(Sampler, EmptyLanguageReportsNotFound) {
   nfa.AddAccepting(1);  // unreachable
   nfa.AddTransition(0, 0, 0);
   nfa.AddTransition(0, 1, 0);
-  Result<WordSampler> sampler = WordSampler::Build(nfa, 5, Opts(1));
+  Result<WordSampler> sampler = WordSampler::Build(nfa, 5, Opts(TestSeed(1)));
   ASSERT_TRUE(sampler.ok());
   Result<Word> w = sampler.value().Sample();
   EXPECT_FALSE(w.ok());
@@ -146,7 +150,7 @@ TEST(Sampler, LengthZeroLanguage) {
   nfa.SetInitial(q);
   nfa.AddAccepting(q);
   nfa.AddTransition(q, 0, q);
-  Result<WordSampler> sampler = WordSampler::Build(nfa, 0, Opts(1));
+  Result<WordSampler> sampler = WordSampler::Build(nfa, 0, Opts(TestSeed(1)));
   ASSERT_TRUE(sampler.ok());
   Result<Word> w = sampler.value().Sample();
   ASSERT_TRUE(w.ok());
@@ -155,8 +159,8 @@ TEST(Sampler, LengthZeroLanguage) {
 
 TEST(Sampler, SampleManyCountsAndDeterminism) {
   Nfa nfa = ParityNfa(2);
-  Result<WordSampler> s1 = WordSampler::Build(nfa, 6, Opts(99));
-  Result<WordSampler> s2 = WordSampler::Build(nfa, 6, Opts(99));
+  Result<WordSampler> s1 = WordSampler::Build(nfa, 6, Opts(TestSeed(99)));
+  Result<WordSampler> s2 = WordSampler::Build(nfa, 6, Opts(TestSeed(99)));
   ASSERT_TRUE(s1.ok() && s2.ok());
   Result<std::vector<Word>> w1 = s1.value().SampleMany(25);
   Result<std::vector<Word>> w2 = s2.value().SampleMany(25);
@@ -168,7 +172,7 @@ TEST(Sampler, SampleManyCountsAndDeterminism) {
 TEST(Sampler, CountEstimateExposedMatchesFprasAccuracy) {
   Nfa nfa = ParityNfa(2);
   const int n = 8;
-  Result<WordSampler> sampler = WordSampler::Build(nfa, n, Opts(5));
+  Result<WordSampler> sampler = WordSampler::Build(nfa, n, Opts(TestSeed(5)));
   ASSERT_TRUE(sampler.ok());
   EXPECT_NEAR(sampler.value().CountEstimate() / 128.0, 1.0, 0.45);
 }
@@ -177,7 +181,7 @@ TEST(Sampler, SingletonLanguageAlwaysReturnsTheWord) {
   Word needle{1, 1, 0, 1, 0, 0};
   Nfa nfa = SparseNeedle(needle);
   Result<WordSampler> sampler =
-      WordSampler::Build(nfa, static_cast<int>(needle.size()), Opts(8));
+      WordSampler::Build(nfa, static_cast<int>(needle.size()), Opts(TestSeed(8)));
   ASSERT_TRUE(sampler.ok());
   for (int i = 0; i < 20; ++i) {
     Result<Word> w = sampler.value().Sample();
@@ -188,13 +192,13 @@ TEST(Sampler, SingletonLanguageAlwaysReturnsTheWord) {
 
 TEST(Sampler, EngineSampleWordTargetsArbitraryStateSets) {
   // Directly exercise FprasEngine::SampleWord on an interior level/state set.
-  Rng rng(10);
+  Rng rng(TestSeed(10));
   Nfa nfa = RandomNfa(6, 0.35, 0.3, rng);
   const int n = 6;
   Result<FprasParams> params = FprasParams::Make(
       Schedule::kFaster, nfa.num_states(), n, 0.3, 0.2, Calibration::Practical());
   ASSERT_TRUE(params.ok());
-  FprasEngine engine(&nfa, *params, 44);
+  FprasEngine engine(&nfa, *params, TestSeed(44));
   ASSERT_TRUE(engine.Run().ok());
 
   const int level = 4;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <set>
+#include <string>
+
 #include "util/status.hpp"
 
 namespace nfacount {
@@ -119,6 +123,102 @@ TEST(Macros, AssignOrReturnPropagates) {
   EXPECT_EQ(ok.value(), 2);
   EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3, odd
   EXPECT_FALSE(Quarter(5).ok());
+}
+
+// Three-layer propagation pipeline: the code AND message of the innermost
+// failure must survive unchanged through both macro kinds and a change of
+// Result value type.
+Result<std::string> Innermost(int x) {
+  if (x == 1) return Status::NotFound("layer-0 miss");
+  if (x == 2) return Status::ResourceExhausted("layer-0 budget");
+  return std::string("payload");
+}
+
+Result<int> MiddleLayer(int x) {
+  std::string s;
+  NFA_ASSIGN_OR_RETURN(s, Innermost(x));
+  return static_cast<int>(s.size());
+}
+
+Status OuterLayer(int x) {
+  int n = 0;
+  NFA_ASSIGN_OR_RETURN(n, MiddleLayer(x));
+  (void)n;
+  return Status::Ok();
+}
+
+TEST(Macros, CodeAndMessageSurviveMultiLayerPropagation) {
+  EXPECT_TRUE(OuterLayer(0).ok());
+  Status not_found = OuterLayer(1);
+  EXPECT_EQ(not_found.code(), StatusCode::kNotFound);
+  EXPECT_EQ(not_found.message(), "layer-0 miss");
+  Status exhausted = OuterLayer(2);
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.message(), "layer-0 budget");
+}
+
+TEST(Status, ToStringFormatsCodeColonMessage) {
+  EXPECT_EQ(Status::NotFound("no such nfa").ToString(), "NotFound: no such nfa");
+  EXPECT_EQ(Status::Internal("").ToString(), "Internal: ");
+  EXPECT_EQ(Status().ToString(), "OK");
+}
+
+TEST(Status, EveryCodeHasAStableName) {
+  // StatusCodeName must return a distinct, non-empty literal for every code.
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
+      StatusCode::kResourceExhausted, StatusCode::kNotFound,
+      StatusCode::kUnimplemented, StatusCode::kInternal,
+  };
+  std::set<std::string> names;
+  for (StatusCode c : codes) {
+    const char* name = StatusCodeName(c);
+    ASSERT_NE(name, nullptr);
+    EXPECT_FALSE(std::string(name).empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), std::size(codes));
+}
+
+TEST(Status, ErrorWithEmptyMessageIsNotOk) {
+  Status st = Status::Invalid("");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "");
+  // Distinct from OK even though both messages are empty.
+  EXPECT_FALSE(st == Status());
+}
+
+TEST(Result, CopyAndAssignPreserveState) {
+  Result<int> ok(9);
+  Result<int> err(Status::OutOfRange("past the end"));
+  Result<int> ok_copy = ok;
+  Result<int> err_copy = err;
+  EXPECT_TRUE(ok_copy.ok());
+  EXPECT_EQ(ok_copy.value(), 9);
+  EXPECT_FALSE(err_copy.ok());
+  EXPECT_EQ(err_copy.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(err_copy.status().message(), "past the end");
+  // Assignment flips a value Result into an error Result and back.
+  ok_copy = err;
+  EXPECT_FALSE(ok_copy.ok());
+  ok_copy = Result<int>(11);
+  ASSERT_TRUE(ok_copy.ok());
+  EXPECT_EQ(ok_copy.value(), 11);
+}
+
+TEST(Result, ValueOrOnErrorPreservesFallbackOnly) {
+  Result<std::string> err(Status::NotFound("gone"));
+  EXPECT_EQ(err.value_or("fallback"), "fallback");
+  Result<std::string> ok(std::string("present"));
+  EXPECT_EQ(ok.value_or("fallback"), "present");
+}
+
+TEST(Result, MutableAccessThroughReferenceAndArrow) {
+  Result<std::string> r(std::string("abc"));
+  *r += "d";
+  r->push_back('e');
+  EXPECT_EQ(r.value(), "abcde");
 }
 
 }  // namespace
