@@ -1,0 +1,149 @@
+// E11 — CSR hot-path layout: old (pointer-walk adjacency) vs new (flat CSR +
+// row masks + batched membership), measured, not asserted.
+//
+// Two views of the same change:
+//   E11a: the raw predecessor-expansion primitive (UnrolledNfa::PredSet*) on
+//         random frontiers — the inner loop of Algorithm 2's backward walk —
+//         in million-expansions/sec.
+//   E11b: end-to-end almost-uniform sampling throughput (WordSampler draws
+//         per second) on the E3 scaling family (RandomNfa(m, 0.3, 0.25),
+//         m >= 64), with the engine built once per layout from the same seed.
+//         Both layouts consume identical RNG streams, so the drawn words are
+//         identical — only the cost differs.
+//
+// Methodology (see bench/README.md "Performance methodology"): Release build,
+// one warm-up pass before each timed region, >= ~0.5 s of work per cell, and
+// a fixed seed so reruns are comparable.
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/generators.hpp"
+#include "bench_common.hpp"
+#include "fpras/sampler.hpp"
+
+using namespace nfacount;
+using namespace nfacount::bench;
+
+namespace {
+
+/// The E3 family instance (bench_e3_scaling_n.cpp uses the same generator).
+Nfa E3Automaton(int m) {
+  Rng rng(2024);
+  return RandomNfa(m, 0.3, 0.25, rng);
+}
+
+/// Random frontier of ~density·m states, at least one set.
+Bitset RandomFrontier(int m, double density, Rng& rng) {
+  Bitset f(m);
+  for (int q = 0; q < m; ++q) {
+    if (rng.Bernoulli(density)) f.Set(q);
+  }
+  if (f.None()) f.Set(static_cast<size_t>(rng.UniformU64(m)));
+  return f;
+}
+
+void BenchPredSet(int m) {
+  const int n = 4;
+  Nfa nfa = E3Automaton(m);
+  UnrolledNfa unr(&nfa, n);
+  Rng rng(99);
+  std::vector<Bitset> frontiers;
+  for (int i = 0; i < 64; ++i) frontiers.push_back(RandomFrontier(m, 0.25, rng));
+
+  // Scale iteration counts so each timed cell does comparable total work.
+  const int64_t iters = std::max<int64_t>(20000, 4000000 / m);
+  Bitset out(m);
+
+  // PredSet* live in another TU, so the timed calls cannot be elided.
+  auto run_legacy = [&]() {
+    WallTimer t;
+    for (int64_t i = 0; i < iters; ++i) {
+      const Bitset& f = frontiers[i & 63];
+      out = unr.PredSetLegacy(f, static_cast<Symbol>(i & 1), 1 + (i % n));
+    }
+    return t.ElapsedSeconds();
+  };
+  auto run_csr = [&]() {
+    WallTimer t;
+    for (int64_t i = 0; i < iters; ++i) {
+      const Bitset& f = frontiers[i & 63];
+      unr.PredSetInto(f, static_cast<Symbol>(i & 1), 1 + (i % n), &out);
+    }
+    return t.ElapsedSeconds();
+  };
+
+  run_legacy();  // warm-up
+  const double legacy_s = run_legacy();
+  run_csr();  // warm-up
+  const double csr_s = run_csr();
+  const double legacy_mops = iters / legacy_s / 1e6;
+  const double csr_mops = iters / csr_s / 1e6;
+  Row({FmtInt(m), FmtInt(iters), Fmt(legacy_mops, "%.2f"), Fmt(csr_mops, "%.2f"),
+       Fmt(csr_mops / legacy_mops, "%.2fx")});
+}
+
+struct SamplerCell {
+  double build_s = 0.0;
+  double draws_per_s = 0.0;
+};
+
+SamplerCell BenchSamplerLayout(const Nfa& nfa, int n, bool csr, int64_t draws) {
+  SamplerOptions opts;
+  opts.eps = 0.3;
+  opts.delta = 0.2;
+  opts.seed = 11;
+  opts.csr_hot_path = csr;
+  SamplerCell cell;
+  WallTimer build_timer;
+  Result<WordSampler> sampler = WordSampler::Build(nfa, n, opts);
+  cell.build_s = build_timer.ElapsedSeconds();
+  if (!sampler.ok()) {
+    std::fprintf(stderr, "sampler build failed: %s\n",
+                 sampler.status().ToString().c_str());
+    return cell;
+  }
+  for (int i = 0; i < 32; ++i) (void)sampler->Sample();  // warm-up
+  WallTimer draw_timer;
+  int64_t ok_draws = 0;
+  for (int64_t i = 0; i < draws; ++i) {
+    if (sampler->Sample().ok()) ++ok_draws;
+  }
+  cell.draws_per_s = ok_draws / draw_timer.ElapsedSeconds();
+  return cell;
+}
+
+void BenchSampler(int m, int n, int64_t draws) {
+  Nfa nfa = E3Automaton(m);
+  SamplerCell legacy = BenchSamplerLayout(nfa, n, /*csr=*/false, draws);
+  SamplerCell csr = BenchSamplerLayout(nfa, n, /*csr=*/true, draws);
+  Row({FmtInt(m), FmtInt(n), FmtInt(draws), Fmt(legacy.build_s, "%.2f"),
+       Fmt(csr.build_s, "%.2f"), Fmt(legacy.draws_per_s, "%.1f"),
+       Fmt(csr.draws_per_s, "%.1f"),
+       Fmt(csr.draws_per_s / legacy.draws_per_s, "%.2fx")});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E11 — CSR-unrolled hot path: old vs new transition layout\n");
+
+  Section("E11a: PredSet expansion throughput (Mops/s), E3 family");
+  Row({"m", "iters", "legacy", "csr", "speedup"});
+  for (int m : {64, 128, 256}) BenchPredSet(m);
+
+  Section("E11b: sampler throughput (draws/s), E3 family, eps=0.3 delta=0.2");
+  Row({"m", "n", "draws", "build_old", "build_new", "old_d/s", "new_d/s",
+       "speedup"});
+  BenchSampler(64, 8, 1500);
+  BenchSampler(96, 8, 1000);
+  BenchSampler(128, 8, 800);
+  BenchSampler(64, 12, 1000);
+
+  std::printf(
+      "\nReading: 'speedup' is new/old samples-per-second on identical draw\n"
+      "sequences (both layouts consume the same RNG stream). The E11a rows\n"
+      "isolate the frontier-propagation primitive the sampler walk spends\n"
+      "most of its time in; bench/README.md records reference numbers.\n");
+  return 0;
+}

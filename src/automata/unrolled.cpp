@@ -4,29 +4,160 @@
 
 namespace nfacount {
 
+namespace {
+
+/// Shared CSR assembly over a row-visitor: `for_each_edge(q, a, fn)` must call
+/// fn(target) for every edge of row (q, a) in ascending target order.
+template <typename EdgeSource>
+CsrTransitions BuildCsr(const Nfa& nfa, EdgeSource&& edges_of_row) {
+  CsrTransitions csr;
+  csr.num_states = nfa.num_states();
+  csr.alphabet_size = nfa.alphabet_size();
+  const size_t rows = static_cast<size_t>(csr.num_states) * csr.alphabet_size;
+
+  csr.offsets.assign(rows + 1, 0);
+  for (StateId q = 0; q < csr.num_states; ++q) {
+    for (int a = 0; a < csr.alphabet_size; ++a) {
+      csr.offsets[csr.Row(q, static_cast<Symbol>(a)) + 1] =
+          static_cast<int32_t>(edges_of_row(q, static_cast<Symbol>(a)).size());
+    }
+  }
+  for (size_t r = 0; r < rows; ++r) csr.offsets[r + 1] += csr.offsets[r];
+
+  csr.targets.resize(static_cast<size_t>(csr.offsets[rows]));
+  csr.symbols.resize(csr.targets.size());
+  for (StateId q = 0; q < csr.num_states; ++q) {
+    for (int a = 0; a < csr.alphabet_size; ++a) {
+      const Symbol sym = static_cast<Symbol>(a);
+      size_t at = static_cast<size_t>(csr.offsets[csr.Row(q, sym)]);
+      for (StateId r : edges_of_row(q, sym)) {
+        csr.targets[at] = r;
+        csr.symbols[at] = sym;
+        ++at;
+      }
+    }
+  }
+
+  // Word-parallel row masks, when the m·|Σ| rows of m bits fit the budget.
+  const size_t mask_bits = rows * static_cast<size_t>(csr.num_states);
+  if (mask_bits > 0 && mask_bits <= CsrTransitions::kMaskBitBudget) {
+    csr.row_masks.reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      Bitset mask(static_cast<size_t>(csr.num_states));
+      for (int32_t e = csr.offsets[r]; e < csr.offsets[r + 1]; ++e) {
+        mask.Set(static_cast<size_t>(csr.targets[static_cast<size_t>(e)]));
+      }
+      csr.row_masks.push_back(std::move(mask));
+    }
+  }
+  return csr;
+}
+
+}  // namespace
+
+CsrTransitions CsrTransitions::FromSuccessors(const Nfa& nfa) {
+  return BuildCsr(nfa, [&nfa](StateId q, Symbol a) -> const std::vector<StateId>& {
+    return nfa.Successors(q, a);
+  });
+}
+
+CsrTransitions CsrTransitions::FromPredecessors(const Nfa& nfa) {
+  return BuildCsr(nfa, [&nfa](StateId q, Symbol a) -> const std::vector<StateId>& {
+    return nfa.Predecessors(q, a);
+  });
+}
+
+void CsrTransitions::StepInto(const Bitset& from, Symbol symbol,
+                              Bitset* out) const {
+  assert(out != nullptr && out->size() == static_cast<size_t>(num_states));
+  out->Clear();
+  if (has_masks()) {
+    from.ForEachSet([&](int q) {
+      *out |= row_masks[Row(static_cast<StateId>(q), symbol)];
+    });
+  } else {
+    from.ForEachSet([&](int q) {
+      const StateId* end = RowEnd(static_cast<StateId>(q), symbol);
+      for (const StateId* t = RowBegin(static_cast<StateId>(q), symbol);
+           t != end; ++t) {
+        out->Set(static_cast<size_t>(*t));
+      }
+    });
+  }
+}
+
 UnrolledNfa::UnrolledNfa(const Nfa* nfa, int n) : nfa_(nfa), n_(n) {
   assert(nfa != nullptr);
   assert(nfa->Validate().ok());
   assert(n >= 0);
+  forward_ = CsrTransitions::FromSuccessors(*nfa);
+  reverse_ = CsrTransitions::FromPredecessors(*nfa);
   reachable_.reserve(n + 1);
   Bitset cur(nfa->num_states());
   cur.Set(nfa->initial());
   reachable_.push_back(cur);
+  Bitset next(nfa->num_states());
+  Bitset step(nfa->num_states());
   for (int level = 1; level <= n; ++level) {
-    Bitset next(nfa->num_states());
+    next.Clear();
     for (int a = 0; a < nfa->alphabet_size(); ++a) {
-      next |= nfa->Step(cur, static_cast<Symbol>(a));
+      forward_.StepInto(cur, static_cast<Symbol>(a), &step);
+      next |= step;
     }
     reachable_.push_back(next);
-    cur = reachable_.back();
+    cur.CopyFrom(next);
   }
 }
 
-Bitset UnrolledNfa::PredSet(const Bitset& states, Symbol symbol, int level) const {
+void UnrolledNfa::PredSetInto(const Bitset& states, Symbol symbol, int level,
+                              Bitset* out) const {
+  assert(level >= 1 && level <= n_);
+  assert(out != nullptr && out->size() == states.size());
+  const Bitset& clip = reachable_[level - 1];
+  if (reverse_.has_masks()) {
+    // Fused OR-and-clip: every mask word is ANDed against the previous
+    // level's reachable set as it lands, so `out` never holds dead states.
+    out->Clear();
+    states.ForEachSet([&](int q) {
+      out->OrMasked(reverse_.row_masks[reverse_.Row(static_cast<StateId>(q), symbol)],
+                    clip);
+    });
+  } else {
+    reverse_.StepInto(states, symbol, out);
+    *out &= clip;
+  }
+}
+
+Bitset UnrolledNfa::PredSet(const Bitset& states, Symbol symbol,
+                            int level) const {
+  Bitset out(states.size());
+  PredSetInto(states, symbol, level, &out);
+  return out;
+}
+
+Bitset UnrolledNfa::PredSetLegacy(const Bitset& states, Symbol symbol,
+                                  int level) const {
   assert(level >= 1 && level <= n_);
   Bitset preds = nfa_->StepBack(states, symbol);
   preds &= reachable_[level - 1];
   return preds;
+}
+
+void UnrolledNfa::SuccSetInto(const Bitset& states, Symbol symbol,
+                              Bitset* out) const {
+  forward_.StepInto(states, symbol, out);
+}
+
+Bitset UnrolledNfa::ReachProfile(const Word& word) const {
+  Bitset cur(nfa_->num_states());
+  cur.Set(nfa_->initial());
+  Bitset next(nfa_->num_states());
+  for (Symbol s : word) {
+    forward_.StepInto(cur, s, &next);
+    std::swap(cur, next);
+    if (cur.None()) break;
+  }
+  return cur;
 }
 
 std::optional<Word> UnrolledNfa::WitnessWord(StateId q, int level) const {
@@ -36,11 +167,12 @@ std::optional<Word> UnrolledNfa::WitnessWord(StateId q, int level) const {
   // whose predecessor is reachable at the previous level.
   Word word(level);
   Bitset cur(nfa_->num_states());
+  Bitset preds(nfa_->num_states());
   cur.Set(q);
   for (int i = level; i >= 1; --i) {
     bool found = false;
     for (int a = 0; a < nfa_->alphabet_size() && !found; ++a) {
-      Bitset preds = PredSet(cur, static_cast<Symbol>(a), i);
+      PredSetInto(cur, static_cast<Symbol>(a), i, &preds);
       int p = preds.FirstSet();
       if (p >= 0) {
         word[i - 1] = static_cast<Symbol>(a);
@@ -57,12 +189,17 @@ std::optional<Word> UnrolledNfa::WitnessWord(StateId q, int level) const {
 }
 
 StoredSample UnrolledNfa::MakeSample(Word word) const {
+  Bitset reach = ReachProfile(word);
+  return StoredSample{std::move(word), std::move(reach)};
+}
+
+StoredSample UnrolledNfa::MakeSampleLegacy(Word word) const {
   Bitset reach = nfa_->Reach(word);
   return StoredSample{std::move(word), std::move(reach)};
 }
 
 bool UnrolledNfa::MemberSlow(const Word& word, StateId q) const {
-  return nfa_->Reach(word).Test(q);
+  return ReachProfile(word).Test(q);
 }
 
 }  // namespace nfacount

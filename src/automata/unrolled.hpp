@@ -4,6 +4,15 @@
 // L(q^ℓ) is nonempty iff q is reachable from the initial state in exactly ℓ
 // steps, and the FPRAS only ever touches reachable copies.
 //
+// Hot-path layout: the per-state adjacency of Nfa (vector-of-vector-of-vector,
+// three pointer hops per row) is flattened at construction into CSR
+// (compressed sparse row) arrays — contiguous `offsets`/`targets`/`symbols` —
+// in both directions: forward CSR for membership/reach recomputation, reverse
+// CSR for the predecessor expansions that dominate Algorithm 2's walk. When
+// the automaton is small enough, each (state, symbol) row additionally carries
+// its target set as a Bitset mask so one frontier-propagation step is a
+// word-parallel OR of contiguous masks instead of a per-edge scatter.
+//
 // This module also provides the membership-oracle machinery: a stored sample
 // carries the reachable-state set of its word, making every membership query
 // the FPRAS performs a single bit probe (the amortization of §4.3's time
@@ -24,8 +33,55 @@ namespace nfacount {
 /// set is computed once on insertion (O(|word|·|Δ|/64)) and answers all later
 /// membership queries in O(1).
 struct StoredSample {
-  Word word;
-  Bitset reach;
+  Word word;   ///< the sampled word
+  Bitset reach;///< {q : word ∈ L(q^{|word|})}, the word's membership profile
+};
+
+/// Flat CSR (compressed sparse row) transition layout. Rows are keyed by
+/// (state, symbol): row q·|Σ|+a spans targets[offsets[row] .. offsets[row+1]),
+/// and symbols[e] labels edge e (redundant with the row key, but it lets
+/// whole-state walks iterate one contiguous span of |Σ| adjacent rows without
+/// recomputing row boundaries). Construction cost is one pass over Δ; the
+/// arrays never change afterwards.
+///
+/// When num_states·|Σ|·num_states bits fit kMaskBitBudget, `row_masks`
+/// additionally stores each row's target set as a Bitset, enabling
+/// word-parallel frontier propagation (64 states per OR) in Step/PredSet.
+struct CsrTransitions {
+  /// Mask materialization budget in bits (32 MiB): above this the per-row
+  /// Bitset masks are skipped and stepping falls back to span scatter.
+  static constexpr size_t kMaskBitBudget = size_t{1} << 28;
+
+  int num_states = 0;            ///< number of automaton states m
+  int alphabet_size = 0;         ///< alphabet size |Σ|
+  std::vector<int32_t> offsets;  ///< m·|Σ|+1 row starts into targets/symbols
+  std::vector<StateId> targets;  ///< |Δ| edge endpoints, contiguous
+  std::vector<Symbol> symbols;   ///< |Δ| edge labels, parallel to targets
+  std::vector<Bitset> row_masks; ///< per-row target Bitsets (empty if over budget)
+
+  /// CSR over the successor relation: row (q, a) lists {r : (q,a,r) ∈ Δ}.
+  static CsrTransitions FromSuccessors(const Nfa& nfa);
+  /// CSR over the predecessor relation: row (q, a) lists {p : (p,a,q) ∈ Δ}.
+  static CsrTransitions FromPredecessors(const Nfa& nfa);
+
+  /// Index of row (q, a).
+  size_t Row(StateId q, Symbol a) const {
+    return static_cast<size_t>(q) * alphabet_size + a;
+  }
+  /// Begin/end of row (q, a) in `targets`.
+  const StateId* RowBegin(StateId q, Symbol a) const {
+    return targets.data() + offsets[Row(q, a)];
+  }
+  const StateId* RowEnd(StateId q, Symbol a) const {
+    return targets.data() + offsets[Row(q, a) + 1];
+  }
+  /// True when per-row Bitset masks were materialized.
+  bool has_masks() const { return !row_masks.empty(); }
+
+  /// One frontier step: out = ∪_{q ∈ from} row(q, symbol), word-parallel via
+  /// masks when available, span scatter otherwise. `out` must be sized
+  /// num_states; it is cleared first.
+  void StepInto(const Bitset& from, Symbol symbol, Bitset* out) const;
 };
 
 /// Level-indexed view of the unrolled automaton for a fixed length n.
@@ -36,6 +92,11 @@ class UnrolledNfa {
 
   const Nfa& nfa() const { return *nfa_; }
   int n() const { return n_; }
+
+  /// Forward CSR (successor rows) — membership recomputation, reach profiles.
+  const CsrTransitions& forward_csr() const { return forward_; }
+  /// Reverse CSR (predecessor rows) — Algorithm 2's backward walk.
+  const CsrTransitions& reverse_csr() const { return reverse_; }
 
   /// States q with L(q^ℓ) nonempty.
   const Bitset& ReachableAt(int level) const { return reachable_[level]; }
@@ -49,12 +110,32 @@ class UnrolledNfa {
   /// L(P^ℓ). `level` is the level of P (must be >= 1).
   Bitset PredSet(const Bitset& states, Symbol symbol, int level) const;
 
+  /// Allocation-free PredSet for the sampling hot loop: writes into `out`
+  /// (must be sized num_states; cleared first). CSR-backed.
+  void PredSetInto(const Bitset& states, Symbol symbol, int level,
+                   Bitset* out) const;
+
+  /// PredSet computed on the legacy pointer-walk adjacency (Nfa::StepBack).
+  /// Kept as the E11 old-layout baseline and the equivalence-test oracle.
+  Bitset PredSetLegacy(const Bitset& states, Symbol symbol, int level) const;
+
+  /// One forward step clipped to nothing (plain successor image), CSR-backed.
+  void SuccSetInto(const Bitset& states, Symbol symbol, Bitset* out) const;
+
+  /// The reach profile {q : word ∈ L(q^{|word|})} via forward-CSR stepping.
+  Bitset ReachProfile(const Word& word) const;
+
   /// Some witness word in L(q^ℓ), or nullopt if L(q^ℓ) is empty. Used to pad
   /// sample sets (Algorithm 3, lines 27-30). Deterministic.
   std::optional<Word> WitnessWord(StateId q, int level) const;
 
-  /// Builds a StoredSample for `word` (computes its reach set).
+  /// Builds a StoredSample for `word` (computes its reach set on the
+  /// forward CSR).
   StoredSample MakeSample(Word word) const;
+
+  /// MakeSample on the legacy pointer-walk adjacency (Nfa::Reach). Same
+  /// profile, legacy cost — the E11 old-layout baseline for sample storage.
+  StoredSample MakeSampleLegacy(Word word) const;
 
   /// True iff word ∈ L(q^{|word|}); recomputes reachability (the
   /// non-amortized oracle used by the E9 ablation).
@@ -63,6 +144,8 @@ class UnrolledNfa {
  private:
   const Nfa* nfa_;
   int n_;
+  CsrTransitions forward_;
+  CsrTransitions reverse_;
   std::vector<Bitset> reachable_;  // [0..n]
 };
 

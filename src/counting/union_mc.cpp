@@ -5,6 +5,22 @@
 
 namespace nfacount {
 
+void MembershipBatch::Rebuild(size_t universe_bits,
+                              const std::vector<int>& owners) {
+  prefix_.resize(owners.size());
+  for (size_t i = 0; i < owners.size(); ++i) {
+    if (prefix_[i].size() != universe_bits) {
+      prefix_[i] = Bitset(universe_bits);
+    } else {
+      prefix_[i].Clear();
+    }
+    if (i > 0) {
+      prefix_[i].CopyFrom(prefix_[i - 1]);
+      prefix_[i].Set(static_cast<size_t>(owners[i - 1]));
+    }
+  }
+}
+
 int64_t AppUnionTrialCount(const AppUnionParams& params, double sum_sz,
                            double max_sz) {
   assert(params.eps > 0.0 && params.delta > 0.0);

@@ -21,9 +21,54 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/bitset.hpp"
 #include "util/rng.hpp"
 
 namespace nfacount {
+
+/// Batched membership oracle for AppUnion's covered-earlier checks.
+///
+/// Algorithm 1 asks, for a trial sample σ drawn from input i, whether σ lies
+/// in any earlier set T_0..T_{i-1} — classically a loop of up to i individual
+/// membership probes. When every sample carries a membership *profile* (a
+/// Bitset with bit q set iff σ ∈ T-of-owner-q, cf. StoredSample::reach) the
+/// whole loop collapses to one word-parallel intersection against a
+/// precomputed prefix mask {owner_0, ..., owner_{i-1}}: O(m/64) instead of
+/// O(i) dependent probes.
+///
+/// The object is a reusable scratch: Rebuild() re-derives the prefix masks
+/// for one AppUnionBatched call without reallocating when sizes repeat.
+class MembershipBatch {
+ public:
+  MembershipBatch() = default;
+
+  /// Prepares prefix masks over a universe of `universe_bits` owner ids for
+  /// the ordered owner list of one AppUnion call: prefix i covers
+  /// owners[0..i).
+  void Rebuild(size_t universe_bits, const std::vector<int>& owners);
+
+  /// Covered-earlier check for a trial drawn from input `i`: true iff the
+  /// sample's membership profile intersects {owners[0..i)}. Answers i probes
+  /// in one scan.
+  bool CoveredBefore(const Bitset& profile, size_t i) const {
+    return profile.Intersects(prefix_[i]);
+  }
+
+  /// Number of inputs the current prefix masks cover.
+  size_t size() const { return prefix_.size(); }
+
+ private:
+  std::vector<Bitset> prefix_;
+};
+
+/// Caller-owned scratch for AppUnionBatched, reused across the thousands of
+/// calls one FPRAS run makes: the prefix-mask membership index and the flat
+/// trial-draw table (both rebuild in place without reallocating when sizes
+/// repeat).
+struct AppUnionScratch {
+  MembershipBatch batch;  ///< covered-earlier prefix masks
+  DiscreteTable table;    ///< prefix-sum index-draw table over the k sizes
+};
 
 /// What to do when an input's sample list runs out mid-call.
 ///
@@ -50,10 +95,10 @@ struct AppUnionParams {
   /// Calibration multiplier on the worst-case trial count (DESIGN.md §2,
   /// "Substitutions"). 1.0 = the paper's constant.
   double trial_scale = 1.0;
-  /// Floors/caps applied after scaling.
-  int64_t min_trials = 8;
-  int64_t max_trials = int64_t{1} << 40;
+  int64_t min_trials = 8;               ///< floor applied after scaling
+  int64_t max_trials = int64_t{1} << 40;///< cap applied after scaling
 
+  /// What to do when a sample list runs out (see StarvationPolicy).
   StarvationPolicy starvation = StarvationPolicy::kBreak;
 };
 
@@ -119,6 +164,78 @@ AppUnionOutcome AppUnion(const std::vector<const Input*>& inputs,
         break;
       }
     }
+    if (!covered_earlier) ++out.hits;
+    ++out.completed_trials;
+  }
+
+  const double denom =
+      (params.starvation == StarvationPolicy::kScaleByCompleted &&
+       out.completed_trials > 0)
+          ? static_cast<double>(out.completed_trials)
+          : static_cast<double>(t);
+  out.estimate = (static_cast<double>(out.hits) / denom) * sum_sz;
+  return out;
+}
+
+/// Algorithm 1 with batched membership (the CSR-hot-path variant of
+/// AppUnion). Identical estimator and identical RNG stream — given the same
+/// inputs, params, and rng state it returns the same estimate as AppUnion —
+/// but the covered-earlier loop is replaced by one word-parallel prefix-mask
+/// intersection per trial (see MembershipBatch). Input extends the AppUnion
+/// concept with:
+///   int    owner()    const;  // dense id of the set's owning state
+///   size_t universe() const;  // owner-id universe size (m for NFA states)
+/// and Sample(idx) must return a value whose `.reach` Bitset is the sample's
+/// membership profile over that universe (true at bit q iff the sample lies
+/// in the set owned by q), e.g. StoredSample.
+///
+/// `scratch` is caller-owned so repeated calls (one per (q, ℓ, b) in
+/// Algorithm 3) reuse the prefix-mask and draw-table storage.
+/// `membership_checks` counts answered probes (i per trial) to stay
+/// comparable with the legacy loop's upper bound.
+template <typename Input>
+AppUnionOutcome AppUnionBatched(const std::vector<const Input*>& inputs,
+                                const AppUnionParams& params,
+                                AppUnionScratch& scratch, Rng& rng) {
+  AppUnionOutcome out;
+  const int k = static_cast<int>(inputs.size());
+  if (k == 0) return out;
+
+  std::vector<double> sizes(k);
+  std::vector<int> owners(k);
+  double sum_sz = 0.0, max_sz = 0.0;
+  for (int i = 0; i < k; ++i) {
+    sizes[i] = inputs[i]->size_estimate();
+    owners[i] = inputs[i]->owner();
+    sum_sz += sizes[i];
+    max_sz = std::max(max_sz, sizes[i]);
+  }
+  if (!(sum_sz > 0.0)) return out;  // all inputs empty: the union is empty
+  scratch.batch.Rebuild(inputs[0]->universe(), owners);
+  // The k size estimates are fixed for all t trials: draw through a flat
+  // prefix-sum table (O(log k), bit-identical selection to DiscreteIndex).
+  scratch.table.Rebuild(sizes);
+
+  const int64_t t = AppUnionTrialCount(params, sum_sz, max_sz);
+  out.trials = t;
+
+  std::vector<int64_t> cursor(k, 0);
+  for (int64_t trial = 0; trial < t; ++trial) {
+    int i = scratch.table.Draw(rng);
+    if (i < 0) break;
+    if (cursor[i] >= inputs[i]->num_samples()) {  // Line 8: starvation
+      out.starved = true;
+      if (params.starvation == StarvationPolicy::kRecycle &&
+          inputs[i]->num_samples() > 0) {
+        cursor[i] = 0;  // wrap: re-read the list from the front
+      } else {
+        break;
+      }
+    }
+    const auto& sample = inputs[i]->Sample(cursor[i]++);
+    out.membership_checks += i;
+    const bool covered_earlier =
+        i > 0 && scratch.batch.CoveredBefore(sample.reach, static_cast<size_t>(i));
     if (!covered_earlier) ++out.hits;
     ++out.completed_trials;
   }

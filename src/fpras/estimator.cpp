@@ -16,7 +16,9 @@ constexpr double kGammaNumerator = 2.0 / (3.0 * kE);  // γ0·N = 2/(3e)
 
 /// AppUnion input adapter over one predecessor's (S, N) pair. Membership of a
 /// stored word σ in L(p^{|σ|}) is a bit probe on its reach profile, or a full
-/// re-simulation when oracle amortization is ablated.
+/// re-simulation when oracle amortization is ablated. owner()/universe()
+/// additionally satisfy the AppUnionBatched concept (prefix-mask coverage
+/// over the state-id universe).
 struct PredecessorInput {
   const StateLevelData* data;
   StateId state;
@@ -34,6 +36,8 @@ struct PredecessorInput {
     if (amortized) return sample.reach.Test(state);
     return nfa->Reach(sample.word).Test(state);
   }
+  int owner() const { return static_cast<int>(state); }
+  size_t universe() const { return static_cast<size_t>(nfa->num_states()); }
 };
 
 /// Shared AppUnion parameterization for a given level and δ.
@@ -56,7 +60,8 @@ FprasEngine::FprasEngine(const Nfa* nfa, FprasParams params, uint64_t seed)
     : nfa_(nfa),
       params_(params),
       unrolled_(nfa, params.n),
-      rng_(seed) {
+      rng_(seed),
+      pred_scratch_(nfa->num_states()) {
   assert(nfa != nullptr && nfa->Validate().ok());
   assert(params.m == nfa->num_states());
 }
@@ -90,7 +95,14 @@ std::vector<double> FprasEngine::UnionSizes(int level, const Bitset& state_set,
   AppUnionParams au = MakeUnionParams(params_, delta_param, level);
 
   for (int b = 0; b < k; ++b) {
-    Bitset preds = unrolled_.PredSet(state_set, static_cast<Symbol>(b), level);
+    // Predecessor expansion on the flat layout (or the legacy pointer walk
+    // when ablated); `pred_scratch_` avoids a per-(symbol, call) allocation.
+    Bitset& preds = pred_scratch_;
+    if (params_.csr_hot_path) {
+      unrolled_.PredSetInto(state_set, static_cast<Symbol>(b), level, &preds);
+    } else {
+      preds = unrolled_.PredSetLegacy(state_set, static_cast<Symbol>(b), level);
+    }
     if (preds.None()) continue;
     std::vector<PredecessorInput> inputs;
     inputs.reserve(preds.Count());
@@ -103,7 +115,12 @@ std::vector<double> FprasEngine::UnionSizes(int level, const Bitset& state_set,
     ptrs.reserve(inputs.size());
     for (const auto& in : inputs) ptrs.push_back(&in);
 
-    AppUnionOutcome outcome = AppUnion(ptrs, au, rng_);
+    // Batched membership needs reach profiles, which only exist when the
+    // oracle is amortized; the E9 ablation path keeps the per-probe loop.
+    AppUnionOutcome outcome =
+        (params_.csr_hot_path && params_.amortize_oracle)
+            ? AppUnionBatched(ptrs, au, union_scratch_, rng_)
+            : AppUnion(ptrs, au, rng_);
     ++diag_.appunion_calls;
     diag_.appunion_trials += outcome.completed_trials;
     diag_.membership_checks += outcome.membership_checks;
@@ -127,7 +144,10 @@ std::optional<Word> FprasEngine::SampleInternal(int level,
 
   double phi = phi0;
   Word word(level);
+  // Two ping-pong frontier buffers: the backward walk allocates once per
+  // draw instead of once per level step.
   Bitset cur = state_set;
+  Bitset next(nfa_->num_states());
   for (int i = level; i >= 1; --i) {
     std::vector<double> sizes = UnionSizes(i, cur, delta_union, /*use_memo=*/true);
     double total = 0.0;
@@ -141,7 +161,12 @@ std::optional<Word> FprasEngine::SampleInternal(int level,
     int b = rng_.DiscreteIndex(sizes);
     assert(b >= 0);
     const double pr_b = sizes[b] / total;
-    cur = unrolled_.PredSet(cur, static_cast<Symbol>(b), i);
+    if (params_.csr_hot_path) {
+      unrolled_.PredSetInto(cur, static_cast<Symbol>(b), i, &next);
+      std::swap(cur, next);
+    } else {
+      cur = unrolled_.PredSetLegacy(cur, static_cast<Symbol>(b), i);
+    }
     assert(cur.Any());
     word[i - 1] = static_cast<Symbol>(b);
     phi /= pr_b;
@@ -179,6 +204,11 @@ double FprasEngine::PerturbedCount(int level) {
   return std::floor(rng_.UniformDouble() * top);
 }
 
+StoredSample FprasEngine::MakeStored(Word word) const {
+  return params_.csr_hot_path ? unrolled_.MakeSample(std::move(word))
+                              : unrolled_.MakeSampleLegacy(std::move(word));
+}
+
 void FprasEngine::RefillSamples(StateId q, int level) {
   StateLevelData& slot = table_[level][q];
   slot.samples.clear();
@@ -194,7 +224,7 @@ void FprasEngine::RefillSamples(StateId q, int level) {
          ++attempt) {
       std::optional<Word> word = SampleInternal(level, target, gamma0);
       if (word.has_value()) {
-        slot.samples.push_back(unrolled_.MakeSample(std::move(*word)));
+        slot.samples.push_back(MakeStored(std::move(*word)));
       }
     }
   }
@@ -205,7 +235,7 @@ void FprasEngine::RefillSamples(StateId q, int level) {
   if (shortfall > 0) {
     std::optional<Word> witness = unrolled_.WitnessWord(q, level);
     assert(witness.has_value());  // q is reachable at this level
-    StoredSample pad = unrolled_.MakeSample(std::move(*witness));
+    StoredSample pad = MakeStored(std::move(*witness));
     diag_.padded_words += shortfall;
     for (int64_t i = 0; i < shortfall; ++i) slot.samples.push_back(pad);
   }
@@ -228,8 +258,7 @@ Status FprasEngine::Run() {
   // singleton language — so AppUnion cursors cannot starve at level 1.
   StateLevelData& base = table_[0][nfa_->initial()];
   base.count_estimate = 1.0;
-  base.samples.assign(static_cast<size_t>(params_.ns),
-                      unrolled_.MakeSample(Word{}));
+  base.samples.assign(static_cast<size_t>(params_.ns), MakeStored(Word{}));
 
   const double delta_count_union = params_.DeltaForCountUnion();
   for (int level = 1; level <= n; ++level) {
@@ -284,7 +313,10 @@ double FprasEngine::EstimateUnionOfStates(const Bitset& targets, int level) {
   ptrs.reserve(inputs.size());
   for (const auto& in : inputs) ptrs.push_back(&in);
   AppUnionParams au = MakeUnionParams(params_, params_.eta, level + 1);
-  AppUnionOutcome outcome = AppUnion(ptrs, au, rng_);
+  AppUnionOutcome outcome =
+      (params_.csr_hot_path && params_.amortize_oracle)
+          ? AppUnionBatched(ptrs, au, union_scratch_, rng_)
+          : AppUnion(ptrs, au, rng_);
   ++diag_.appunion_calls;
   diag_.appunion_trials += outcome.completed_trials;
   diag_.membership_checks += outcome.membership_checks;
@@ -347,6 +379,7 @@ Result<CountEstimate> ApproxCount(const Nfa& nfa, int n,
   params.memoize_unions = options.memoize_unions;
   params.amortize_oracle = options.amortize_oracle;
   params.recycle_samples = options.recycle_samples;
+  params.csr_hot_path = options.csr_hot_path;
 
   FprasEngine engine(&nfa, params, options.seed);
   NFA_RETURN_NOT_OK(engine.Run());
@@ -375,6 +408,7 @@ Result<std::vector<double>> ApproxCountAllLengths(const Nfa& nfa, int n,
   params.memoize_unions = options.memoize_unions;
   params.amortize_oracle = options.amortize_oracle;
   params.recycle_samples = options.recycle_samples;
+  params.csr_hot_path = options.csr_hot_path;
 
   FprasEngine engine(&nfa, params, options.seed);
   NFA_RETURN_NOT_OK(engine.Run());

@@ -26,6 +26,7 @@
 
 #include "automata/nfa.hpp"
 #include "automata/unrolled.hpp"
+#include "counting/union_mc.hpp"
 #include "fpras/params.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
@@ -34,8 +35,12 @@ namespace nfacount {
 
 /// Counters accumulated over one engine run (all levels).
 struct FprasDiagnostics {
-  int64_t appunion_calls = 0;
-  int64_t appunion_trials = 0;
+  int64_t appunion_calls = 0;   ///< AppUnion invocations (Alg. 1 entries)
+  int64_t appunion_trials = 0;  ///< completed AppUnion trials across calls
+  /// Membership probes answered. On the batched hot path each trial counts
+  /// its full prefix length i (the probes one mask intersection answers);
+  /// the legacy loop counts probes until the first hit, so the batched
+  /// number is an upper bound of the legacy one on the same run.
   int64_t membership_checks = 0;
   int64_t starvations = 0;      ///< AppUnion Line-8 events
   int64_t memo_hits = 0;
@@ -47,8 +52,8 @@ struct FprasDiagnostics {
   int64_t fail_dead_branch = 0; ///< all sz_b = 0 mid-walk (perturbation echo)
   int64_t padded_words = 0;     ///< Alg. 3 lines 27-30 (SmallS events)
   int64_t perturbed_counts = 0; ///< Alg. 3 line 19 events
-  int64_t states_processed = 0;
-  double wall_seconds = 0.0;
+  int64_t states_processed = 0; ///< reachable (q, ℓ) copies visited
+  double wall_seconds = 0.0;    ///< wall-clock time of the Run() call
 };
 
 /// Per-(state, level) FPRAS state: the estimate N(q^ℓ) and sample set S(q^ℓ).
@@ -110,6 +115,9 @@ class FprasEngine {
   /// Refills S(q^ℓ) with xns attempts, padding to ns (Alg. 3 lines 20-30).
   void RefillSamples(StateId q, int level);
 
+  /// StoredSample for `word` on the layout csr_hot_path selects.
+  StoredSample MakeStored(Word word) const;
+
   double PerturbedCount(int level);
 
   /// |∪_{q ∈ targets∩reachable(level)} L(q^level)| estimate: N for a
@@ -120,6 +128,11 @@ class FprasEngine {
   FprasParams params_;
   UnrolledNfa unrolled_;
   Rng rng_;
+  // Hot-path scratch: predecessor-expansion buffer (PredSetInto target) and
+  // the reusable prefix-mask/draw-table scratch for AppUnionBatched. Both
+  // avoid per-call allocation in the inner loops of Algorithms 2 and 3.
+  Bitset pred_scratch_;
+  AppUnionScratch union_scratch_;
   std::vector<std::vector<StateLevelData>> table_;  // [level][state]
   // Memo for sample()-context union sizes: per level, P-set -> sz vector.
   std::vector<std::unordered_map<Bitset, std::vector<double>, BitsetHash>> memo_;
@@ -135,24 +148,25 @@ class FprasEngine {
 
 /// User-facing options for ApproxCount.
 struct CountOptions {
-  double eps = 0.2;
-  double delta = 0.1;
-  Schedule schedule = Schedule::kFaster;
+  double eps = 0.2;    ///< multiplicative accuracy ε of the estimate
+  double delta = 0.1;  ///< failure probability δ
+  Schedule schedule = Schedule::kFaster;  ///< sample-budget schedule to run
   /// Practical() by default: the faithful worst-case constants are
   /// infeasible on any hardware (DESIGN.md §2) — opt in via Faithful().
   Calibration calibration = Calibration::Practical();
-  uint64_t seed = 0x5eedf00dULL;
-  bool perturb_support = true;
-  bool memoize_unions = true;
-  bool amortize_oracle = true;
+  uint64_t seed = 0x5eedf00dULL;  ///< seed of the whole randomized run
+  bool perturb_support = true;  ///< see FprasParams::perturb_support
+  bool memoize_unions = true;   ///< see FprasParams::memoize_unions
+  bool amortize_oracle = true;  ///< see FprasParams::amortize_oracle
   bool recycle_samples = true;  ///< see FprasParams::recycle_samples
+  bool csr_hot_path = true;     ///< see FprasParams::csr_hot_path
 };
 
 /// Result of ApproxCount.
 struct CountEstimate {
-  double estimate = 0.0;   ///< ≈ |L(A_n)| within (1±ε) w.p. ≥ 1−δ
-  FprasParams params;
-  FprasDiagnostics diagnostics;
+  double estimate = 0.0;        ///< ≈ |L(A_n)| within (1±ε) w.p. ≥ 1−δ
+  FprasParams params;           ///< fully derived parameters of the run
+  FprasDiagnostics diagnostics; ///< counters accumulated over the run
 };
 
 /// The headline API: (ε,δ)-approximation of |L(A_n)| (Theorem 3).

@@ -121,7 +121,8 @@ std::string FprasParams::ToString() const {
      << ", eta=" << eta << ", ns=" << ns << ", xns=" << xns
      << ", perturb=" << (perturb_support ? 1 : 0)
      << ", memoize=" << (memoize_unions ? 1 : 0)
-     << ", amortize=" << (amortize_oracle ? 1 : 0) << "}";
+     << ", amortize=" << (amortize_oracle ? 1 : 0)
+     << ", csr=" << (csr_hot_path ? 1 : 0) << "}";
   return os.str();
 }
 

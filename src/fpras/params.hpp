@@ -77,6 +77,15 @@ struct FprasParams {
   /// lists keeps the Y/t estimator unbiased (see union_mc.hpp). Set false to
   /// get the paper's literal break-out behavior.
   bool recycle_samples = true;
+  /// Run the per-operation hot path on the flat layout: CSR/mask predecessor
+  /// expansion (UnrolledNfa::PredSetInto), batched membership + prefix-sum
+  /// trial draws in AppUnion (AppUnionBatched), and CSR reach profiles for
+  /// stored samples. Set false for the legacy pointer-walk versions of those
+  /// operations — the E11 old-vs-new baseline. One-time work (CSR
+  /// construction, level reachability, witness extraction) always uses the
+  /// flat layout. Both settings consume identical RNG streams, so flipping
+  /// this never changes an estimate, only its cost.
+  bool csr_hot_path = true;
 
   int64_t memo_capacity = int64_t{1} << 20;  ///< max cached (level, P) entries
 

@@ -13,6 +13,7 @@ Result<WordSampler> WordSampler::Build(const Nfa& nfa, int n,
                                          std::max(n, 1), options.eps,
                                          options.delta, options.calibration));
   params.n = n == 0 ? 0 : params.n;
+  params.csr_hot_path = options.csr_hot_path;
   auto engine = std::make_unique<FprasEngine>(&nfa, params, options.seed);
   NFA_RETURN_NOT_OK(engine->Run());
   return WordSampler(&nfa, std::move(engine), options);
@@ -33,6 +34,12 @@ Result<Word> WordSampler::Sample() {
   }
   return Status::ResourceExhausted(
       "all sampling attempts rejected; tables likely inaccurate");
+}
+
+Result<StoredSample> WordSampler::SampleStored() {
+  Word word;
+  NFA_ASSIGN_OR_RETURN(word, Sample());
+  return engine_->unrolled().MakeSample(std::move(word));
 }
 
 Result<std::vector<Word>> WordSampler::SampleMany(int64_t count) {

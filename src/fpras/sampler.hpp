@@ -3,6 +3,10 @@
 // WordSampler owns one FPRAS engine run and serves repeated draws; each draw
 // retries Algorithm 2 until it returns a word (Theorem 2(2): each attempt
 // succeeds with probability ≥ 2/(3e²) given accurate tables).
+//
+// Draws run on the engine's flat CSR hot path (see automata/unrolled.hpp) by
+// default; SamplerOptions::csr_hot_path re-enables the legacy pointer-walk
+// layout for the E11 old-vs-new benchmark.
 
 #ifndef NFACOUNT_FPRAS_SAMPLER_HPP_
 #define NFACOUNT_FPRAS_SAMPLER_HPP_
@@ -19,12 +23,18 @@ namespace nfacount {
 struct SamplerOptions {
   /// TV-closeness parameter of the sample distribution (plays the role of ε).
   double eps = 0.2;
+  /// Failure probability of the table-building FPRAS run.
   double delta = 0.1;
+  /// Constant-factor calibration of the worst-case budgets (params.hpp).
   Calibration calibration = Calibration::Practical();
+  /// Seed of the engine run and of all draws.
   uint64_t seed = 0xa110ca7eULL;
   /// Give up after this many rejected attempts per draw (well beyond the
   /// Theorem 2(2) bound; exceeding it indicates inaccurate tables).
   int max_attempts_per_draw = 4096;
+  /// Run draws on the CSR/batched-membership hot path (false = legacy
+  /// layout; identical distribution, only slower — see FprasParams).
+  bool csr_hot_path = true;
 };
 
 /// Draws words almost-uniformly from L(A_n).
@@ -38,12 +48,19 @@ class WordSampler {
   /// ResourceExhausted if every attempt was rejected.
   Result<Word> Sample();
 
+  /// One draw returned together with its reach profile (the membership-
+  /// oracle row AppUnion consumers store), computed on the forward CSR in
+  /// one pass — the form downstream union estimates want, without a second
+  /// simulation of the word.
+  Result<StoredSample> SampleStored();
+
   /// `count` independent draws (each retried as in Sample()).
   Result<std::vector<Word>> SampleMany(int64_t count);
 
   /// Estimate of |L(A_n)| from the underlying FPRAS run.
   double CountEstimate() const { return engine_->Estimate(); }
 
+  /// Counters of the underlying engine run plus all draws so far.
   const FprasDiagnostics& diagnostics() const { return engine_->diagnostics(); }
 
  private:

@@ -59,6 +59,19 @@ Bitset& Bitset::operator&=(const Bitset& other) {
   return *this;
 }
 
+Bitset& Bitset::OrMasked(const Bitset& other, const Bitset& mask) {
+  assert(size_ == other.size_ && size_ == mask.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i] & mask.words_[i];
+  }
+  return *this;
+}
+
+void Bitset::CopyFrom(const Bitset& other) {
+  assert(size_ == other.size_);
+  std::copy(other.words_.begin(), other.words_.end(), words_.begin());
+}
+
 int Bitset::FirstSet() const {
   for (size_t w = 0; w < words_.size(); ++w) {
     if (words_[w] != 0) {

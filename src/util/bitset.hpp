@@ -55,6 +55,17 @@ class Bitset {
   Bitset& operator|=(const Bitset& other);
   Bitset& operator&=(const Bitset& other);
 
+  /// Fused frontier-propagation step: this |= (other & mask), one pass over
+  /// the word arrays. This is the inner loop of CSR mask-based predecessor/
+  /// successor expansion (unrolled.hpp): OR a transition-row mask into the
+  /// frontier while clipping to the previous level's reachable set, without
+  /// materializing the intermediate.
+  Bitset& OrMasked(const Bitset& other, const Bitset& mask);
+
+  /// Copies `other` into this. Unlike operator= it requires equal sizes and
+  /// never reallocates — safe for scratch buffers on the hot path.
+  void CopyFrom(const Bitset& other);
+
   bool operator==(const Bitset& other) const {
     return size_ == other.size_ && words_ == other.words_;
   }

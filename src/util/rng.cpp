@@ -1,5 +1,6 @@
 #include "util/rng.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 
@@ -82,5 +83,33 @@ int Rng::DiscreteIndex(const std::vector<double>& weights) {
 }
 
 Rng Rng::Split() { return Rng(NextU64() ^ 0x9e3779b97f4a7c15ULL); }
+
+void DiscreteTable::Rebuild(const std::vector<double>& weights) {
+  weights_ = weights;
+  prefix_.resize(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    assert(weights[i] >= 0.0);
+    acc += weights[i];
+    prefix_[i] = acc;
+  }
+  total_ = acc;
+}
+
+int DiscreteTable::Draw(Rng& rng) const {
+  if (!(total_ > 0.0)) return -1;
+  const double u = rng.UniformDouble() * total_;
+  // First i with u < prefix_[i] — the same condition DiscreteIndex's linear
+  // scan tests, on the same partial sums.
+  auto it = std::upper_bound(prefix_.begin(), prefix_.end(), u);
+  if (it != prefix_.end()) return static_cast<int>(it - prefix_.begin());
+  // Floating-point slack: DiscreteIndex's exact fallback — the last positive
+  // weight (scanned on the retained weights, since a tiny weight can be
+  // absorbed by the running sum and leave no strict prefix increase).
+  for (size_t i = weights_.size(); i-- > 0;) {
+    if (weights_[i] > 0.0) return static_cast<int>(i);
+  }
+  return -1;
+}
 
 }  // namespace nfacount

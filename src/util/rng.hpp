@@ -68,6 +68,37 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Flat prefix-sum table over a fixed weight vector, for loops that draw many
+/// indices from the same distribution (AppUnion's trial loop draws t ≫ k
+/// times from k fixed size estimates). Draw() is O(log k) per draw against
+/// DiscreteIndex's O(k) scan, consumes exactly one UniformDouble, and selects
+/// the bit-identical index for the same generator state: the prefix sums
+/// accumulate in DiscreteIndex's order, and the floating-point-slack fallback
+/// scans the same retained weights. Rebuild() reuses the table's storage
+/// across calls.
+class DiscreteTable {
+ public:
+  DiscreteTable() = default;
+
+  /// Recomputes the prefix sums for `weights` (non-negative).
+  void Rebuild(const std::vector<double>& weights);
+
+  /// True when the weights had a positive finite sum.
+  bool valid() const { return total_ > 0.0; }
+
+  /// Sum of the weights (0 before Rebuild).
+  double total() const { return total_; }
+
+  /// Index i drawn with probability weights[i] / total, or -1 when !valid().
+  /// Identical selection to Rng::DiscreteIndex on the same weights and rng.
+  int Draw(Rng& rng) const;
+
+ private:
+  std::vector<double> prefix_;
+  std::vector<double> weights_;  // retained for the exact fallback scan
+  double total_ = 0.0;
+};
+
 }  // namespace nfacount
 
 #endif  // NFACOUNT_UTIL_RNG_HPP_

@@ -1,0 +1,249 @@
+// Tests for the flat CSR transition layout and the batched membership path:
+// construction equivalence against the legacy per-state adjacency, PredSet
+// equivalence on random frontiers, per-level counts cross-checked against the
+// exact subset DP, MembershipBatch prefix coverage, and end-to-end engine
+// equality between the CSR and legacy hot paths (both consume the same RNG
+// stream, so estimates must match bit-for-bit).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "automata/generators.hpp"
+#include "automata/unrolled.hpp"
+#include "counting/exact.hpp"
+#include "counting/union_mc.hpp"
+#include "fpras/fpras.hpp"
+#include "test_seed.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+using testing_support::TestSeed;
+
+// CSR rows must list exactly the legacy adjacency, in the same order.
+TEST(Csr, RowsMatchLegacyAdjacency) {
+  Rng rng(TestSeed(101));
+  for (int trial = 0; trial < 8; ++trial) {
+    Nfa nfa = RandomNfa(5 + static_cast<int>(rng.UniformU64(12)), 0.25, 0.3, rng);
+    CsrTransitions fwd = CsrTransitions::FromSuccessors(nfa);
+    CsrTransitions bwd = CsrTransitions::FromPredecessors(nfa);
+    ASSERT_EQ(fwd.num_states, nfa.num_states());
+    ASSERT_EQ(fwd.alphabet_size, nfa.alphabet_size());
+    ASSERT_EQ(static_cast<int64_t>(fwd.targets.size()), nfa.num_transitions());
+    ASSERT_EQ(static_cast<int64_t>(bwd.targets.size()), nfa.num_transitions());
+    ASSERT_EQ(fwd.targets.size(), fwd.symbols.size());
+    for (StateId q = 0; q < nfa.num_states(); ++q) {
+      for (int a = 0; a < nfa.alphabet_size(); ++a) {
+        const Symbol s = static_cast<Symbol>(a);
+        std::vector<StateId> fwd_row(fwd.RowBegin(q, s), fwd.RowEnd(q, s));
+        EXPECT_EQ(fwd_row, nfa.Successors(q, s)) << "q=" << q << " a=" << a;
+        std::vector<StateId> bwd_row(bwd.RowBegin(q, s), bwd.RowEnd(q, s));
+        EXPECT_EQ(bwd_row, nfa.Predecessors(q, s)) << "q=" << q << " a=" << a;
+        for (const StateId* e = fwd.RowBegin(q, s); e != fwd.RowEnd(q, s); ++e) {
+          EXPECT_EQ(fwd.symbols[static_cast<size_t>(e - fwd.targets.data())], s);
+        }
+      }
+    }
+  }
+}
+
+// Row masks (when materialized) hold exactly the row's target set, and
+// StepInto equals the legacy one-step image either way.
+TEST(Csr, StepIntoMatchesNfaStep) {
+  Rng rng(TestSeed(102));
+  for (int trial = 0; trial < 8; ++trial) {
+    Nfa nfa = RandomNfa(4 + static_cast<int>(rng.UniformU64(16)), 0.3, 0.3, rng);
+    CsrTransitions fwd = CsrTransitions::FromSuccessors(nfa);
+    ASSERT_TRUE(fwd.has_masks());  // tiny automata are always under budget
+    Bitset out(nfa.num_states());
+    for (int rep = 0; rep < 10; ++rep) {
+      Bitset from(nfa.num_states());
+      for (StateId q = 0; q < nfa.num_states(); ++q) {
+        if (rng.Bernoulli(0.3)) from.Set(q);
+      }
+      for (int a = 0; a < nfa.alphabet_size(); ++a) {
+        fwd.StepInto(from, static_cast<Symbol>(a), &out);
+        EXPECT_EQ(out, nfa.Step(from, static_cast<Symbol>(a)));
+      }
+    }
+  }
+}
+
+// The CSR predecessor expansion must equal the legacy pointer-walk expansion
+// for every level and random frontier.
+TEST(Csr, PredSetMatchesLegacy) {
+  Rng rng(TestSeed(103));
+  for (int trial = 0; trial < 6; ++trial) {
+    Nfa nfa = RandomNfa(6 + static_cast<int>(rng.UniformU64(10)), 0.25, 0.3, rng);
+    const int n = 7;
+    UnrolledNfa unr(&nfa, n);
+    Bitset out(nfa.num_states());
+    for (int level = 1; level <= n; ++level) {
+      for (int rep = 0; rep < 6; ++rep) {
+        Bitset frontier(nfa.num_states());
+        for (StateId q = 0; q < nfa.num_states(); ++q) {
+          if (rng.Bernoulli(0.4)) frontier.Set(q);
+        }
+        for (int a = 0; a < nfa.alphabet_size(); ++a) {
+          const Symbol s = static_cast<Symbol>(a);
+          Bitset legacy = unr.PredSetLegacy(frontier, s, level);
+          EXPECT_EQ(unr.PredSet(frontier, s, level), legacy);
+          unr.PredSetInto(frontier, s, level, &out);
+          EXPECT_EQ(out, legacy);
+        }
+      }
+    }
+  }
+}
+
+// Level reachability built on the CSR must agree with a from-scratch legacy
+// computation (Nfa::Step) and with per-level counts under the exact DP:
+// |L(q^ℓ)| > 0 exactly for the reachable copies.
+TEST(Csr, ReachableSetsAndLevelCountsMatchExact) {
+  Rng rng(TestSeed(104));
+  for (int trial = 0; trial < 5; ++trial) {
+    Nfa nfa = RandomNfa(6, 0.25, 0.3, rng);
+    const int n = 6;
+    UnrolledNfa unr(&nfa, n);
+
+    // Legacy recomputation of the level frontiers.
+    Bitset cur(nfa.num_states());
+    cur.Set(nfa.initial());
+    EXPECT_EQ(unr.ReachableAt(0), cur);
+    for (int level = 1; level <= n; ++level) {
+      Bitset next(nfa.num_states());
+      for (int a = 0; a < nfa.alphabet_size(); ++a) {
+        next |= nfa.Step(cur, static_cast<Symbol>(a));
+      }
+      EXPECT_EQ(unr.ReachableAt(level), next) << "level=" << level;
+      cur = next;
+    }
+
+    Result<SubsetDp> dp = SubsetDp::Run(nfa, n);
+    ASSERT_TRUE(dp.ok());
+    for (int level = 0; level <= n; ++level) {
+      for (StateId q = 0; q < nfa.num_states(); ++q) {
+        const bool nonempty = !dp->StateLevelCount(q, level).IsZero();
+        EXPECT_EQ(unr.IsReachable(q, level), nonempty)
+            << "trial=" << trial << " q=" << q << " level=" << level;
+      }
+    }
+  }
+}
+
+// Reach profiles computed by forward-CSR stepping must match Nfa::Reach.
+TEST(Csr, ReachProfileMatchesNfaReach) {
+  Rng rng(TestSeed(105));
+  Nfa nfa = RandomNfa(9, 0.3, 0.3, rng);
+  UnrolledNfa unr(&nfa, 6);
+  for (int trial = 0; trial < 40; ++trial) {
+    Word w;
+    const int len = static_cast<int>(rng.UniformU64(7));
+    for (int i = 0; i < len; ++i) {
+      w.push_back(static_cast<Symbol>(rng.UniformU64(2)));
+    }
+    EXPECT_EQ(unr.ReachProfile(w), nfa.Reach(w)) << WordToString(w);
+  }
+}
+
+// MembershipBatch::CoveredBefore must equal the naive prefix loop.
+TEST(Csr, MembershipBatchMatchesNaivePrefixScan) {
+  Rng rng(TestSeed(106));
+  const size_t universe = 70;  // straddles a word boundary
+  for (int trial = 0; trial < 10; ++trial) {
+    const int k = 1 + static_cast<int>(rng.UniformU64(12));
+    std::vector<int> owners;
+    for (int i = 0; i < k; ++i) {
+      owners.push_back(static_cast<int>(rng.UniformU64(universe)));
+    }
+    MembershipBatch batch;
+    batch.Rebuild(universe, owners);
+    ASSERT_EQ(batch.size(), static_cast<size_t>(k));
+    for (int rep = 0; rep < 20; ++rep) {
+      Bitset profile(universe);
+      for (size_t b = 0; b < universe; ++b) {
+        if (rng.Bernoulli(0.1)) profile.Set(b);
+      }
+      for (int i = 1; i < k; ++i) {
+        bool naive = false;
+        for (int j = 0; j < i && !naive; ++j) {
+          naive = profile.Test(static_cast<size_t>(owners[j]));
+        }
+        EXPECT_EQ(batch.CoveredBefore(profile, static_cast<size_t>(i)), naive)
+            << "trial=" << trial << " i=" << i;
+      }
+    }
+  }
+}
+
+// The CSR hot path and the legacy layout consume identical RNG streams, so a
+// full FPRAS run must produce the exact same estimate and trial counts under
+// both — the strongest form of construction equivalence.
+TEST(Csr, EngineEstimateIdenticalAcrossLayouts) {
+  Rng rng(TestSeed(107));
+  for (int trial = 0; trial < 3; ++trial) {
+    Nfa nfa = RandomNfa(7, 0.3, 0.3, rng);
+    const int n = 7;
+    CountOptions csr_opts;
+    csr_opts.seed = TestSeed(108) + trial;
+    CountOptions legacy_opts = csr_opts;
+    legacy_opts.csr_hot_path = false;
+
+    Result<CountEstimate> with_csr = ApproxCount(nfa, n, csr_opts);
+    Result<CountEstimate> with_legacy = ApproxCount(nfa, n, legacy_opts);
+    ASSERT_TRUE(with_csr.ok());
+    ASSERT_TRUE(with_legacy.ok());
+    EXPECT_EQ(with_csr->estimate, with_legacy->estimate) << "trial=" << trial;
+    EXPECT_EQ(with_csr->diagnostics.appunion_trials,
+              with_legacy->diagnostics.appunion_trials);
+    EXPECT_EQ(with_csr->diagnostics.sample_calls,
+              with_legacy->diagnostics.sample_calls);
+    EXPECT_EQ(with_csr->diagnostics.padded_words,
+              with_legacy->diagnostics.padded_words);
+  }
+}
+
+// Same equality through the sampler facade: the draw sequence is unchanged.
+TEST(Csr, SamplerDrawsIdenticalAcrossLayouts) {
+  Rng rng(TestSeed(109));
+  Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
+  SamplerOptions csr_opts;
+  csr_opts.seed = TestSeed(110);
+  SamplerOptions legacy_opts = csr_opts;
+  legacy_opts.csr_hot_path = false;
+
+  Result<WordSampler> a = WordSampler::Build(nfa, 6, csr_opts);
+  Result<WordSampler> b = WordSampler::Build(nfa, 6, legacy_opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->CountEstimate(), b->CountEstimate());
+  for (int i = 0; i < 10; ++i) {
+    Result<Word> wa = a->Sample();
+    Result<Word> wb = b->Sample();
+    ASSERT_TRUE(wa.ok());
+    ASSERT_TRUE(wb.ok());
+    EXPECT_EQ(*wa, *wb) << "draw " << i;
+  }
+}
+
+// SampleStored must return the drawn word's true reach profile.
+TEST(Csr, SampleStoredCarriesReachProfile) {
+  Rng rng(TestSeed(111));
+  Nfa nfa = RandomNfa(6, 0.35, 0.4, rng);
+  SamplerOptions opts;
+  opts.seed = TestSeed(112);
+  Result<WordSampler> sampler = WordSampler::Build(nfa, 5, opts);
+  ASSERT_TRUE(sampler.ok());
+  for (int i = 0; i < 8; ++i) {
+    Result<StoredSample> s = sampler->SampleStored();
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(s->reach, nfa.Reach(s->word)) << WordToString(s->word);
+    EXPECT_TRUE(s->reach.Intersects(nfa.accepting()));
+  }
+}
+
+}  // namespace
+}  // namespace nfacount

@@ -73,6 +73,47 @@ TEST(ParseNfaText, ErrorsCarryLineNumbers) {
   }
 }
 
+// The two worked examples of docs/FILE_FORMATS.md, verbatim: both must
+// parse, match their documented language, and round-trip through NfaToText.
+TEST(ParseNfaText, FileFormatsDocExamplesRoundTrip) {
+  // Example 1 — words containing '1' (same automaton as kSample above).
+  {
+    Result<Nfa> nfa = ParseNfaText(kSample);
+    ASSERT_TRUE(nfa.ok()) << nfa.status().ToString();
+    Result<BigUint> count = BruteForceCount(*nfa, 10);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(count->ToDouble(), 1023.0);  // 2^10 - 1
+    Result<Nfa> reparsed = ParseNfaText(NfaToText(*nfa));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(nfa->ToString(), reparsed->ToString());
+  }
+  // Example 2 — base-2 numerals divisible by 3 (mod-3 tracking DFA).
+  {
+    constexpr char kDivisibleBy3[] =
+        "# MSB-first binary numerals divisible by 3\n"
+        "nfa 3 2\n"
+        "initial 0\n"
+        "accepting 0\n"
+        "trans 0 0 0      # 2*0+0 = 0\n"
+        "trans 0 1 1      # 2*0+1 = 1\n"
+        "trans 1 0 2      # 2*1+0 = 2\n"
+        "trans 1 1 0      # 2*1+1 = 0\n"
+        "trans 2 0 1      # 2*2+0 = 1\n"
+        "trans 2 1 2      # 2*2+1 = 2\n";
+    Result<Nfa> nfa = ParseNfaText(kDivisibleBy3);
+    ASSERT_TRUE(nfa.ok()) << nfa.status().ToString();
+    EXPECT_TRUE(nfa->Accepts(Word{}));            // value 0
+    EXPECT_TRUE(nfa->Accepts(Word{1, 1, 0}));     // 6
+    EXPECT_FALSE(nfa->Accepts(Word{1, 0, 0}));    // 4
+    Result<bool> eq = LanguageEquivalent(*nfa, DivisibilityNfa(3));
+    ASSERT_TRUE(eq.ok());
+    EXPECT_TRUE(eq.value());
+    Result<Nfa> reparsed = ParseNfaText(NfaToText(*nfa));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(nfa->ToString(), reparsed->ToString());
+  }
+}
+
 TEST(NfaToText, RoundTripPreservesEverything) {
   Rng rng(TestSeed(5));
   for (int trial = 0; trial < 8; ++trial) {
