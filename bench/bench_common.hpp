@@ -1,12 +1,18 @@
-// Shared helpers for the experiment binaries (E1-E10): aligned table
-// printing, timed FPRAS invocation, and the default calibrations used across
-// experiments (recorded in EXPERIMENTS.md).
+// Shared helpers for the experiment binaries (E1-E12): aligned table
+// printing, timed FPRAS invocation, the default calibrations used across
+// experiments (recorded in EXPERIMENTS.md), and a minimal JSON report writer
+// so benches can record machine-readable trajectories (BENCH_*.json) next to
+// their human-readable tables.
 
 #ifndef NFACOUNT_BENCH_BENCH_COMMON_HPP_
 #define NFACOUNT_BENCH_BENCH_COMMON_HPP_
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "counting/exact.hpp"
@@ -63,6 +69,169 @@ inline double ExactOrNeg(const Nfa& nfa, int n) {
   Result<BigUint> exact = ExactCountViaDfa(nfa, n);
   if (!exact.ok()) return -1.0;
   return exact->ToDouble();
+}
+
+// ---------------------------------------------------------------------------
+// JSON trajectory output (--json <path>)
+// ---------------------------------------------------------------------------
+
+/// Ordered key → value list rendered as one JSON object. Insertion order is
+/// preserved so reruns diff cleanly. Values are pre-rendered; use the typed
+/// Set overloads (strings are escaped, doubles round-trip via %.17g).
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value) {
+    return SetRaw(key, Quote(value));
+  }
+  JsonObject& Set(const std::string& key, const char* value) {
+    return SetRaw(key, Quote(value));
+  }
+  JsonObject& Set(const std::string& key, double value) {
+    // JSON has no inf/nan literals; a sub-resolution timer can produce an
+    // infinite ratio — emit null so the file stays parseable.
+    if (!std::isfinite(value)) return SetRaw(key, "null");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return SetRaw(key, buf);
+  }
+  JsonObject& Set(const std::string& key, int64_t value) {
+    return SetRaw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, int value) {
+    return SetRaw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, uint64_t value) {
+    return SetRaw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, bool value) {
+    return SetRaw(key, value ? "true" : "false");
+  }
+  /// Inserts an already-rendered JSON value (nested object/array).
+  JsonObject& SetRaw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+
+  bool empty() const { return fields_.empty(); }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += Quote(fields_[i].first) + ":" + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// One bench's machine-readable record: {"bench": ..., "config": {...},
+/// "metrics": {...}, "tables": {"<name>": [row, ...], ...}}. Populate
+/// config() once, append one row per printed table line, and call
+/// WriteTo(JsonPathArg(...)) at the end — a no-op when --json was not given,
+/// so every bench can wire it unconditionally.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  JsonObject& config() { return config_; }
+  JsonObject& metrics() { return metrics_; }
+
+  void AddRow(const std::string& table, JsonObject row) {
+    for (auto& t : tables_) {
+      if (t.first == table) {
+        t.second.push_back(std::move(row));
+        return;
+      }
+    }
+    tables_.emplace_back(table, std::vector<JsonObject>{std::move(row)});
+  }
+
+  std::string Render() const {
+    JsonObject root;
+    root.Set("bench", name_);
+    if (!config_.empty()) root.SetRaw("config", config_.Render());
+    if (!metrics_.empty()) root.SetRaw("metrics", metrics_.Render());
+    if (!tables_.empty()) {
+      JsonObject tables;
+      for (const auto& t : tables_) {
+        std::string arr = "[";
+        for (size_t i = 0; i < t.second.size(); ++i) {
+          if (i > 0) arr += ",";
+          arr += t.second[i].Render();
+        }
+        arr += "]";
+        tables.SetRaw(t.first, std::move(arr));
+      }
+      root.SetRaw("tables", tables.Render());
+    }
+    return root.Render();
+  }
+
+  /// Writes the report (one JSON object + newline). Empty path = no-op;
+  /// returns false (with a stderr note) when the file cannot be written.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write --json file %s\n",
+                   path.c_str());
+      return false;
+    }
+    const std::string body = Render() + "\n";
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("\n[json written to %s]\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  JsonObject config_;
+  JsonObject metrics_;
+  std::vector<std::pair<std::string, std::vector<JsonObject>>> tables_;
+};
+
+/// Extracts the value of `--json <path>` from a bench's argv ("" if absent).
+/// A trailing `--json` with no path is a usage error (exit 2) rather than a
+/// silent no-op — a CI step recording trajectories must not pass green while
+/// producing nothing.
+inline std::string JsonPathArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench: --json requires a path argument\n");
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return "";
 }
 
 /// The calibration used by default in all experiments (see EXPERIMENTS.md).

@@ -14,6 +14,9 @@
 // Methodology (see bench/README.md "Performance methodology"): Release build,
 // one warm-up pass before each timed region, >= ~0.5 s of work per cell, and
 // a fixed seed so reruns are comparable.
+//
+// --json <path> records the full trajectory (both tables) as one JSON
+// object, e.g. `bench_e11_csr_hotpath --json BENCH_e11.json`.
 
 #include <cstdint>
 #include <vector>
@@ -43,7 +46,7 @@ Bitset RandomFrontier(int m, double density, Rng& rng) {
   return f;
 }
 
-void BenchPredSet(int m) {
+void BenchPredSet(int m, BenchReport* report) {
   const int n = 4;
   Nfa nfa = E3Automaton(m);
   UnrolledNfa unr(&nfa, n);
@@ -81,6 +84,13 @@ void BenchPredSet(int m) {
   const double csr_mops = iters / csr_s / 1e6;
   Row({FmtInt(m), FmtInt(iters), Fmt(legacy_mops, "%.2f"), Fmt(csr_mops, "%.2f"),
        Fmt(csr_mops / legacy_mops, "%.2fx")});
+  JsonObject row;
+  row.Set("m", m)
+      .Set("iters", iters)
+      .Set("legacy_mops", legacy_mops)
+      .Set("csr_mops", csr_mops)
+      .Set("speedup", csr_mops / legacy_mops);
+  report->AddRow("predset", std::move(row));
 }
 
 struct SamplerCell {
@@ -113,7 +123,7 @@ SamplerCell BenchSamplerLayout(const Nfa& nfa, int n, bool csr, int64_t draws) {
   return cell;
 }
 
-void BenchSampler(int m, int n, int64_t draws) {
+void BenchSampler(int m, int n, int64_t draws, BenchReport* report) {
   Nfa nfa = E3Automaton(m);
   SamplerCell legacy = BenchSamplerLayout(nfa, n, /*csr=*/false, draws);
   SamplerCell csr = BenchSamplerLayout(nfa, n, /*csr=*/true, draws);
@@ -121,29 +131,49 @@ void BenchSampler(int m, int n, int64_t draws) {
        Fmt(csr.build_s, "%.2f"), Fmt(legacy.draws_per_s, "%.1f"),
        Fmt(csr.draws_per_s, "%.1f"),
        Fmt(csr.draws_per_s / legacy.draws_per_s, "%.2fx")});
+  JsonObject row;
+  row.Set("m", m)
+      .Set("n", n)
+      .Set("draws", draws)
+      .Set("legacy_build_s", legacy.build_s)
+      .Set("csr_build_s", csr.build_s)
+      .Set("legacy_draws_per_s", legacy.draws_per_s)
+      .Set("csr_draws_per_s", csr.draws_per_s)
+      .Set("speedup", csr.draws_per_s / legacy.draws_per_s);
+  report->AddRow("sampler", std::move(row));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = JsonPathArg(argc, argv);
+  BenchReport report("e11_csr_hotpath");
+  report.config()
+      .Set("family", "E3 RandomNfa(m, 0.3, 0.25)")
+      .Set("eps", 0.3)
+      .Set("delta", 0.2)
+      .Set("seed", 11);
+
   std::printf("E11 — CSR-unrolled hot path: old vs new transition layout\n");
 
   Section("E11a: PredSet expansion throughput (Mops/s), E3 family");
   Row({"m", "iters", "legacy", "csr", "speedup"});
-  for (int m : {64, 128, 256}) BenchPredSet(m);
+  for (int m : {64, 128, 256}) BenchPredSet(m, &report);
 
   Section("E11b: sampler throughput (draws/s), E3 family, eps=0.3 delta=0.2");
   Row({"m", "n", "draws", "build_old", "build_new", "old_d/s", "new_d/s",
        "speedup"});
-  BenchSampler(64, 8, 1500);
-  BenchSampler(96, 8, 1000);
-  BenchSampler(128, 8, 800);
-  BenchSampler(64, 12, 1000);
+  BenchSampler(64, 8, 1500, &report);
+  BenchSampler(96, 8, 1000, &report);
+  BenchSampler(128, 8, 800, &report);
+  BenchSampler(64, 12, 1000, &report);
+
+  const bool json_ok = report.WriteTo(json_path);
 
   std::printf(
       "\nReading: 'speedup' is new/old samples-per-second on identical draw\n"
       "sequences (both layouts consume the same RNG stream). The E11a rows\n"
       "isolate the frontier-propagation primitive the sampler walk spends\n"
       "most of its time in; bench/README.md records reference numbers.\n");
-  return 0;
+  return json_ok ? 0 : 1;
 }

@@ -8,6 +8,11 @@
 //   nfa_cli regex   '<pattern>' <alphabet_size>      # compile to nfa text
 //   nfa_cli dot     <file.nfa|->                     # Graphviz export
 //
+// Global flags (anywhere on the line):
+//   --threads <k>   level-sweep worker threads for count/lengths/sample
+//                   (1 = sequential default, 0 = all hardware threads;
+//                   results are bit-identical for every value)
+//
 // File format: see src/automata/io.hpp.
 
 #include <cstdio>
@@ -15,6 +20,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "automata/io.hpp"
 #include "automata/regex.hpp"
@@ -33,8 +39,47 @@ int Usage() {
                "  nfa_cli sample  <file|-> <n> <count> [seed]\n"
                "  nfa_cli exact   <file|-> <n>\n"
                "  nfa_cli regex   '<pattern>' <alphabet_size>\n"
-               "  nfa_cli dot     <file|->\n");
+               "  nfa_cli dot     <file|->\n"
+               "flags: --threads <k>  (0 = all hardware threads; results are\n"
+               "                       bit-identical for every thread count)\n"
+               "       --             end of flags (later args are positional)\n");
   return 2;
+}
+
+/// Strips `--threads <k>` (anywhere before a `--` separator) out of the
+/// argument list; returns the positional arguments. `*num_threads` is left
+/// at its default when the flag is absent, and set to -1 on a malformed
+/// flag. Everything after a literal `--` is taken positionally — the escape
+/// hatch for patterns or filenames that look like the flag
+/// (`nfa_cli regex -- '--threads' 2`).
+std::vector<std::string> ExtractFlags(int argc, char** argv,
+                                      int* num_threads) {
+  std::vector<std::string> positional;
+  bool flags_ended = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!flags_ended && arg == "--") {
+      flags_ended = true;
+      continue;
+    }
+    if (!flags_ended && arg == "--threads") {
+      if (i + 1 >= argc) {
+        *num_threads = -1;
+        return positional;
+      }
+      const char* value = argv[++i];
+      char* end = nullptr;
+      const long parsed = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || parsed < 0 || parsed > 1 << 20) {
+        *num_threads = -1;  // non-numeric / negative / absurd: malformed
+        return positional;
+      }
+      *num_threads = static_cast<int>(parsed);
+      continue;
+    }
+    positional.push_back(arg);
+  }
+  return positional;
 }
 
 Result<Nfa> LoadFromArg(const std::string& arg) {
@@ -54,18 +99,20 @@ int Fail(const Status& status) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const std::string command = argv[1];
+  int num_threads = 1;
+  const std::vector<std::string> args = ExtractFlags(argc, argv, &num_threads);
+  if (num_threads < 0 || args.size() < 2) return Usage();
+  const std::string& command = args[0];
 
   if (command == "regex") {
-    if (argc < 4) return Usage();
-    Result<Nfa> nfa = CompileRegex(argv[2], std::atoi(argv[3]));
+    if (args.size() < 3) return Usage();
+    Result<Nfa> nfa = CompileRegex(args[1], std::atoi(args[2].c_str()));
     if (!nfa.ok()) return Fail(nfa.status());
     std::fputs(NfaToText(*nfa).c_str(), stdout);
     return 0;
   }
 
-  Result<Nfa> nfa = LoadFromArg(argv[2]);
+  Result<Nfa> nfa = LoadFromArg(args[1]);
   if (!nfa.ok()) return Fail(nfa.status());
 
   if (command == "dot") {
@@ -73,24 +120,25 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (argc < 4) return Usage();
-  const int n = std::atoi(argv[3]);
+  if (args.size() < 3) return Usage();
+  const int n = std::atoi(args[2].c_str());
 
   if (command == "count" || command == "lengths") {
     CountOptions options;
-    if (argc > 4) options.eps = std::atof(argv[4]);
-    if (argc > 5) options.delta = std::atof(argv[5]);
-    if (argc > 6) options.seed = std::strtoull(argv[6], nullptr, 10);
+    options.num_threads = num_threads;
+    if (args.size() > 3) options.eps = std::atof(args[3].c_str());
+    if (args.size() > 4) options.delta = std::atof(args[4].c_str());
+    if (args.size() > 5) options.seed = std::strtoull(args[5].c_str(), nullptr, 10);
     if (command == "count") {
       Result<CountEstimate> r = ApproxCount(*nfa, n, options);
       if (!r.ok()) return Fail(r.status());
       std::printf("%.6g\n", r->estimate);
       std::fprintf(stderr,
-                   "# eps=%.3g delta=%.3g seed=%llu wall_ms=%.1f "
+                   "# eps=%.3g delta=%.3g seed=%llu threads=%d wall_ms=%.1f "
                    "appunion_calls=%lld\n",
                    options.eps, options.delta,
                    static_cast<unsigned long long>(options.seed),
-                   r->diagnostics.wall_seconds * 1e3,
+                   options.num_threads, r->diagnostics.wall_seconds * 1e3,
                    static_cast<long long>(r->diagnostics.appunion_calls));
     } else {
       Result<std::vector<double>> r = ApproxCountAllLengths(*nfa, n, options);
@@ -103,10 +151,11 @@ int main(int argc, char** argv) {
   }
 
   if (command == "sample") {
-    if (argc < 5) return Usage();
-    const int64_t count = std::atoll(argv[4]);
+    if (args.size() < 4) return Usage();
+    const int64_t count = std::atoll(args[3].c_str());
     SamplerOptions options;
-    if (argc > 5) options.seed = std::strtoull(argv[5], nullptr, 10);
+    options.num_threads = num_threads;
+    if (args.size() > 4) options.seed = std::strtoull(args[4].c_str(), nullptr, 10);
     Result<WordSampler> sampler = WordSampler::Build(*nfa, n, options);
     if (!sampler.ok()) return Fail(sampler.status());
     for (int64_t i = 0; i < count; ++i) {

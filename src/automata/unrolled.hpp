@@ -85,6 +85,12 @@ struct CsrTransitions {
 };
 
 /// Level-indexed view of the unrolled automaton for a fixed length n.
+///
+/// Thread safety: construction does all the work (CSR arrays, masks, level
+/// reachability); every const method afterwards only reads that immutable
+/// state, so concurrent calls from the level-sweep workers are safe provided
+/// each thread passes its own output buffers to the *Into variants (the
+/// engine's per-worker Bitset scratch).
 class UnrolledNfa {
  public:
   /// Builds level reachability for lengths 0..n. The NFA must validate.

@@ -65,6 +65,11 @@ class MembershipBatch {
 /// calls one FPRAS run makes: the prefix-mask membership index and the flat
 /// trial-draw table (both rebuild in place without reallocating when sizes
 /// repeat).
+///
+/// Thread safety: the AppUnion* estimators are pure functions of (inputs,
+/// params, scratch, rng) — concurrent calls are safe iff each thread owns
+/// its scratch and its Rng (the level-sweep executor keeps one
+/// AppUnionScratch per worker slot; see FprasEngine::WorkerScratch).
 struct AppUnionScratch {
   MembershipBatch batch;  ///< covered-earlier prefix masks
   DiscreteTable table;    ///< prefix-sum index-draw table over the k sizes

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "counting/union_mc.hpp"
 #include "util/timer.hpp"
@@ -13,6 +14,14 @@ namespace {
 
 constexpr double kE = 2.718281828459045;
 constexpr double kGammaNumerator = 2.0 / (3.0 * kE);  // γ0·N = 2/(3e)
+
+// Substream family tags (first ForSubstream coordinate, or HashCombine base).
+// Cell streams use (a=q, b=ℓ) with small q, so the tags are large constants:
+// a collision with a cell coordinate has probability ~2⁻⁶⁴ per key.
+constexpr uint64_t kCountUnionTag = 0xC0C0C0C0C0C0C0C0ULL;
+constexpr uint64_t kSampleUnionTag = 0x5A5A5A5A5A5A5A5AULL;
+constexpr uint64_t kFinalUnionTag = 0xF1F1F1F1F1F1F1F1ULL;
+constexpr uint64_t kDrawStreamTag = 0xD12AD12AD12AD12AULL;
 
 /// AppUnion input adapter over one predecessor's (S, N) pair. Membership of a
 /// stored word σ in L(p^{|σ|}) is a bit probe on its reach profile, or a full
@@ -54,50 +63,140 @@ AppUnionParams MakeUnionParams(const FprasParams& p, double delta_param,
   return au;
 }
 
+/// Field-wise sum of the int64 counters (wall_seconds is run-level and
+/// handled by the caller).
+void AccumulateDiag(const FprasDiagnostics& from, FprasDiagnostics* into) {
+  into->appunion_calls += from.appunion_calls;
+  into->appunion_trials += from.appunion_trials;
+  into->membership_checks += from.membership_checks;
+  into->starvations += from.starvations;
+  into->sample_calls += from.sample_calls;
+  into->sample_success += from.sample_success;
+  into->fail_phi_gt_1 += from.fail_phi_gt_1;
+  into->fail_bernoulli += from.fail_bernoulli;
+  into->fail_dead_branch += from.fail_dead_branch;
+  into->padded_words += from.padded_words;
+  into->perturbed_counts += from.perturbed_counts;
+  into->states_processed += from.states_processed;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// UnionSizeMemo
+// ---------------------------------------------------------------------------
+
+void UnionSizeMemo::Reset(int64_t capacity) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  capacity_ = capacity;
+  entries_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+bool UnionSizeMemo::Lookup(int level, const Bitset& set,
+                           std::vector<double>* out) {
+  Shard& shard = ShardFor(level, set);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(Key{level, set});
+    if (it != shard.map.end()) {
+      *out = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void UnionSizeMemo::Insert(int level, const Bitset& set,
+                           const std::vector<double>& sizes) {
+  if (entries_.load(std::memory_order_relaxed) >= capacity_) return;
+  Shard& shard = ShardFor(level, set);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.emplace(Key{level, set}, sizes).second) {
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FprasEngine
+// ---------------------------------------------------------------------------
 
 FprasEngine::FprasEngine(const Nfa* nfa, FprasParams params, uint64_t seed)
     : nfa_(nfa),
       params_(params),
       unrolled_(nfa, params.n),
-      rng_(seed),
-      pred_scratch_(nfa->num_states()) {
+      seed_(seed),
+      rng_(Rng::ForSubstream(seed, kDrawStreamTag, 0)) {
   assert(nfa != nullptr && nfa->Validate().ok());
   assert(params.m == nfa->num_states());
+  workers_.resize(1);
+  workers_[0].pred_scratch = Bitset(static_cast<size_t>(nfa->num_states()));
+}
+
+const FprasDiagnostics& FprasEngine::diagnostics() const {
+  diag_ = FprasDiagnostics{};
+  for (const WorkerScratch& ws : workers_) AccumulateDiag(ws.diag, &diag_);
+  // The memo's counters are authoritative (shared across workers); they are
+  // the only scheduling-dependent diagnostics.
+  diag_.memo_hits = memo_.hits();
+  diag_.memo_misses = memo_.misses();
+  diag_.wall_seconds = run_wall_seconds_;
+  return diag_;
 }
 
 double FprasEngine::CountEstimateFor(StateId q, int level) const {
-  assert(level >= 0 && level <= params_.n);
+  NFA_CHECK(ran_ok_, "CountEstimateFor requires a successful Run()");
+  NFA_CHECK(level >= 0 && level <= params_.n,
+            "CountEstimateFor: level out of [0, n]");
+  NFA_CHECK(q >= 0 && q < nfa_->num_states(),
+            "CountEstimateFor: state out of [0, m)");
   return table_[level][q].count_estimate;
 }
 
 const std::vector<StoredSample>& FprasEngine::SamplesFor(StateId q,
                                                          int level) const {
-  assert(level >= 0 && level <= params_.n);
+  NFA_CHECK(ran_ok_, "SamplesFor requires a successful Run()");
+  NFA_CHECK(level >= 0 && level <= params_.n,
+            "SamplesFor: level out of [0, n]");
+  NFA_CHECK(q >= 0 && q < nfa_->num_states(),
+            "SamplesFor: state out of [0, m)");
   return table_[level][q].samples;
 }
 
 std::vector<double> FprasEngine::UnionSizes(int level, const Bitset& state_set,
-                                            double delta_param, bool use_memo) {
+                                            double delta_param,
+                                            UnionPurpose purpose,
+                                            WorkerScratch& ws) {
   assert(level >= 1 && level <= params_.n);
-  use_memo = use_memo && params_.memoize_unions;
-  if (use_memo) {
-    auto it = memo_[level].find(state_set);
-    if (it != memo_[level].end()) {
-      ++diag_.memo_hits;
-      return it->second;
-    }
-    ++diag_.memo_misses;
-  }
+  const bool use_memo =
+      purpose == UnionPurpose::kSample && params_.memoize_unions;
+  std::vector<double> sizes;
+  if (use_memo && memo_.Lookup(level, state_set, &sizes)) return sizes;
+
+  // Content-keyed substream: the draws depend only on (seed, purpose, level,
+  // P) — never on the calling cell, the worker thread, or the memo state.
+  // Recomputing an uncached entry therefore reproduces byte-for-byte what a
+  // cache hit would have returned, which is what makes the shared memo (and
+  // the parallel sweep) result-invariant.
+  const uint64_t family =
+      purpose == UnionPurpose::kCount ? kCountUnionTag : kSampleUnionTag;
+  Rng rng = Rng::ForSubstream(seed_, HashCombine(family, state_set.Hash()),
+                              static_cast<uint64_t>(level));
 
   const int k = nfa_->alphabet_size();
-  std::vector<double> sizes(k, 0.0);
+  sizes.assign(static_cast<size_t>(k), 0.0);
   AppUnionParams au = MakeUnionParams(params_, delta_param, level);
 
   for (int b = 0; b < k; ++b) {
     // Predecessor expansion on the flat layout (or the legacy pointer walk
-    // when ablated); `pred_scratch_` avoids a per-(symbol, call) allocation.
-    Bitset& preds = pred_scratch_;
+    // when ablated); `ws.pred_scratch` avoids a per-(symbol, call) allocation.
+    Bitset& preds = ws.pred_scratch;
     if (params_.csr_hot_path) {
       unrolled_.PredSetInto(state_set, static_cast<Symbol>(b), level, &preds);
     } else {
@@ -119,48 +218,48 @@ std::vector<double> FprasEngine::UnionSizes(int level, const Bitset& state_set,
     // oracle is amortized; the E9 ablation path keeps the per-probe loop.
     AppUnionOutcome outcome =
         (params_.csr_hot_path && params_.amortize_oracle)
-            ? AppUnionBatched(ptrs, au, union_scratch_, rng_)
-            : AppUnion(ptrs, au, rng_);
-    ++diag_.appunion_calls;
-    diag_.appunion_trials += outcome.completed_trials;
-    diag_.membership_checks += outcome.membership_checks;
-    if (outcome.starved) ++diag_.starvations;
-    sizes[b] = outcome.estimate;
+            ? AppUnionBatched(ptrs, au, ws.union_scratch, rng)
+            : AppUnion(ptrs, au, rng);
+    ++ws.diag.appunion_calls;
+    ws.diag.appunion_trials += outcome.completed_trials;
+    ws.diag.membership_checks += outcome.membership_checks;
+    if (outcome.starved) ++ws.diag.starvations;
+    sizes[static_cast<size_t>(b)] = outcome.estimate;
   }
 
-  if (use_memo && memo_entries_ < params_.memo_capacity) {
-    memo_[level].emplace(state_set, sizes);
-    ++memo_entries_;
-  }
+  if (use_memo) memo_.Insert(level, state_set, sizes);
   return sizes;
 }
 
 std::optional<Word> FprasEngine::SampleInternal(int level,
                                                 const Bitset& state_set,
-                                                double phi0) {
-  ++diag_.sample_calls;
+                                                double phi0, WorkerScratch& ws,
+                                                Rng& rng) {
+  ++ws.diag.sample_calls;
   const double eta_call = params_.EtaForSampleCall();
   const double delta_union = eta_call / (4.0 * std::max(params_.n, 1));
 
   double phi = phi0;
-  Word word(level);
-  // Two ping-pong frontier buffers: the backward walk allocates once per
-  // draw instead of once per level step.
-  Bitset cur = state_set;
-  Bitset next(nfa_->num_states());
+  Word word(static_cast<size_t>(level));
+  // Two ping-pong frontier buffers from the worker scratch: the backward
+  // walk allocates nothing per draw.
+  Bitset& cur = ws.walk_cur;
+  Bitset& next = ws.walk_next;
+  cur.CopyFrom(state_set);
   for (int i = level; i >= 1; --i) {
-    std::vector<double> sizes = UnionSizes(i, cur, delta_union, /*use_memo=*/true);
+    std::vector<double> sizes =
+        UnionSizes(i, cur, delta_union, UnionPurpose::kSample, ws);
     double total = 0.0;
     for (double s : sizes) total += s;
     if (!(total > 0.0)) {
       // Every symbol slice estimated empty: reachable only through a
       // perturbed/failed estimate; treat as rejection.
-      ++diag_.fail_dead_branch;
+      ++ws.diag.fail_dead_branch;
       return std::nullopt;
     }
-    int b = rng_.DiscreteIndex(sizes);
+    int b = rng.DiscreteIndex(sizes);
     assert(b >= 0);
-    const double pr_b = sizes[b] / total;
+    const double pr_b = sizes[static_cast<size_t>(b)] / total;
     if (params_.csr_hot_path) {
       unrolled_.PredSetInto(cur, static_cast<Symbol>(b), i, &next);
       std::swap(cur, next);
@@ -168,7 +267,7 @@ std::optional<Word> FprasEngine::SampleInternal(int level,
       cur = unrolled_.PredSetLegacy(cur, static_cast<Symbol>(b), i);
     }
     assert(cur.Any());
-    word[i - 1] = static_cast<Symbol>(b);
+    word[static_cast<size_t>(i - 1)] = static_cast<Symbol>(b);
     phi /= pr_b;
   }
 
@@ -176,22 +275,22 @@ std::optional<Word> FprasEngine::SampleInternal(int level,
   // initial state when it lands anywhere (PredSet intersects level-0
   // reachability = {initial}).
   if (!cur.Test(nfa_->initial())) {
-    ++diag_.fail_dead_branch;
+    ++ws.diag.fail_dead_branch;
     return std::nullopt;
   }
   if (phi > 1.0) {
-    ++diag_.fail_phi_gt_1;  // Fail1
+    ++ws.diag.fail_phi_gt_1;  // Fail1
     return std::nullopt;
   }
-  if (!rng_.Bernoulli(phi)) {
-    ++diag_.fail_bernoulli;  // Fail2
+  if (!rng.Bernoulli(phi)) {
+    ++ws.diag.fail_bernoulli;  // Fail2
     return std::nullopt;
   }
-  ++diag_.sample_success;
+  ++ws.diag.sample_success;
   return word;
 }
 
-double FprasEngine::PerturbedCount(int level) {
+double FprasEngine::PerturbedCount(int level, Rng& rng) {
   // N(q^ℓ) ← Uniform{0, 1, ..., |Σ|^ℓ} (Alg. 3 line 19). |Σ|^ℓ can exceed any
   // integer type; the estimate is a double throughout, so draw a uniform real
   // over [0, |Σ|^ℓ] and round — identical for feasible ℓ, and the event has
@@ -199,9 +298,9 @@ double FprasEngine::PerturbedCount(int level) {
   const double top = std::pow(static_cast<double>(nfa_->alphabet_size()), level);
   if (top < 9.0e15) {
     return static_cast<double>(
-        rng_.UniformU64(static_cast<uint64_t>(top) + 1));
+        rng.UniformU64(static_cast<uint64_t>(top) + 1));
   }
-  return std::floor(rng_.UniformDouble() * top);
+  return std::floor(rng.UniformDouble() * top);
 }
 
 StoredSample FprasEngine::MakeStored(Word word) const {
@@ -209,20 +308,23 @@ StoredSample FprasEngine::MakeStored(Word word) const {
                               : unrolled_.MakeSampleLegacy(std::move(word));
 }
 
-void FprasEngine::RefillSamples(StateId q, int level) {
+void FprasEngine::RefillSamples(StateId q, int level, WorkerScratch& ws,
+                                Rng& rng) {
   StateLevelData& slot = table_[level][q];
   slot.samples.clear();
   const double count = slot.count_estimate;
 
   if (count > 0.0) {
     const double gamma0 = kGammaNumerator / count;
-    Bitset target(nfa_->num_states());
-    target.Set(q);
+    Bitset& target = ws.target_scratch;
+    target.Clear();
+    target.Set(static_cast<size_t>(q));
     for (int64_t attempt = 0;
          attempt < params_.xns &&
          static_cast<int64_t>(slot.samples.size()) < params_.ns;
          ++attempt) {
-      std::optional<Word> word = SampleInternal(level, target, gamma0);
+      std::optional<Word> word =
+          SampleInternal(level, target, gamma0, ws, rng);
       if (word.has_value()) {
         slot.samples.push_back(MakeStored(std::move(*word)));
       }
@@ -236,22 +338,77 @@ void FprasEngine::RefillSamples(StateId q, int level) {
     std::optional<Word> witness = unrolled_.WitnessWord(q, level);
     assert(witness.has_value());  // q is reachable at this level
     StoredSample pad = MakeStored(std::move(*witness));
-    diag_.padded_words += shortfall;
+    ws.diag.padded_words += shortfall;
     for (int64_t i = 0; i < shortfall; ++i) slot.samples.push_back(pad);
   }
+}
+
+void FprasEngine::ProcessCell(StateId q, int level, WorkerScratch& ws) {
+  // The cell's private substream: keyed by (seed, q, ℓ) only, so the draw
+  // sequence is identical no matter which worker runs the cell or in what
+  // order the level's cells are scheduled.
+  Rng cell_rng = Rng::ForSubstream(seed_, static_cast<uint64_t>(q),
+                                   static_cast<uint64_t>(level));
+  Bitset& singleton = ws.target_scratch;
+  singleton.Clear();
+  singleton.Set(static_cast<size_t>(q));
+  // N(q^ℓ) = Σ_b sz_b (lines 12-17). This union-size computation uses its
+  // own δ and its own substream family — it is not memo-shared with sample().
+  std::vector<double> sizes = UnionSizes(level, singleton,
+                                         params_.DeltaForCountUnion(),
+                                         UnionPurpose::kCount, ws);
+  double total = 0.0;
+  for (double s : sizes) total += s;
+
+  if (params_.perturb_support &&
+      cell_rng.Bernoulli(params_.eta / (2.0 * std::max(params_.n, 1)))) {
+    total = PerturbedCount(level, cell_rng);  // lines 18-19
+    ++ws.diag.perturbed_counts;
+  }
+  table_[level][q].count_estimate = total;
+  RefillSamples(q, level, ws, cell_rng);
+  ++ws.diag.states_processed;
+}
+
+Status FprasEngine::RunLevel(int level, ThreadPool& pool) {
+  // Level barrier: every cell of level ℓ reads only the frozen ℓ−1 tables
+  // (SampleInternal walks strictly downward from ℓ−1) and writes only its
+  // own table_[ℓ][q] slot, so the cells are independent.
+  const std::vector<int> states = unrolled_.ReachableAt(level).ToIndices();
+  return pool.ParallelFor(
+      static_cast<int64_t>(states.size()), [&](int64_t i, int worker) {
+        ProcessCell(static_cast<StateId>(states[static_cast<size_t>(i)]),
+                    level, workers_[static_cast<size_t>(worker)]);
+        return Status::Ok();
+      });
 }
 
 Status FprasEngine::Run() {
   WallTimer timer;
   NFA_RETURN_NOT_OK(nfa_->Validate());
-  diag_ = FprasDiagnostics{};
+  // Validate the thread knob before allocating anything sized by it: an
+  // absurd value must surface as Status, not as bad_alloc/system_error
+  // escaping the no-throw API.
+  constexpr int kMaxThreads = 4096;
+  if (params_.num_threads < 0 || params_.num_threads > kMaxThreads) {
+    return Status::Invalid("num_threads must be in [0, 4096]");
+  }
   ran_ok_ = false;
-  memo_entries_ = 0;
 
   const int n = params_.n;
   const int m = nfa_->num_states();
-  table_.assign(n + 1, std::vector<StateLevelData>(m));
-  memo_.assign(n + 1, {});
+  const int threads = ThreadPool::ResolveThreadCount(params_.num_threads);
+  workers_.clear();
+  workers_.resize(static_cast<size_t>(threads));
+  for (WorkerScratch& ws : workers_) {
+    ws.pred_scratch = Bitset(static_cast<size_t>(m));
+    ws.walk_cur = Bitset(static_cast<size_t>(m));
+    ws.walk_next = Bitset(static_cast<size_t>(m));
+    ws.target_scratch = Bitset(static_cast<size_t>(m));
+  }
+  table_.assign(static_cast<size_t>(n) + 1,
+                std::vector<StateLevelData>(static_cast<size_t>(m)));
+  memo_.Reset(params_.memo_capacity);
 
   // Level 0 (Alg. 3 lines 6-10): L(I⁰) = {λ}, everything else empty. The
   // sample list holds ns copies of λ — "uniform with replacement" from a
@@ -260,28 +417,10 @@ Status FprasEngine::Run() {
   base.count_estimate = 1.0;
   base.samples.assign(static_cast<size_t>(params_.ns), MakeStored(Word{}));
 
-  const double delta_count_union = params_.DeltaForCountUnion();
-  for (int level = 1; level <= n; ++level) {
-    const Bitset& alive = unrolled_.ReachableAt(level);
-    std::vector<int> states = alive.ToIndices();
-    for (int q : states) {
-      Bitset singleton(m);
-      singleton.Set(q);
-      // N(q^ℓ) = Σ_b sz_b (lines 12-17). This union-size computation uses its
-      // own δ and fresh randomness — it is not memo-shared with sample().
-      std::vector<double> sizes =
-          UnionSizes(level, singleton, delta_count_union, /*use_memo=*/false);
-      double total = 0.0;
-      for (double s : sizes) total += s;
-
-      if (params_.perturb_support &&
-          rng_.Bernoulli(params_.eta / (2.0 * std::max(n, 1)))) {
-        total = PerturbedCount(level);  // lines 18-19
-        ++diag_.perturbed_counts;
-      }
-      table_[level][q].count_estimate = total;
-      RefillSamples(q, level);
-      ++diag_.states_processed;
+  {
+    ThreadPool pool(threads);
+    for (int level = 1; level <= n; ++level) {
+      NFA_RETURN_NOT_OK(RunLevel(level, pool));
     }
   }
 
@@ -292,18 +431,20 @@ Status FprasEngine::Run() {
   ran_ok_ = true;
   final_estimate_ = EstimateUnionOfStates(nfa_->accepting(), n);
 
-  diag_.wall_seconds = timer.ElapsedSeconds();
+  run_wall_seconds_ = timer.ElapsedSeconds();
   return Status::Ok();
 }
 
 double FprasEngine::EstimateUnionOfStates(const Bitset& targets, int level) {
-  assert(ran_ok_);
+  NFA_CHECK(ran_ok_, "EstimateUnionOfStates requires a successful Run()");
   Bitset alive = targets;
   alive &= unrolled_.ReachableAt(level);
   const size_t count = alive.Count();
   if (count == 0) return 0.0;
   if (count == 1) return table_[level][alive.FirstSet()].count_estimate;
 
+  // Sequential post-barrier path: workers_[0] is free once RunLevel joined.
+  WorkerScratch& ws = workers_[0];
   std::vector<PredecessorInput> inputs;
   alive.ForEachSet([&](int q) {
     inputs.push_back(PredecessorInput{&table_[level][q], static_cast<StateId>(q),
@@ -313,19 +454,25 @@ double FprasEngine::EstimateUnionOfStates(const Bitset& targets, int level) {
   ptrs.reserve(inputs.size());
   for (const auto& in : inputs) ptrs.push_back(&in);
   AppUnionParams au = MakeUnionParams(params_, params_.eta, level + 1);
+  // Content-keyed stream: repeated estimates of the same (targets, level)
+  // union agree exactly (e.g. the all-lengths slice at n equals Estimate()).
+  Rng rng = Rng::ForSubstream(seed_, HashCombine(kFinalUnionTag, alive.Hash()),
+                              static_cast<uint64_t>(level));
   AppUnionOutcome outcome =
       (params_.csr_hot_path && params_.amortize_oracle)
-          ? AppUnionBatched(ptrs, au, union_scratch_, rng_)
-          : AppUnion(ptrs, au, rng_);
-  ++diag_.appunion_calls;
-  diag_.appunion_trials += outcome.completed_trials;
-  diag_.membership_checks += outcome.membership_checks;
-  if (outcome.starved) ++diag_.starvations;
+          ? AppUnionBatched(ptrs, au, ws.union_scratch, rng)
+          : AppUnion(ptrs, au, rng);
+  ++ws.diag.appunion_calls;
+  ws.diag.appunion_trials += outcome.completed_trials;
+  ws.diag.membership_checks += outcome.membership_checks;
+  if (outcome.starved) ++ws.diag.starvations;
   return outcome.estimate;
 }
 
 double FprasEngine::EstimateAtLength(int level) {
-  assert(level >= 0 && level <= params_.n);
+  NFA_CHECK(ran_ok_, "EstimateAtLength requires a successful Run()");
+  NFA_CHECK(level >= 0 && level <= params_.n,
+            "EstimateAtLength: level out of [0, n]");
   if (level == 0) {
     return nfa_->IsAccepting(nfa_->initial()) ? 1.0 : 0.0;
   }
@@ -333,8 +480,9 @@ double FprasEngine::EstimateAtLength(int level) {
 }
 
 std::optional<Word> FprasEngine::SampleWord(const Bitset& targets, int level) {
-  assert(ran_ok_);
-  assert(level >= 0 && level <= params_.n);
+  NFA_CHECK(ran_ok_, "SampleWord requires a successful Run()");
+  NFA_CHECK(level >= 0 && level <= params_.n,
+            "SampleWord: level out of [0, n]");
   Bitset alive = targets;
   alive &= unrolled_.ReachableAt(level);
   if (alive.None()) return std::nullopt;
@@ -342,7 +490,8 @@ std::optional<Word> FprasEngine::SampleWord(const Bitset& targets, int level) {
   // γ0 = 2/(3e) · 1/N where N estimates |∪ L(q^level)|.
   double union_estimate = EstimateUnionOfStates(alive, level);
   if (!(union_estimate > 0.0)) return std::nullopt;
-  return SampleInternal(level, alive, kGammaNumerator / union_estimate);
+  return SampleInternal(level, alive, kGammaNumerator / union_estimate,
+                        workers_[0], rng_);
 }
 
 std::optional<Word> FprasEngine::SampleAcceptedWord() {
@@ -352,6 +501,20 @@ std::optional<Word> FprasEngine::SampleAcceptedWord() {
 // ---------------------------------------------------------------------------
 // Facade
 // ---------------------------------------------------------------------------
+
+namespace {
+
+/// Copies the CountOptions behavior flags onto derived params.
+void ApplyOptionFlags(const CountOptions& options, FprasParams* params) {
+  params->perturb_support = options.perturb_support;
+  params->memoize_unions = options.memoize_unions;
+  params->amortize_oracle = options.amortize_oracle;
+  params->recycle_samples = options.recycle_samples;
+  params->csr_hot_path = options.csr_hot_path;
+  params->num_threads = options.num_threads;
+}
+
+}  // namespace
 
 Result<CountEstimate> ApproxCount(const Nfa& nfa, int n,
                                   const CountOptions& options) {
@@ -375,11 +538,7 @@ Result<CountEstimate> ApproxCount(const Nfa& nfa, int n,
                        FprasParams::Make(options.schedule, nfa.num_states(), n,
                                          options.eps, options.delta,
                                          options.calibration));
-  params.perturb_support = options.perturb_support;
-  params.memoize_unions = options.memoize_unions;
-  params.amortize_oracle = options.amortize_oracle;
-  params.recycle_samples = options.recycle_samples;
-  params.csr_hot_path = options.csr_hot_path;
+  ApplyOptionFlags(options, &params);
 
   FprasEngine engine(&nfa, params, options.seed);
   NFA_RETURN_NOT_OK(engine.Run());
@@ -393,7 +552,7 @@ Result<std::vector<double>> ApproxCountAllLengths(const Nfa& nfa, int n,
                                                   const CountOptions& options) {
   NFA_RETURN_NOT_OK(nfa.Validate());
   if (n < 0) return Status::Invalid("n must be >= 0");
-  std::vector<double> out(n + 1, 0.0);
+  std::vector<double> out(static_cast<size_t>(n) + 1, 0.0);
   if (n == 0) {
     out[0] = nfa.IsAccepting(nfa.initial()) ? 1.0 : 0.0;
     return out;
@@ -404,16 +563,12 @@ Result<std::vector<double>> ApproxCountAllLengths(const Nfa& nfa, int n,
                        FprasParams::Make(options.schedule, nfa.num_states(), n,
                                          options.eps, options.delta,
                                          options.calibration));
-  params.perturb_support = options.perturb_support;
-  params.memoize_unions = options.memoize_unions;
-  params.amortize_oracle = options.amortize_oracle;
-  params.recycle_samples = options.recycle_samples;
-  params.csr_hot_path = options.csr_hot_path;
+  ApplyOptionFlags(options, &params);
 
   FprasEngine engine(&nfa, params, options.seed);
   NFA_RETURN_NOT_OK(engine.Run());
   for (int level = 0; level <= n; ++level) {
-    out[level] = engine.EstimateAtLength(level);
+    out[static_cast<size_t>(level)] = engine.EstimateAtLength(level);
   }
   return out;
 }

@@ -16,10 +16,24 @@
 // divides the acceptance probability φ by pr_b, and recurses; at level 0 it
 // returns the built word with probability φ (γ0·Π pr_b⁻¹ telescopes to the
 // uniform γ0 per word — Theorem 2(1)).
+//
+// Concurrency model (docs/ARCHITECTURE.md "Concurrency model"): within level
+// ℓ every (q, ℓ) cell depends only on the frozen level ℓ−1 tables, so Run()
+// fans the cells of each level out over a fixed ThreadPool and joins at a
+// level barrier (RunLevel). Determinism does not come from execution order:
+// every cell draws from its own counter-based RNG substream
+// (Rng::ForSubstream(seed, q, ℓ)), and every union-size estimation draws from
+// a substream keyed by its *content* (purpose, level, P-set). Estimates,
+// samples, and per-(q,ℓ) tables are therefore bit-identical for every
+// num_threads value, including 1; only scheduling-dependent counters (memo
+// hits/misses, appunion_calls) may differ between thread counts.
 
 #ifndef NFACOUNT_FPRAS_ESTIMATOR_HPP_
 #define NFACOUNT_FPRAS_ESTIMATOR_HPP_
 
+#include <array>
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +44,7 @@
 #include "fpras/params.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nfacount {
 
@@ -62,6 +77,63 @@ struct StateLevelData {
   std::vector<StoredSample> samples; ///< S(q^ℓ), |S| == ns once filled
 };
 
+/// Sharded, thread-safe cache of sample-context union-size vectors keyed by
+/// (level, P-set). Because UnionSizes draws from a content-keyed RNG
+/// substream, a cached vector is exactly what recomputation would produce —
+/// the memo is a pure cache shared freely across worker threads without
+/// affecting any estimate. Only the atomic hit/miss counters are
+/// scheduling-dependent (two threads can both miss on a key a sequential run
+/// would hit once).
+class UnionSizeMemo {
+ public:
+  /// Clears all shards and counters; caps the total entry count.
+  void Reset(int64_t capacity);
+
+  /// If (level, set) is cached, copies the sizes into *out and returns true.
+  /// Counts one hit or miss.
+  bool Lookup(int level, const Bitset& set, std::vector<double>* out);
+
+  /// Caches (level, set) → sizes unless capacity is reached (first writer
+  /// wins; concurrent inserts of the same key carry identical values).
+  void Insert(int level, const Bitset& set, const std::vector<double>& sizes);
+
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Key {
+    int level;
+    Bitset set;
+    bool operator==(const Key& other) const {
+      return level == other.level && set == other.set;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return static_cast<size_t>(
+          HashCombine(static_cast<uint64_t>(key.level), key.set.Hash()));
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, std::vector<double>, KeyHash> map;
+  };
+
+  static constexpr int kNumShards = 16;
+
+  Shard& ShardFor(int level, const Bitset& set) {
+    return shards_[static_cast<size_t>(
+        HashCombine(static_cast<uint64_t>(level), set.Hash()) %
+        kNumShards)];
+  }
+
+  std::array<Shard, kNumShards> shards_;
+  int64_t capacity_ = 0;
+  std::atomic<int64_t> entries_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
 /// One full run of the FPRAS over a fixed (NFA, n). After Run() succeeds the
 /// engine exposes the estimate, the per-(q,ℓ) table (for invariant tests) and
 /// almost-uniform word sampling from any level set (the paper's uniform
@@ -71,7 +143,9 @@ class FprasEngine {
   /// The NFA must outlive the engine.
   FprasEngine(const Nfa* nfa, FprasParams params, uint64_t seed);
 
-  /// Executes Algorithm 3 over all levels. Idempotent (re-runs reset state).
+  /// Executes Algorithm 3 over all levels, fanning each level's reachable
+  /// cells out over params.num_threads workers (see the concurrency model in
+  /// the file comment). Idempotent (re-runs reset state).
   Status Run();
 
   /// Final estimate of |L(A_n)| (AppUnion over accepting states if |F| > 1).
@@ -80,13 +154,16 @@ class FprasEngine {
   /// Estimate of |L(A_ℓ)| for any ℓ ≤ n, from the same run: the DP maintains
   /// AccurateN at every level, so per-length counts come for free (each
   /// carries the same per-level (1±β)^ℓ ⊆ (1±ε) envelope). Run() must have
-  /// succeeded.
+  /// succeeded and `level` must be in [0, n] — violations abort via
+  /// NFA_CHECK instead of reading out of bounds.
   double EstimateAtLength(int level);
 
-  /// N(q^ℓ); 0 for unreachable copies. Run() must have succeeded.
+  /// N(q^ℓ); 0 for unreachable copies. Run() must have succeeded; q and
+  /// level are range-checked (NFA_CHECK).
   double CountEstimateFor(StateId q, int level) const;
 
-  /// S(q^ℓ) (empty for unreachable copies).
+  /// S(q^ℓ) (empty for unreachable copies). Run() must have succeeded; q and
+  /// level are range-checked (NFA_CHECK).
   const std::vector<StoredSample>& SamplesFor(StateId q, int level) const;
 
   /// Draws one word almost-uniformly from ∪_{q ∈ targets} L(q^level) using
@@ -98,47 +175,81 @@ class FprasEngine {
   std::optional<Word> SampleAcceptedWord();
 
   const FprasParams& params() const { return params_; }
-  const FprasDiagnostics& diagnostics() const { return diag_; }
+
+  /// Merged snapshot of the per-worker counters plus the memo's atomic
+  /// hit/miss counts; includes post-Run() sampling activity.
+  const FprasDiagnostics& diagnostics() const;
+
   const UnrolledNfa& unrolled() const { return unrolled_; }
 
  private:
+  /// Per-worker scratch bundle: everything a cell computation mutates other
+  /// than its own table_[ℓ][q] slot. One instance per ThreadPool worker slot
+  /// keeps the hot path allocation-free and race-free under concurrency.
+  struct WorkerScratch {
+    Bitset pred_scratch;          ///< PredSetInto target (UnionSizes)
+    Bitset walk_cur;              ///< Algorithm 2 ping-pong frontier
+    Bitset walk_next;             ///< Algorithm 2 ping-pong frontier
+    Bitset target_scratch;        ///< singleton {q} for RefillSamples
+    AppUnionScratch union_scratch;///< batched-membership + draw-table scratch
+    FprasDiagnostics diag;        ///< merged into diagnostics() on demand
+  };
+
+  /// Which substream family a union-size estimation draws from. The count
+  /// path (Alg. 3 line 15) and the sample path (Alg. 2 lines 8-11) use
+  /// distinct δ parameters and must not share randomness; only the sample
+  /// path is memo-shared.
+  enum class UnionPurpose { kCount, kSample };
+
   /// sz_b for every symbol b of the decomposition of ∪_{q∈P} L(q^level)
   /// (Alg. 2 lines 8-11), via AppUnion with parameters (β, delta_param).
-  /// `use_memo` joins the (level, P)-keyed cache shared by sample() calls.
+  /// Draws from the content-keyed substream (purpose, level, P), so the
+  /// result is a deterministic function of the engine seed and the
+  /// arguments — independent of caller, thread, and memo state.
   std::vector<double> UnionSizes(int level, const Bitset& state_set,
-                                 double delta_param, bool use_memo);
+                                 double delta_param, UnionPurpose purpose,
+                                 WorkerScratch& ws);
 
-  /// Algorithm 2 (iterative form). γ0 = phi0.
+  /// Algorithm 2 (iterative form). γ0 = phi0. Symbol and base-case draws
+  /// come from `rng` (the caller's cell substream, or rng_ post-run).
   std::optional<Word> SampleInternal(int level, const Bitset& state_set,
-                                     double phi0);
+                                     double phi0, WorkerScratch& ws, Rng& rng);
 
   /// Refills S(q^ℓ) with xns attempts, padding to ns (Alg. 3 lines 20-30).
-  void RefillSamples(StateId q, int level);
+  void RefillSamples(StateId q, int level, WorkerScratch& ws, Rng& rng);
+
+  /// One (q, ℓ) cell of Algorithm 3 (lines 12-30): count union, perturbation
+  /// branch, sample refill. Reads only level ℓ−1 tables; writes only
+  /// table_[ℓ][q] and `ws`.
+  void ProcessCell(StateId q, int level, WorkerScratch& ws);
+
+  /// Fans the reachable cells of one level over the pool and joins (the
+  /// level barrier).
+  Status RunLevel(int level, ThreadPool& pool);
 
   /// StoredSample for `word` on the layout csr_hot_path selects.
   StoredSample MakeStored(Word word) const;
 
-  double PerturbedCount(int level);
+  double PerturbedCount(int level, Rng& rng);
 
   /// |∪_{q ∈ targets∩reachable(level)} L(q^level)| estimate: N for a
-  /// singleton, AppUnion over the members otherwise.
+  /// singleton, AppUnion over the members otherwise (drawn from the
+  /// content-keyed final-union substream, so repeated calls agree).
   double EstimateUnionOfStates(const Bitset& targets, int level);
 
   const Nfa* nfa_;
   FprasParams params_;
   UnrolledNfa unrolled_;
-  Rng rng_;
-  // Hot-path scratch: predecessor-expansion buffer (PredSetInto target) and
-  // the reusable prefix-mask/draw-table scratch for AppUnionBatched. Both
-  // avoid per-call allocation in the inner loops of Algorithms 2 and 3.
-  Bitset pred_scratch_;
-  AppUnionScratch union_scratch_;
+  uint64_t seed_;
+  Rng rng_;  ///< post-run draw stream (SampleWord attempts)
+  /// Worker slot scratch; workers_[i] is owned by pool worker slot i during
+  /// RunLevel, and workers_[0] serves the sequential post-run API.
+  std::vector<WorkerScratch> workers_;
   std::vector<std::vector<StateLevelData>> table_;  // [level][state]
-  // Memo for sample()-context union sizes: per level, P-set -> sz vector.
-  std::vector<std::unordered_map<Bitset, std::vector<double>, BitsetHash>> memo_;
-  int64_t memo_entries_ = 0;
+  UnionSizeMemo memo_;  ///< sample-context union sizes, shared across workers
   double final_estimate_ = 0.0;
-  FprasDiagnostics diag_;
+  double run_wall_seconds_ = 0.0;
+  mutable FprasDiagnostics diag_;  ///< diagnostics() merge target
   bool ran_ok_ = false;
 };
 
@@ -160,6 +271,9 @@ struct CountOptions {
   bool amortize_oracle = true;  ///< see FprasParams::amortize_oracle
   bool recycle_samples = true;  ///< see FprasParams::recycle_samples
   bool csr_hot_path = true;     ///< see FprasParams::csr_hot_path
+  /// Level-sweep worker threads (1 = sequential, 0 = all hardware threads).
+  /// Bit-identical results for every value; see FprasParams::num_threads.
+  int num_threads = 1;
 };
 
 /// Result of ApproxCount.

@@ -122,7 +122,8 @@ std::string FprasParams::ToString() const {
      << ", perturb=" << (perturb_support ? 1 : 0)
      << ", memoize=" << (memoize_unions ? 1 : 0)
      << ", amortize=" << (amortize_oracle ? 1 : 0)
-     << ", csr=" << (csr_hot_path ? 1 : 0) << "}";
+     << ", csr=" << (csr_hot_path ? 1 : 0)
+     << ", threads=" << num_threads << "}";
   return os.str();
 }
 

@@ -86,6 +86,12 @@ struct FprasParams {
   /// flat layout. Both settings consume identical RNG streams, so flipping
   /// this never changes an estimate, only its cost.
   bool csr_hot_path = true;
+  /// Worker threads of the level-sweep executor (Algorithm 3's per-level
+  /// (q,ℓ) fan-out). 1 = sequential in the calling thread; 0 = all hardware
+  /// threads. Estimates, samples, and per-(q,ℓ) tables are bit-identical for
+  /// every value — each cell draws from its own counter-based RNG substream
+  /// (Rng::ForSubstream), so the thread count only changes wall-clock time.
+  int num_threads = 1;
 
   int64_t memo_capacity = int64_t{1} << 20;  ///< max cached (level, P) entries
 

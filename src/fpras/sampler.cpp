@@ -14,6 +14,7 @@ Result<WordSampler> WordSampler::Build(const Nfa& nfa, int n,
                                          options.delta, options.calibration));
   params.n = n == 0 ? 0 : params.n;
   params.csr_hot_path = options.csr_hot_path;
+  params.num_threads = options.num_threads;
   auto engine = std::make_unique<FprasEngine>(&nfa, params, options.seed);
   NFA_RETURN_NOT_OK(engine->Run());
   return WordSampler(&nfa, std::move(engine), options);

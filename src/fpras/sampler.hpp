@@ -35,6 +35,10 @@ struct SamplerOptions {
   /// Run draws on the CSR/batched-membership hot path (false = legacy
   /// layout; identical distribution, only slower — see FprasParams).
   bool csr_hot_path = true;
+  /// Worker threads of the table-building FPRAS run (1 = sequential, 0 = all
+  /// hardware threads). Tables, estimates, and every subsequent draw are
+  /// bit-identical for any value — see FprasParams::num_threads.
+  int num_threads = 1;
 };
 
 /// Draws words almost-uniformly from L(A_n).

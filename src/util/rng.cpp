@@ -11,9 +11,26 @@ inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return Mix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
 Rng::Rng(uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& word : s_) word = sm.Next();
+}
+
+Rng Rng::ForSubstream(uint64_t seed, uint64_t a, uint64_t b) {
+  uint64_t key = Mix64(seed + 0x9e3779b97f4a7c15ULL);
+  key = HashCombine(key, a);
+  key = HashCombine(key, b);
+  return Rng(key);
 }
 
 uint64_t Rng::NextU64() {

@@ -27,12 +27,29 @@ class SplitMix64 {
   uint64_t state_;
 };
 
+/// Stateless 64→64 bit finalizer (the SplitMix64 output stage). Used to
+/// derive counter-based substream keys: statistically independent outputs for
+/// distinct inputs, bit-identical on every platform.
+uint64_t Mix64(uint64_t z);
+
+/// Folds `v` into the running substream key `h` (Mix64 over an injective-ish
+/// combination). Chain calls to key a stream by several coordinates.
+uint64_t HashCombine(uint64_t h, uint64_t v);
+
 /// xoshiro256** 1.0 (Blackman & Vigna) wrapped with the draw primitives the
 /// counting/sampling algorithms need. Not cryptographic.
 class Rng {
  public:
   /// Seeds the four-word state via SplitMix64 (any seed, including 0, is fine).
   explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Counter-based substream derivation: a generator keyed by (seed, a, b)
+  /// only. Unlike Split() — which couples the child to the parent's current
+  /// position — the substream for given coordinates is the same no matter
+  /// when, where, or on which thread it is created. The FPRAS keys one
+  /// stream per (state q, level ℓ) cell, which is what makes the parallel
+  /// level sweep bit-identical for every thread count (including 1).
+  static Rng ForSubstream(uint64_t seed, uint64_t a, uint64_t b);
 
   /// Raw 64 uniform bits.
   uint64_t NextU64();

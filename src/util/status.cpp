@@ -1,6 +1,21 @@
 #include "util/status.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace nfacount {
+
+namespace internal {
+
+void CheckFailed(const char* cond, const char* msg, const char* file,
+                 int line) {
+  std::fprintf(stderr, "NFA_CHECK failed: %s (%s) at %s:%d\n", msg, cond,
+               file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {

@@ -127,6 +127,23 @@ class Result {
   std::variant<T, Status> v_;
 };
 
+/// Always-on invariant check: prints the failed condition and aborts, in
+/// release builds too. For API-boundary violations in accessors that cannot
+/// return Status (out-of-range indices would otherwise be silent UB).
+#define NFA_CHECK(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::nfacount::internal::CheckFailed(#cond, (msg), __FILE__,       \
+                                        __LINE__);                    \
+    }                                                                 \
+  } while (false)
+
+namespace internal {
+/// Prints "NFA_CHECK failed: <msg> (<cond>) at <file>:<line>" and aborts.
+[[noreturn]] void CheckFailed(const char* cond, const char* msg,
+                              const char* file, int line);
+}  // namespace internal
+
 /// Propagates a non-OK Status from the evaluated expression.
 #define NFA_RETURN_NOT_OK(expr)            \
   do {                                     \

@@ -1,0 +1,122 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace nfacount {
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  threads_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 0; w < num_threads_ - 1; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // Symmetric laggard wait on teardown: no worker may still be draining a
+    // stale batch when its fields go out of scope with the pool.
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_.wait(lock, [&] { return active_ == 0; });
+    stop_ = true;
+  }
+  batch_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_ready_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      // Register as draining *before* releasing the lock: ParallelFor only
+      // returns once active_ is back to 0, so batch state can never be
+      // reset while this worker still reads it.
+      ++active_;
+    }
+    DrainBatch(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::DrainBatch(int worker) {
+  for (;;) {
+    const int64_t item = next_.fetch_add(1);
+    if (item >= count_) return;
+    if (!failed_.load()) {
+      try {
+        Status st = (*fn_)(item, worker);
+        if (!st.ok()) RecordError(std::move(st));
+      } catch (const std::exception& e) {
+        RecordError(Status::Internal(std::string("ParallelFor item threw: ") +
+                                     e.what()));
+      } catch (...) {
+        RecordError(Status::Internal("ParallelFor item threw a non-exception"));
+      }
+    }
+    // Completion accounting after the item fully ran (or was cancelled):
+    // the final increment wakes the batch owner.
+    if (completed_.fetch_add(1) + 1 == count_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RecordError(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!failed_.load()) {
+    first_error_ = std::move(status);
+    failed_.store(true);  // items not yet started are skipped
+  }
+}
+
+Status ThreadPool::ParallelFor(int64_t count, const ItemFn& fn) {
+  if (count <= 0) return Status::Ok();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // A worker that slept through the *previous* batch entirely may only now
+    // be waking to register for it and drain its exhausted cursor; it still
+    // reads fn_/count_/next_ outside the lock while doing so. Wait for every
+    // such laggard to leave before resetting batch state under it.
+    batch_done_.wait(lock, [&] { return active_ == 0; });
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0);
+    completed_.store(0);
+    failed_.store(false);
+    first_error_ = Status::Ok();
+    ++generation_;
+  }
+  batch_ready_.notify_all();
+
+  // The caller is the last worker slot; with num_threads == 1 this is the
+  // whole execution (inline, no synchronization beyond the atomics).
+  DrainBatch(num_threads_ - 1);
+
+  // Wait for every item to finish AND every pool worker to leave the batch
+  // (a worker may hold a claimed-but-out-of-range cursor value briefly after
+  // the last item completes; resetting state under it would corrupt the
+  // next batch).
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(
+      lock, [&] { return completed_.load() == count_ && active_ == 0; });
+  fn_ = nullptr;
+  return first_error_;
+}
+
+}  // namespace nfacount

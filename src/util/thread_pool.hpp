@@ -1,0 +1,90 @@
+// Fixed-size worker pool for the level-sweep executor (fpras/estimator.cpp):
+// batches of independent items are fanned out over a stable set of threads
+// and joined with a level barrier. The pool is deliberately minimal — one
+// batch in flight at a time, dynamic (work-stealing-free) item claiming via a
+// shared atomic cursor, and exception-to-Status propagation so the library's
+// no-throw error model survives crossing thread boundaries.
+//
+// Worker identity: every item callback receives a worker index in
+// [0, num_threads). Index num_threads-1 is the calling thread (it participates
+// in the batch instead of idling), indices 0..num_threads-2 are pool threads.
+// Callers key per-thread scratch off this index; which *items* land on which
+// worker is scheduling-dependent, so correctness (and, in the FPRAS, RNG
+// determinism) must never depend on the item→worker mapping — only on the
+// item identity itself (see Rng::ForSubstream).
+
+#ifndef NFACOUNT_UTIL_THREAD_POOL_HPP_
+#define NFACOUNT_UTIL_THREAD_POOL_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// Fixed-size thread pool executing one ParallelFor batch at a time.
+class ThreadPool {
+ public:
+  /// The per-item callback: fn(item, worker). `item` is the batch index in
+  /// [0, count), `worker` the stable thread slot in [0, num_threads()).
+  using ItemFn = std::function<Status(int64_t item, int worker)>;
+
+  /// Creates num_threads-1 pool threads (the caller is the final worker).
+  /// num_threads <= 1 creates no threads: ParallelFor runs inline.
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all pool threads. No batch may be in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Resolves a user-facing thread-count knob: values >= 1 pass through,
+  /// 0 (or negative) means "all hardware threads" with a floor of 1.
+  static int ResolveThreadCount(int requested);
+
+  /// Runs fn(i, worker) for every i in [0, count), blocking until all items
+  /// finish. The first non-OK Status — or any exception, converted to
+  /// Status::Internal — cancels the items not yet started and is returned;
+  /// items already running always complete. Not reentrant: one batch at a
+  /// time, and fn must not call ParallelFor on the same pool.
+  Status ParallelFor(int64_t count, const ItemFn& fn);
+
+ private:
+  void WorkerLoop(int worker);
+  /// Claims and executes items until the batch cursor is exhausted.
+  void DrainBatch(int worker);
+  void RecordError(Status status);
+
+  const int num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable batch_ready_;
+  std::condition_variable batch_done_;
+  bool stop_ = false;
+  uint64_t generation_ = 0;  // bumped once per ParallelFor batch
+  int active_ = 0;           // pool workers currently inside DrainBatch
+
+  // State of the in-flight batch. Written only while no worker is draining
+  // (ParallelFor waits for active_ == 0 before returning, so the next
+  // batch's setup can never race a laggard reader).
+  const ItemFn* fn_ = nullptr;
+  int64_t count_ = 0;
+  std::atomic<int64_t> next_{0};       // item claim cursor
+  std::atomic<int64_t> completed_{0};  // items finished (or skipped)
+  std::atomic<bool> failed_{false};    // set with first_error_ under mu_
+  Status first_error_;
+};
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_UTIL_THREAD_POOL_HPP_

@@ -1,0 +1,119 @@
+// Unit tests for the level-sweep executor's thread pool: exactly-once item
+// execution, worker-index ranges, Status/exception propagation, batch reuse,
+// and the thread-count resolution knob.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace nfacount {
+namespace {
+
+TEST(ThreadPool, ExecutesEveryItemExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    for (int64_t count : {0, 1, 7, 64, 1000}) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(pool.num_threads(), threads);
+      std::vector<std::atomic<int>> hits(static_cast<size_t>(count));
+      for (auto& h : hits) h.store(0);
+      Status st = pool.ParallelFor(count, [&](int64_t item, int worker) {
+        EXPECT_GE(item, 0);
+        EXPECT_LT(item, count);
+        EXPECT_GE(worker, 0);
+        EXPECT_LT(worker, threads);
+        hits[static_cast<size_t>(item)].fetch_add(1);
+        return Status::Ok();
+      });
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      for (int64_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+            << "threads=" << threads << " item=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(4);
+  for (int batch = 0; batch < 20; ++batch) {
+    std::atomic<int64_t> sum{0};
+    const int64_t count = 10 + batch;
+    Status st = pool.ParallelFor(count, [&](int64_t item, int) {
+      sum.fetch_add(item);
+      return Status::Ok();
+    });
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(sum.load(), count * (count - 1) / 2) << "batch=" << batch;
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstErrorStatus) {
+  for (int threads : {1, 3}) {
+    ThreadPool pool(threads);
+    std::atomic<int64_t> executed{0};
+    Status st = pool.ParallelFor(200, [&](int64_t item, int) {
+      executed.fetch_add(1);
+      if (item == 5) return Status::Invalid("item 5 failed");
+      return Status::Ok();
+    });
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(st.message(), "item 5 failed");
+    // Items not yet started when the error landed are skipped.
+    EXPECT_LE(executed.load(), 200);
+    EXPECT_GE(executed.load(), 6);
+  }
+}
+
+TEST(ThreadPool, ConvertsExceptionsToInternalStatus) {
+  ThreadPool pool(2);
+  Status st = pool.ParallelFor(50, [&](int64_t item, int) -> Status {
+    if (item == 3) throw std::runtime_error("boom");
+    return Status::Ok();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("boom"), std::string::npos) << st.ToString();
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  // num_threads == 1 must execute on the calling thread (worker index 0),
+  // in item order — the sequential semantics the engine relies on when the
+  // knob is 1.
+  ThreadPool pool(1);
+  std::vector<int64_t> order;
+  Status st = pool.ParallelFor(10, [&](int64_t item, int worker) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(item);  // safe: single-threaded by construction
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(order.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);   // hardware threads
+  EXPECT_GE(ThreadPool::ResolveThreadCount(-3), 1);  // clamped
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(3);
+  bool ran = false;
+  Status st = pool.ParallelFor(0, [&](int64_t, int) {
+    ran = true;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace nfacount
