@@ -48,16 +48,14 @@ void MeasuredFootprint() {
     if (!params.ok()) continue;
     FprasEngine engine(&nfa, *params, 11);
     if (!engine.Run().ok()) continue;
-    // Count stored samples and their bytes (word symbols + reach bitset).
+    // Count stored samples and the bytes their flat per-cell slabs reserve
+    // (symbol slab + reach-profile slab; see SampleBlock).
     int64_t total_samples = 0, bytes = 0;
     for (int level = 0; level <= n; ++level) {
       for (StateId q = 0; q < nfa.num_states(); ++q) {
-        const auto& s = engine.SamplesFor(q, level);
-        total_samples += static_cast<int64_t>(s.size());
-        for (const StoredSample& sample : s) {
-          bytes += static_cast<int64_t>(sample.word.capacity()) +
-                   static_cast<int64_t>(sample.reach.words().capacity() * 8);
-        }
+        const SampleBlock& block = engine.SampleBlockFor(q, level);
+        total_samples += block.count();
+        bytes += block.bytes_reserved();
       }
     }
     Row({FmtInt(m), FmtInt(n), FmtInt(params->ns), FmtInt(params->xns),

@@ -9,9 +9,13 @@
 //   nfa_cli dot     <file.nfa|->                     # Graphviz export
 //
 // Global flags (anywhere on the line):
-//   --threads <k>   level-sweep worker threads for count/lengths/sample
-//                   (1 = sequential default, 0 = all hardware threads;
-//                   results are bit-identical for every value)
+//   --threads <k>      level-sweep worker threads for count/lengths/sample
+//                      (1 = sequential default, 0 = all hardware threads;
+//                      results are bit-identical for every value)
+//   --batch-width <b>  candidate walks advanced in lockstep per plane sweep
+//                      (0 = engine default; bit-identical for every value)
+//   --no-simd          force the scalar bitset kernels (process-wide) and
+//                      pin the sampling plane to them; identical results
 //
 // File format: see src/automata/io.hpp.
 
@@ -26,6 +30,7 @@
 #include "automata/regex.hpp"
 #include "counting/exact.hpp"
 #include "fpras/fpras.hpp"
+#include "util/simd.hpp"
 
 using namespace nfacount;
 
@@ -40,22 +45,45 @@ int Usage() {
                "  nfa_cli exact   <file|-> <n>\n"
                "  nfa_cli regex   '<pattern>' <alphabet_size>\n"
                "  nfa_cli dot     <file|->\n"
-               "flags: --threads <k>  (0 = all hardware threads; results are\n"
-               "                       bit-identical for every thread count)\n"
-               "       --             end of flags (later args are positional)\n");
+               "flags: --threads <k>      (0 = all hardware threads)\n"
+               "       --batch-width <b>  lockstep sampling walks (0 = default)\n"
+               "       --no-simd          force scalar bitset kernels\n"
+               "       --                 end of flags (later args positional)\n"
+               "results are bit-identical for every --threads / --batch-width\n"
+               "value and with or without --no-simd\n");
   return 2;
 }
 
-/// Strips `--threads <k>` (anywhere before a `--` separator) out of the
-/// argument list; returns the positional arguments. `*num_threads` is left
-/// at its default when the flag is absent, and set to -1 on a malformed
-/// flag. Everything after a literal `--` is taken positionally — the escape
-/// hatch for patterns or filenames that look like the flag
-/// (`nfa_cli regex -- '--threads' 2`).
-std::vector<std::string> ExtractFlags(int argc, char** argv,
-                                      int* num_threads) {
+/// Engine knobs extracted from the flag section of the command line.
+struct CliFlags {
+  int num_threads = 1;
+  int batch_width = 0;  ///< 0 = engine default
+  bool no_simd = false;
+  bool malformed = false;
+};
+
+/// Strips the global flags (anywhere before a `--` separator) out of the
+/// argument list; returns the positional arguments. Flag fields keep their
+/// defaults when absent; `malformed` is set on a bad value. Everything after
+/// a literal `--` is taken positionally — the escape hatch for patterns or
+/// filenames that look like a flag (`nfa_cli regex -- '--threads' 2`).
+std::vector<std::string> ExtractFlags(int argc, char** argv, CliFlags* flags) {
   std::vector<std::string> positional;
   bool flags_ended = false;
+  auto parse_int = [&](int* i, int* out, long max_value) {
+    if (*i + 1 >= argc) {
+      flags->malformed = true;
+      return;
+    }
+    const char* value = argv[++*i];
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < 0 || parsed > max_value) {
+      flags->malformed = true;  // non-numeric / negative / absurd
+      return;
+    }
+    *out = static_cast<int>(parsed);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (!flags_ended && arg == "--") {
@@ -63,18 +91,17 @@ std::vector<std::string> ExtractFlags(int argc, char** argv,
       continue;
     }
     if (!flags_ended && arg == "--threads") {
-      if (i + 1 >= argc) {
-        *num_threads = -1;
-        return positional;
-      }
-      const char* value = argv[++i];
-      char* end = nullptr;
-      const long parsed = std::strtol(value, &end, 10);
-      if (end == value || *end != '\0' || parsed < 0 || parsed > 1 << 20) {
-        *num_threads = -1;  // non-numeric / negative / absurd: malformed
-        return positional;
-      }
-      *num_threads = static_cast<int>(parsed);
+      parse_int(&i, &flags->num_threads, 1 << 20);
+      if (flags->malformed) return positional;
+      continue;
+    }
+    if (!flags_ended && arg == "--batch-width") {
+      parse_int(&i, &flags->batch_width, 1 << 20);
+      if (flags->malformed) return positional;
+      continue;
+    }
+    if (!flags_ended && arg == "--no-simd") {
+      flags->no_simd = true;
       continue;
     }
     positional.push_back(arg);
@@ -99,9 +126,10 @@ int Fail(const Status& status) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int num_threads = 1;
-  const std::vector<std::string> args = ExtractFlags(argc, argv, &num_threads);
-  if (num_threads < 0 || args.size() < 2) return Usage();
+  CliFlags flags;
+  const std::vector<std::string> args = ExtractFlags(argc, argv, &flags);
+  if (flags.malformed || args.size() < 2) return Usage();
+  if (flags.no_simd) simd::SetForceScalar(true);
   const std::string& command = args[0];
 
   if (command == "regex") {
@@ -125,7 +153,9 @@ int main(int argc, char** argv) {
 
   if (command == "count" || command == "lengths") {
     CountOptions options;
-    options.num_threads = num_threads;
+    options.num_threads = flags.num_threads;
+    options.batch_width = flags.batch_width;
+    options.simd_kernels = !flags.no_simd;
     if (args.size() > 3) options.eps = std::atof(args[3].c_str());
     if (args.size() > 4) options.delta = std::atof(args[4].c_str());
     if (args.size() > 5) options.seed = std::strtoull(args[5].c_str(), nullptr, 10);
@@ -140,6 +170,15 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(options.seed),
                    options.num_threads, r->diagnostics.wall_seconds * 1e3,
                    static_cast<long long>(r->diagnostics.appunion_calls));
+      std::fprintf(stderr,
+                   "# batch_width=%d simd=%s memo_hits=%lld memo_misses=%lld "
+                   "arena_bytes=%lld arena_allocs=%lld\n",
+                   r->params.ResolvedBatchWidth(),
+                   options.simd_kernels ? "on" : "off",
+                   static_cast<long long>(r->diagnostics.memo_hits),
+                   static_cast<long long>(r->diagnostics.memo_misses),
+                   static_cast<long long>(r->diagnostics.arena_bytes_reserved),
+                   static_cast<long long>(r->diagnostics.arena_alloc_events));
     } else {
       Result<std::vector<double>> r = ApproxCountAllLengths(*nfa, n, options);
       if (!r.ok()) return Fail(r.status());
@@ -154,7 +193,9 @@ int main(int argc, char** argv) {
     if (args.size() < 4) return Usage();
     const int64_t count = std::atoll(args[3].c_str());
     SamplerOptions options;
-    options.num_threads = num_threads;
+    options.num_threads = flags.num_threads;
+    options.batch_width = flags.batch_width;
+    options.simd_kernels = !flags.no_simd;
     if (args.size() > 4) options.seed = std::strtoull(args[4].c_str(), nullptr, 10);
     Result<WordSampler> sampler = WordSampler::Build(*nfa, n, options);
     if (!sampler.ok()) return Fail(sampler.status());

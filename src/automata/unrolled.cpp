@@ -1,10 +1,29 @@
 #include "automata/unrolled.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace nfacount {
 
 namespace {
+
+/// Word count of a num_states-bit frontier row.
+inline size_t RowWords(int num_states) {
+  return (static_cast<size_t>(num_states) + 63) / 64;
+}
+
+/// Calls fn(state) for every set bit of a raw word span, ascending.
+template <typename Fn>
+inline void ForEachSetWord(const uint64_t* words, size_t nwords, Fn&& fn) {
+  for (size_t w = 0; w < nwords; ++w) {
+    uint64_t bits = words[w];
+    while (bits) {
+      int b = __builtin_ctzll(bits);
+      fn(static_cast<int>(w * 64 + b));
+      bits &= bits - 1;
+    }
+  }
+}
 
 /// Shared CSR assembly over a row-visitor: `for_each_edge(q, a, fn)` must call
 /// fn(target) for every edge of row (q, a) in ascending target order.
@@ -72,8 +91,14 @@ void CsrTransitions::StepInto(const Bitset& from, Symbol symbol,
   assert(out != nullptr && out->size() == static_cast<size_t>(num_states));
   out->Clear();
   if (has_masks()) {
+    // One kernel-table fetch for the whole frontier, not one per set bit.
+    const simd::BitsetKernels& kern = simd::ActiveKernels();
+    uint64_t* dst = out->mutable_words();
+    const size_t nwords = out->words().size();
     from.ForEachSet([&](int q) {
-      *out |= row_masks[Row(static_cast<StateId>(q), symbol)];
+      kern.or_into(dst,
+                   row_masks[Row(static_cast<StateId>(q), symbol)].words().data(),
+                   nwords);
     });
   } else {
     from.ForEachSet([&](int q) {
@@ -117,14 +142,73 @@ void UnrolledNfa::PredSetInto(const Bitset& states, Symbol symbol, int level,
   if (reverse_.has_masks()) {
     // Fused OR-and-clip: every mask word is ANDed against the previous
     // level's reachable set as it lands, so `out` never holds dead states.
+    // Kernel table fetched once for the whole frontier.
+    const simd::BitsetKernels& kern = simd::ActiveKernels();
+    uint64_t* dst = out->mutable_words();
+    const uint64_t* clip_words = clip.words().data();
+    const size_t nwords = out->words().size();
     out->Clear();
     states.ForEachSet([&](int q) {
-      out->OrMasked(reverse_.row_masks[reverse_.Row(static_cast<StateId>(q), symbol)],
-                    clip);
+      kern.or_masked_into(
+          dst,
+          reverse_.row_masks[reverse_.Row(static_cast<StateId>(q), symbol)]
+              .words()
+              .data(),
+          clip_words, nwords);
     });
   } else {
     reverse_.StepInto(states, symbol, out);
     *out &= clip;
+  }
+}
+
+void UnrolledNfa::PredSetWordsInto(const uint64_t* from, Symbol symbol,
+                                   int level, uint64_t* out,
+                                   const simd::BitsetKernels& kern) const {
+  assert(level >= 1 && level <= n_);
+  const size_t nwords = RowWords(nfa_->num_states());
+  const uint64_t* clip = reachable_[level - 1].words().data();
+  std::fill(out, out + nwords, 0);
+  if (reverse_.has_masks()) {
+    // Fused OR-and-clip, exactly as PredSetInto but on spans.
+    ForEachSetWord(from, nwords, [&](int q) {
+      const Bitset& mask =
+          reverse_.row_masks[reverse_.Row(static_cast<StateId>(q), symbol)];
+      kern.or_masked_into(out, mask.words().data(), clip, nwords);
+    });
+  } else {
+    ForEachSetWord(from, nwords, [&](int q) {
+      const StateId* end = reverse_.RowEnd(static_cast<StateId>(q), symbol);
+      for (const StateId* t = reverse_.RowBegin(static_cast<StateId>(q), symbol);
+           t != end; ++t) {
+        out[static_cast<size_t>(*t) >> 6] |=
+            uint64_t{1} << (static_cast<size_t>(*t) & 63);
+      }
+    });
+    kern.and_into(out, clip, nwords);
+  }
+}
+
+void UnrolledNfa::SuccSetWordsInto(const uint64_t* from, Symbol symbol,
+                                   uint64_t* out,
+                                   const simd::BitsetKernels& kern) const {
+  const size_t nwords = RowWords(nfa_->num_states());
+  std::fill(out, out + nwords, 0);
+  if (forward_.has_masks()) {
+    ForEachSetWord(from, nwords, [&](int q) {
+      const Bitset& mask =
+          forward_.row_masks[forward_.Row(static_cast<StateId>(q), symbol)];
+      kern.or_into(out, mask.words().data(), nwords);
+    });
+  } else {
+    ForEachSetWord(from, nwords, [&](int q) {
+      const StateId* end = forward_.RowEnd(static_cast<StateId>(q), symbol);
+      for (const StateId* t = forward_.RowBegin(static_cast<StateId>(q), symbol);
+           t != end; ++t) {
+        out[static_cast<size_t>(*t) >> 6] |=
+            uint64_t{1} << (static_cast<size_t>(*t) & 63);
+      }
+    });
   }
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "automata/nfa.hpp"
+#include "util/simd.hpp"
 #include "util/status.hpp"
 
 namespace nfacount {
@@ -35,6 +36,100 @@ namespace nfacount {
 struct StoredSample {
   Word word;   ///< the sampled word
   Bitset reach;///< {q : word ∈ L(q^{|word|})}, the word's membership profile
+};
+
+/// Non-owning view of one sample inside a SampleBlock slab: the word's
+/// symbols and its reach-profile words, both as raw spans. This is what the
+/// AppUnion estimators consume on the hot path — no per-sample heap objects.
+struct SampleRef {
+  const Symbol* symbols;  ///< word, `length` symbols
+  int length;             ///< word length (the sample's level ℓ)
+  const uint64_t* profile;///< reach profile, `profile_words` words
+  size_t profile_words;
+
+  /// Bit q of the reach profile: word ∈ L(q^length)?
+  bool ProfileTest(StateId q) const {
+    return (profile[static_cast<size_t>(q) >> 6] >>
+            (static_cast<size_t>(q) & 63)) & 1;
+  }
+  /// Materializes the word (allocates — for ablation paths and accessors).
+  Word ToWord() const { return Word(symbols, symbols + length); }
+};
+
+/// AppUnionBatched customization point (see union_mc.hpp): a SampleRef's
+/// membership profile is its raw word span.
+inline const uint64_t* ProfileWordsData(const SampleRef& s) {
+  return s.profile;
+}
+inline size_t ProfileWordsCount(const SampleRef& s) { return s.profile_words; }
+
+/// Flat struct-of-arrays storage for one cell's sample set S(q^ℓ). All
+/// samples of a cell share the word length ℓ, so both slabs are
+/// fixed-stride: sample i's symbols live at [i·ℓ, (i+1)·ℓ) of `symbols` and
+/// its reach profile at [i·w, (i+1)·w) of `profiles` — two allocations per
+/// cell (amortized away by Reserve) instead of two per sample.
+class SampleBlock {
+ public:
+  SampleBlock() = default;
+
+  /// Empties the block and fixes the per-sample strides; keeps capacity.
+  void Reset(int word_len, size_t profile_bits) {
+    word_len_ = word_len;
+    profile_words_ = (profile_bits + 63) / 64;
+    count_ = 0;
+    symbols_.clear();
+    profiles_.clear();
+  }
+
+  /// Preallocates room for `samples` entries (one shot per cell).
+  void Reserve(int64_t samples) {
+    symbols_.reserve(static_cast<size_t>(samples) * word_len_);
+    profiles_.reserve(static_cast<size_t>(samples) * profile_words_);
+  }
+
+  /// Appends one sample by copying `word_len` symbols and `profile_words`
+  /// profile words (symbols may be null when word_len is 0).
+  void Append(const Symbol* symbols, const uint64_t* profile) {
+    if (word_len_ > 0) {
+      symbols_.insert(symbols_.end(), symbols, symbols + word_len_);
+    }
+    profiles_.insert(profiles_.end(), profile, profile + profile_words_);
+    ++count_;
+  }
+
+  /// Appends `times` copies of the same sample (Alg. 3 padding, level 0).
+  void AppendRepeat(const Symbol* symbols, const uint64_t* profile,
+                    int64_t times) {
+    for (int64_t i = 0; i < times; ++i) Append(symbols, profile);
+  }
+
+  int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  int word_len() const { return word_len_; }
+  size_t profile_words() const { return profile_words_; }
+
+  SampleRef At(int64_t idx) const {
+    assert(idx >= 0 && idx < count_);
+    return SampleRef{
+        word_len_ > 0 ? symbols_.data() + static_cast<size_t>(idx) * word_len_
+                      : nullptr,
+        word_len_,
+        profiles_.data() + static_cast<size_t>(idx) * profile_words_,
+        profile_words_};
+  }
+
+  /// Bytes currently reserved by the two slabs (for memory diagnostics).
+  int64_t bytes_reserved() const {
+    return static_cast<int64_t>(symbols_.capacity() * sizeof(Symbol) +
+                                profiles_.capacity() * sizeof(uint64_t));
+  }
+
+ private:
+  int word_len_ = 0;
+  size_t profile_words_ = 0;
+  int64_t count_ = 0;
+  std::vector<Symbol> symbols_;
+  std::vector<uint64_t> profiles_;
 };
 
 /// Flat CSR (compressed sparse row) transition layout. Rows are keyed by
@@ -120,6 +215,18 @@ class UnrolledNfa {
   /// (must be sized num_states; cleared first). CSR-backed.
   void PredSetInto(const Bitset& states, Symbol symbol, int level,
                    Bitset* out) const;
+
+  /// PredSetInto over raw word spans — the FrontierPlane row form used by
+  /// the batched sampling plane. `from` and `out` are (num_states+63)/64
+  /// words (distinct spans); ops run through the given kernel table, and the
+  /// resulting bits are identical to PredSetInto for every table.
+  void PredSetWordsInto(const uint64_t* from, Symbol symbol, int level,
+                        uint64_t* out, const simd::BitsetKernels& kern) const;
+
+  /// One plain successor step over raw word spans (the fused reach-profile
+  /// pass of the batched plane). Bit-identical to SuccSetInto.
+  void SuccSetWordsInto(const uint64_t* from, Symbol symbol, uint64_t* out,
+                        const simd::BitsetKernels& kern) const;
 
   /// PredSet computed on the legacy pointer-walk adjacency (Nfa::StepBack).
   /// Kept as the E11 old-layout baseline and the equivalence-test oracle.

@@ -17,12 +17,14 @@
 #ifndef NFACOUNT_COUNTING_UNION_MC_HPP_
 #define NFACOUNT_COUNTING_UNION_MC_HPP_
 
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "util/bitset.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace nfacount {
 
@@ -52,6 +54,15 @@ class MembershipBatch {
   /// in one scan.
   bool CoveredBefore(const Bitset& profile, size_t i) const {
     return profile.Intersects(prefix_[i]);
+  }
+
+  /// Same check over a raw profile-word span (the SampleBlock slab form; no
+  /// per-sample Bitset needs to exist). The caller passes the kernel table
+  /// so a trial loop fetches the dispatch once, not once per trial.
+  bool CoveredBefore(const uint64_t* profile, size_t profile_words,
+                     size_t i, const simd::BitsetKernels& kern) const {
+    assert(profile_words == prefix_[i].words().size());
+    return kern.intersects(profile, prefix_[i].words().data(), profile_words);
   }
 
   /// Number of inputs the current prefix masks cover.
@@ -182,6 +193,20 @@ AppUnionOutcome AppUnion(const std::vector<const Input*>& inputs,
   return out;
 }
 
+/// Membership-profile customization point for AppUnionBatched: where a
+/// sample's profile words live. The default template handles
+/// StoredSample-likes (a `.reach` Bitset member); span-backed sample types
+/// (e.g. SampleRef in automata/unrolled.hpp) declare non-template overloads
+/// next to their definition, which win at instantiation time.
+template <typename S>
+inline const uint64_t* ProfileWordsData(const S& s) {
+  return s.reach.words().data();
+}
+template <typename S>
+inline size_t ProfileWordsCount(const S& s) {
+  return s.reach.words().size();
+}
+
 /// Algorithm 1 with batched membership (the CSR-hot-path variant of
 /// AppUnion). Identical estimator and identical RNG stream — given the same
 /// inputs, params, and rng state it returns the same estimate as AppUnion —
@@ -190,9 +215,10 @@ AppUnionOutcome AppUnion(const std::vector<const Input*>& inputs,
 /// concept with:
 ///   int    owner()    const;  // dense id of the set's owning state
 ///   size_t universe() const;  // owner-id universe size (m for NFA states)
-/// and Sample(idx) must return a value whose `.reach` Bitset is the sample's
-/// membership profile over that universe (true at bit q iff the sample lies
-/// in the set owned by q), e.g. StoredSample.
+/// and Sample(idx) must return a value whose membership profile over that
+/// universe (true at bit q iff the sample lies in the set owned by q) is
+/// reachable via ProfileWordsData/ProfileWordsCount — a StoredSample's
+/// `.reach` Bitset, or a SampleRef's raw slab span.
 ///
 /// `scratch` is caller-owned so repeated calls (one per (q, ℓ, b) in
 /// Algorithm 3) reuse the prefix-mask and draw-table storage.
@@ -224,6 +250,7 @@ AppUnionOutcome AppUnionBatched(const std::vector<const Input*>& inputs,
   const int64_t t = AppUnionTrialCount(params, sum_sz, max_sz);
   out.trials = t;
 
+  const simd::BitsetKernels& kern = simd::ActiveKernels();
   std::vector<int64_t> cursor(k, 0);
   for (int64_t trial = 0; trial < t; ++trial) {
     int i = scratch.table.Draw(rng);
@@ -240,7 +267,9 @@ AppUnionOutcome AppUnionBatched(const std::vector<const Input*>& inputs,
     const auto& sample = inputs[i]->Sample(cursor[i]++);
     out.membership_checks += i;
     const bool covered_earlier =
-        i > 0 && scratch.batch.CoveredBefore(sample.reach, static_cast<size_t>(i));
+        i > 0 && scratch.batch.CoveredBefore(ProfileWordsData(sample),
+                                             ProfileWordsCount(sample),
+                                             static_cast<size_t>(i), kern);
     if (!covered_earlier) ++out.hits;
     ++out.completed_trials;
   }

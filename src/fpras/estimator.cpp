@@ -22,12 +22,14 @@ constexpr uint64_t kCountUnionTag = 0xC0C0C0C0C0C0C0C0ULL;
 constexpr uint64_t kSampleUnionTag = 0x5A5A5A5A5A5A5A5AULL;
 constexpr uint64_t kFinalUnionTag = 0xF1F1F1F1F1F1F1F1ULL;
 constexpr uint64_t kDrawStreamTag = 0xD12AD12AD12AD12AULL;
+constexpr uint64_t kRefillWalkTag = 0xB47CB47CB47CB47CULL;
 
-/// AppUnion input adapter over one predecessor's (S, N) pair. Membership of a
-/// stored word σ in L(p^{|σ|}) is a bit probe on its reach profile, or a full
-/// re-simulation when oracle amortization is ablated. owner()/universe()
-/// additionally satisfy the AppUnionBatched concept (prefix-mask coverage
-/// over the state-id universe).
+/// AppUnion input adapter over one predecessor's (S, N) pair. Samples come
+/// out of the cell's flat SampleBlock as SampleRef spans; membership of a
+/// stored word σ in L(p^{|σ|}) is a bit probe on its reach-profile span, or
+/// a full re-simulation when oracle amortization is ablated.
+/// owner()/universe() additionally satisfy the AppUnionBatched concept
+/// (prefix-mask coverage over the state-id universe).
 struct PredecessorInput {
   const StateLevelData* data;
   StateId state;
@@ -35,15 +37,11 @@ struct PredecessorInput {
   bool amortized;
 
   double size_estimate() const { return data->count_estimate; }
-  int64_t num_samples() const {
-    return static_cast<int64_t>(data->samples.size());
-  }
-  const StoredSample& Sample(int64_t idx) const {
-    return data->samples[static_cast<size_t>(idx)];
-  }
-  bool Contains(const StoredSample& sample) const {
-    if (amortized) return sample.reach.Test(state);
-    return nfa->Reach(sample.word).Test(state);
+  int64_t num_samples() const { return data->samples.count(); }
+  SampleRef Sample(int64_t idx) const { return data->samples.At(idx); }
+  bool Contains(const SampleRef& sample) const {
+    if (amortized) return sample.ProfileTest(state);
+    return nfa->Reach(sample.ToWord()).Test(state);
   }
   int owner() const { return static_cast<int>(state); }
   size_t universe() const { return static_cast<size_t>(nfa->num_states()); }
@@ -78,6 +76,7 @@ void AccumulateDiag(const FprasDiagnostics& from, FprasDiagnostics* into) {
   into->padded_words += from.padded_words;
   into->perturbed_counts += from.perturbed_counts;
   into->states_processed += from.states_processed;
+  into->walk_batches += from.walk_batches;
 }
 
 }  // namespace
@@ -131,8 +130,7 @@ FprasEngine::FprasEngine(const Nfa* nfa, FprasParams params, uint64_t seed)
     : nfa_(nfa),
       params_(params),
       unrolled_(nfa, params.n),
-      seed_(seed),
-      rng_(Rng::ForSubstream(seed, kDrawStreamTag, 0)) {
+      seed_(seed) {
   assert(nfa != nullptr && nfa->Validate().ok());
   assert(params.m == nfa->num_states());
   workers_.resize(1);
@@ -141,7 +139,11 @@ FprasEngine::FprasEngine(const Nfa* nfa, FprasParams params, uint64_t seed)
 
 const FprasDiagnostics& FprasEngine::diagnostics() const {
   diag_ = FprasDiagnostics{};
-  for (const WorkerScratch& ws : workers_) AccumulateDiag(ws.diag, &diag_);
+  for (const WorkerScratch& ws : workers_) {
+    AccumulateDiag(ws.diag, &diag_);
+    diag_.arena_bytes_reserved += ws.arena.bytes_reserved();
+    diag_.arena_alloc_events += ws.arena.alloc_events();
+  }
   // The memo's counters are authoritative (shared across workers); they are
   // the only scheduling-dependent diagnostics.
   diag_.memo_hits = memo_.hits();
@@ -159,8 +161,7 @@ double FprasEngine::CountEstimateFor(StateId q, int level) const {
   return table_[level][q].count_estimate;
 }
 
-const std::vector<StoredSample>& FprasEngine::SamplesFor(StateId q,
-                                                         int level) const {
+const SampleBlock& FprasEngine::SampleBlockFor(StateId q, int level) const {
   NFA_CHECK(ran_ok_, "SamplesFor requires a successful Run()");
   NFA_CHECK(level >= 0 && level <= params_.n,
             "SamplesFor: level out of [0, n]");
@@ -169,15 +170,28 @@ const std::vector<StoredSample>& FprasEngine::SamplesFor(StateId q,
   return table_[level][q].samples;
 }
 
-std::vector<double> FprasEngine::UnionSizes(int level, const Bitset& state_set,
-                                            double delta_param,
-                                            UnionPurpose purpose,
-                                            WorkerScratch& ws) {
+std::vector<StoredSample> FprasEngine::SamplesFor(StateId q, int level) const {
+  const SampleBlock& block = SampleBlockFor(q, level);
+  std::vector<StoredSample> out;
+  out.reserve(static_cast<size_t>(block.count()));
+  for (int64_t i = 0; i < block.count(); ++i) {
+    SampleRef ref = block.At(i);
+    out.push_back(StoredSample{
+        ref.ToWord(),
+        Bitset::FromWords(static_cast<size_t>(nfa_->num_states()),
+                          ref.profile)});
+  }
+  return out;
+}
+
+void FprasEngine::UnionSizesInto(int level, const Bitset& state_set,
+                                 double delta_param, UnionPurpose purpose,
+                                 WorkerScratch& ws, std::vector<double>* out) {
   assert(level >= 1 && level <= params_.n);
   const bool use_memo =
       purpose == UnionPurpose::kSample && params_.memoize_unions;
-  std::vector<double> sizes;
-  if (use_memo && memo_.Lookup(level, state_set, &sizes)) return sizes;
+  std::vector<double>& sizes = *out;
+  if (use_memo && memo_.Lookup(level, state_set, &sizes)) return;
 
   // Content-keyed substream: the draws depend only on (seed, purpose, level,
   // P) — never on the calling cell, the worker thread, or the memo state.
@@ -228,66 +242,148 @@ std::vector<double> FprasEngine::UnionSizes(int level, const Bitset& state_set,
   }
 
   if (use_memo) memo_.Insert(level, state_set, sizes);
-  return sizes;
 }
 
-std::optional<Word> FprasEngine::SampleInternal(int level,
-                                                const Bitset& state_set,
-                                                double phi0, WorkerScratch& ws,
-                                                Rng& rng) {
-  ++ws.diag.sample_calls;
+void FprasEngine::RunWalkBatch(int level, const Bitset& state_set, double phi0,
+                               uint64_t walk_key, int64_t first_attempt,
+                               int count, WorkerScratch& ws) {
+  SampleArena& ar = ws.arena;
+  const size_t m_bits = static_cast<size_t>(nfa_->num_states());
+  const size_t row_words = (m_bits + 63) / 64;
+  const int k = nfa_->alphabet_size();
+  ar.BeginBatch(count, level, m_bits, k);
+  ++ws.diag.walk_batches;
+  ws.diag.sample_calls += count;
+
+  // All walks start in one group whose frontier is the target set.
+  std::copy(state_set.words().data(), state_set.words().data() + row_words,
+            ar.cur.Row(0));
+  for (int w = 0; w < count; ++w) {
+    ar.rng[w] = Rng::ForSubstream(
+        seed_, walk_key, static_cast<uint64_t>(first_attempt + w));
+    ar.phi[w] = phi0;
+    ar.group_of[w] = 0;
+    ar.state_of[w] = SampleArena::kAlive;
+  }
+  int group_count = 1;
+
   const double eta_call = params_.EtaForSampleCall();
   const double delta_union = eta_call / (4.0 * std::max(params_.n, 1));
 
-  double phi = phi0;
-  Word word(static_cast<size_t>(level));
-  // Two ping-pong frontier buffers from the worker scratch: the backward
-  // walk allocates nothing per draw.
-  Bitset& cur = ws.walk_cur;
-  Bitset& next = ws.walk_next;
-  cur.CopyFrom(state_set);
   for (int i = level; i >= 1; --i) {
-    std::vector<double> sizes =
-        UnionSizes(i, cur, delta_union, UnionPurpose::kSample, ws);
-    double total = 0.0;
-    for (double s : sizes) total += s;
-    if (!(total > 0.0)) {
-      // Every symbol slice estimated empty: reachable only through a
-      // perturbed/failed estimate; treat as rejection.
-      ++ws.diag.fail_dead_branch;
-      return std::nullopt;
+    std::fill(ar.group_ready.begin(), ar.group_ready.begin() + group_count, 0);
+    std::fill(ar.child_of.begin(),
+              ar.child_of.begin() + static_cast<size_t>(group_count) * k, -1);
+    int next_group_count = 0;
+    bool any_alive = false;
+    for (int w = 0; w < count; ++w) {
+      if (ar.state_of[w] != SampleArena::kAlive) continue;
+      const int g = ar.group_of[w];
+      std::vector<double>& sizes = ar.group_sizes[static_cast<size_t>(g)];
+      if (!ar.group_ready[g]) {
+        // One union-size estimation per group — every member shares it.
+        ar.frontier_scratch.AssignWords(ar.cur.Row(g), row_words);
+        UnionSizesInto(i, ar.frontier_scratch, delta_union,
+                       UnionPurpose::kSample, ws, &sizes);
+        double total = 0.0;
+        for (double s : sizes) total += s;
+        ar.group_total[g] = total;
+        ar.group_ready[g] = 1;
+      }
+      const double total = ar.group_total[g];
+      if (!(total > 0.0)) {
+        // Every symbol slice estimated empty: reachable only through a
+        // perturbed/failed estimate; treat as rejection.
+        ++ws.diag.fail_dead_branch;
+        ar.state_of[w] = SampleArena::kDead;
+        continue;
+      }
+      const int b = ar.rng[w].DiscreteIndex(sizes);
+      assert(b >= 0);
+      const double pr_b = sizes[static_cast<size_t>(b)] / total;
+      int32_t& child = ar.child_of[static_cast<size_t>(g) * k + b];
+      if (child < 0) {
+        // First member to draw b: expand (frontier, b) once into the next
+        // plane's row for the child group.
+        child = next_group_count++;
+        uint64_t* out_row = ar.next.Row(child);
+        if (params_.csr_hot_path) {
+          unrolled_.PredSetWordsInto(ar.cur.Row(g), static_cast<Symbol>(b), i,
+                                     out_row, *kernels_);
+        } else {
+          ar.expand_scratch.AssignWords(ar.cur.Row(g), row_words);
+          Bitset preds = unrolled_.PredSetLegacy(ar.expand_scratch,
+                                                 static_cast<Symbol>(b), i);
+          std::copy(preds.words().data(), preds.words().data() + row_words,
+                    out_row);
+        }
+        // Invariant carried over from the sequential walk's assert(cur.Any()):
+        // sizes[b] > 0 implies the b-predecessor slice is non-empty.
+        assert(std::any_of(out_row, out_row + row_words,
+                           [](uint64_t word) { return word != 0; }) &&
+               "drawn symbol expanded to an empty frontier");
+      }
+      ar.WordOf(w)[i - 1] = static_cast<Symbol>(b);
+      ar.phi[w] /= pr_b;
+      ar.next_group_of[w] = child;
+      any_alive = true;
     }
-    int b = rng.DiscreteIndex(sizes);
-    assert(b >= 0);
-    const double pr_b = sizes[static_cast<size_t>(b)] / total;
-    if (params_.csr_hot_path) {
-      unrolled_.PredSetInto(cur, static_cast<Symbol>(b), i, &next);
-      std::swap(cur, next);
-    } else {
-      cur = unrolled_.PredSetLegacy(cur, static_cast<Symbol>(b), i);
-    }
-    assert(cur.Any());
-    word[static_cast<size_t>(i - 1)] = static_cast<Symbol>(b);
-    phi /= pr_b;
+    if (!any_alive) return;  // the whole batch died mid-walk
+    std::swap(ar.cur, ar.next);
+    std::swap(ar.group_of, ar.next_group_of);
+    group_count = next_group_count;
   }
 
-  // Base case (Alg. 2 lines 4-6). The walk is guaranteed to land on the
-  // initial state when it lands anywhere (PredSet intersects level-0
-  // reachability = {initial}).
-  if (!cur.Test(nfa_->initial())) {
-    ++ws.diag.fail_dead_branch;
-    return std::nullopt;
+  // Base case (Alg. 2 lines 4-6), per walk. A group's frontier is shared,
+  // so the initial-state test is per group; φ and the Bernoulli are per
+  // walk. The walk is guaranteed to land on the initial state when it lands
+  // anywhere (PredSet intersects level-0 reachability = {initial}).
+  const size_t init = static_cast<size_t>(nfa_->initial());
+  for (int w = 0; w < count; ++w) {
+    if (ar.state_of[w] != SampleArena::kAlive) continue;
+    const uint64_t* row = ar.cur.Row(ar.group_of[w]);
+    if (!((row[init >> 6] >> (init & 63)) & 1)) {
+      ++ws.diag.fail_dead_branch;
+      ar.state_of[w] = SampleArena::kDead;
+      continue;
+    }
+    if (ar.phi[w] > 1.0) {
+      ++ws.diag.fail_phi_gt_1;  // Fail1
+      ar.state_of[w] = SampleArena::kDead;
+      continue;
+    }
+    if (!ar.rng[w].Bernoulli(ar.phi[w])) {
+      ++ws.diag.fail_bernoulli;  // Fail2
+      ar.state_of[w] = SampleArena::kDead;
+      continue;
+    }
+    ++ws.diag.sample_success;
+    ar.state_of[w] = SampleArena::kAccepted;
+    ar.accepted.push_back(w);
   }
-  if (phi > 1.0) {
-    ++ws.diag.fail_phi_gt_1;  // Fail1
-    return std::nullopt;
+}
+
+void FprasEngine::AppendAcceptedWalk(int level, int walk, WorkerScratch& ws,
+                                     SampleBlock* block) {
+  SampleArena& ar = ws.arena;
+  const Symbol* word = ar.WordOf(walk);
+  if (params_.csr_hot_path) {
+    // Fused profile pass: forward over the arena scratch, no allocation and
+    // no second simulation through MakeSample.
+    ar.profile_cur.Clear();
+    ar.profile_cur.Set(static_cast<size_t>(nfa_->initial()));
+    for (int j = 0; j < level; ++j) {
+      unrolled_.SuccSetWordsInto(ar.profile_cur.words().data(), word[j],
+                                 ar.profile_next.mutable_words(), *kernels_);
+      std::swap(ar.profile_cur, ar.profile_next);
+    }
+    block->Append(word, ar.profile_cur.words().data());
+  } else {
+    // Legacy layout: profile via the pointer-walk oracle (the E11 baseline
+    // cost), same bits.
+    Bitset reach = nfa_->Reach(Word(word, word + level));
+    block->Append(word, reach.words().data());
   }
-  if (!rng.Bernoulli(phi)) {
-    ++ws.diag.fail_bernoulli;  // Fail2
-    return std::nullopt;
-  }
-  ++ws.diag.sample_success;
-  return word;
 }
 
 double FprasEngine::PerturbedCount(int level, Rng& rng) {
@@ -303,15 +399,10 @@ double FprasEngine::PerturbedCount(int level, Rng& rng) {
   return std::floor(rng.UniformDouble() * top);
 }
 
-StoredSample FprasEngine::MakeStored(Word word) const {
-  return params_.csr_hot_path ? unrolled_.MakeSample(std::move(word))
-                              : unrolled_.MakeSampleLegacy(std::move(word));
-}
-
-void FprasEngine::RefillSamples(StateId q, int level, WorkerScratch& ws,
-                                Rng& rng) {
+void FprasEngine::RefillSamples(StateId q, int level, WorkerScratch& ws) {
   StateLevelData& slot = table_[level][q];
-  slot.samples.clear();
+  slot.samples.Reset(level, static_cast<size_t>(nfa_->num_states()));
+  slot.samples.Reserve(params_.ns);
   const double count = slot.count_estimate;
 
   if (count > 0.0) {
@@ -319,27 +410,38 @@ void FprasEngine::RefillSamples(StateId q, int level, WorkerScratch& ws,
     Bitset& target = ws.target_scratch;
     target.Clear();
     target.Set(static_cast<size_t>(q));
-    for (int64_t attempt = 0;
-         attempt < params_.xns &&
-         static_cast<int64_t>(slot.samples.size()) < params_.ns;
-         ++attempt) {
-      std::optional<Word> word =
-          SampleInternal(level, target, gamma0, ws, rng);
-      if (word.has_value()) {
-        slot.samples.push_back(MakeStored(std::move(*word)));
+    // This cell's walk-stream family: attempt a of (q, ℓ) always draws from
+    // substream (walk-tag·q·ℓ, a), no matter how attempts are batched —
+    // that is the batch-width-invariance contract.
+    const uint64_t walk_key = HashCombine(
+        HashCombine(kRefillWalkTag, static_cast<uint64_t>(q)),
+        static_cast<uint64_t>(level));
+    int64_t attempt = 0;
+    while (attempt < params_.xns && slot.samples.count() < params_.ns) {
+      const int batch = static_cast<int>(
+          std::min<int64_t>(batch_width_, params_.xns - attempt));
+      RunWalkBatch(level, target, gamma0, walk_key, attempt, batch, ws);
+      // Keep the first accepted walks in attempt order; surplus accepts in
+      // the final batch are discarded (they would be the next sequential
+      // attempts' accepts, which a narrower batch never runs).
+      for (int32_t w : ws.arena.accepted) {
+        if (slot.samples.count() >= params_.ns) break;
+        AppendAcceptedWalk(level, w, ws, &slot.samples);
       }
+      attempt += batch;
     }
   }
 
   // Padding (Alg. 3 lines 27-30): duplicate one fixed witness word.
-  const int64_t shortfall =
-      params_.ns - static_cast<int64_t>(slot.samples.size());
+  const int64_t shortfall = params_.ns - slot.samples.count();
   if (shortfall > 0) {
     std::optional<Word> witness = unrolled_.WitnessWord(q, level);
     assert(witness.has_value());  // q is reachable at this level
-    StoredSample pad = MakeStored(std::move(*witness));
+    const Bitset reach = params_.csr_hot_path ? unrolled_.ReachProfile(*witness)
+                                              : nfa_->Reach(*witness);
     ws.diag.padded_words += shortfall;
-    for (int64_t i = 0; i < shortfall; ++i) slot.samples.push_back(pad);
+    slot.samples.AppendRepeat(witness->data(), reach.words().data(),
+                              shortfall);
   }
 }
 
@@ -354,9 +456,9 @@ void FprasEngine::ProcessCell(StateId q, int level, WorkerScratch& ws) {
   singleton.Set(static_cast<size_t>(q));
   // N(q^ℓ) = Σ_b sz_b (lines 12-17). This union-size computation uses its
   // own δ and its own substream family — it is not memo-shared with sample().
-  std::vector<double> sizes = UnionSizes(level, singleton,
-                                         params_.DeltaForCountUnion(),
-                                         UnionPurpose::kCount, ws);
+  std::vector<double> sizes;
+  UnionSizesInto(level, singleton, params_.DeltaForCountUnion(),
+                 UnionPurpose::kCount, ws, &sizes);
   double total = 0.0;
   for (double s : sizes) total += s;
 
@@ -366,13 +468,13 @@ void FprasEngine::ProcessCell(StateId q, int level, WorkerScratch& ws) {
     ++ws.diag.perturbed_counts;
   }
   table_[level][q].count_estimate = total;
-  RefillSamples(q, level, ws, cell_rng);
+  RefillSamples(q, level, ws);
   ++ws.diag.states_processed;
 }
 
 Status FprasEngine::RunLevel(int level, ThreadPool& pool) {
   // Level barrier: every cell of level ℓ reads only the frozen ℓ−1 tables
-  // (SampleInternal walks strictly downward from ℓ−1) and writes only its
+  // (the sampling walks descend strictly below ℓ) and writes only its
   // own table_[ℓ][q] slot, so the cells are independent.
   const std::vector<int> states = unrolled_.ReachableAt(level).ToIndices();
   return pool.ParallelFor(
@@ -393,18 +495,26 @@ Status FprasEngine::Run() {
   if (params_.num_threads < 0 || params_.num_threads > kMaxThreads) {
     return Status::Invalid("num_threads must be in [0, 4096]");
   }
+  if (params_.batch_width < 0 ||
+      params_.batch_width > FprasParams::kMaxBatchWidth) {
+    return Status::Invalid("batch_width must be in [0, 4096]");
+  }
   ran_ok_ = false;
 
   const int n = params_.n;
   const int m = nfa_->num_states();
   const int threads = ThreadPool::ResolveThreadCount(params_.num_threads);
+  batch_width_ = params_.ResolvedBatchWidth();
+  kernels_ =
+      params_.simd_kernels ? &simd::ActiveKernels() : &simd::ScalarKernels();
+  post_attempt_counter_ = 0;
   workers_.clear();
   workers_.resize(static_cast<size_t>(threads));
   for (WorkerScratch& ws : workers_) {
     ws.pred_scratch = Bitset(static_cast<size_t>(m));
-    ws.walk_cur = Bitset(static_cast<size_t>(m));
-    ws.walk_next = Bitset(static_cast<size_t>(m));
     ws.target_scratch = Bitset(static_cast<size_t>(m));
+    ws.arena.PrepareRun(batch_width_, std::max(n, 1),
+                        static_cast<size_t>(m), nfa_->alphabet_size());
   }
   table_.assign(static_cast<size_t>(n) + 1,
                 std::vector<StateLevelData>(static_cast<size_t>(m)));
@@ -415,7 +525,15 @@ Status FprasEngine::Run() {
   // singleton language — so AppUnion cursors cannot starve at level 1.
   StateLevelData& base = table_[0][nfa_->initial()];
   base.count_estimate = 1.0;
-  base.samples.assign(static_cast<size_t>(params_.ns), MakeStored(Word{}));
+  base.samples.Reset(0, static_cast<size_t>(m));
+  base.samples.Reserve(params_.ns);
+  {
+    // λ's reach profile is {initial} on either layout.
+    Bitset lambda_reach(static_cast<size_t>(m));
+    lambda_reach.Set(static_cast<size_t>(nfa_->initial()));
+    base.samples.AppendRepeat(nullptr, lambda_reach.words().data(),
+                              params_.ns);
+  }
 
   {
     ThreadPool pool(threads);
@@ -479,19 +597,50 @@ double FprasEngine::EstimateAtLength(int level) {
   return EstimateUnionOfStates(nfa_->accepting(), level);
 }
 
-std::optional<Word> FprasEngine::SampleWord(const Bitset& targets, int level) {
+int64_t FprasEngine::SampleAcceptedInto(const Bitset& targets, int level,
+                                        int64_t max_attempts,
+                                        int64_t min_accepts,
+                                        std::vector<Word>* out) {
   NFA_CHECK(ran_ok_, "SampleWord requires a successful Run()");
   NFA_CHECK(level >= 0 && level <= params_.n,
             "SampleWord: level out of [0, n]");
   Bitset alive = targets;
   alive &= unrolled_.ReachableAt(level);
-  if (alive.None()) return std::nullopt;
+  if (alive.None()) return 0;
 
-  // γ0 = 2/(3e) · 1/N where N estimates |∪ L(q^level)|.
-  double union_estimate = EstimateUnionOfStates(alive, level);
-  if (!(union_estimate > 0.0)) return std::nullopt;
-  return SampleInternal(level, alive, kGammaNumerator / union_estimate,
-                        workers_[0], rng_);
+  // γ0 = 2/(3e) · 1/N where N estimates |∪ L(q^level)| — computed once and
+  // amortized over every walk of this call's batches.
+  const double union_estimate = EstimateUnionOfStates(alive, level);
+  if (!(union_estimate > 0.0)) return 0;
+  const double gamma0 = kGammaNumerator / union_estimate;
+
+  // Post-run draws run sequentially on worker slot 0 (RunLevel has joined).
+  WorkerScratch& ws = workers_[0];
+  int64_t appended = 0;
+  int64_t attempts_left = max_attempts;
+  while (attempts_left > 0 && appended < min_accepts) {
+    const int batch =
+        static_cast<int>(std::min<int64_t>(batch_width_, attempts_left));
+    RunWalkBatch(level, alive, gamma0, kDrawStreamTag, post_attempt_counter_,
+                 batch, ws);
+    post_attempt_counter_ += batch;
+    attempts_left -= batch;
+    for (int32_t w : ws.arena.accepted) {
+      out->emplace_back(ws.arena.WordOf(w), ws.arena.WordOf(w) + level);
+      ++appended;
+    }
+  }
+  return appended;
+}
+
+std::optional<Word> FprasEngine::SampleWord(const Bitset& targets, int level) {
+  // One attempt of the counter-keyed stream, exactly like the pre-batching
+  // API: nullopt = that attempt rejected.
+  std::vector<Word> words;
+  SampleAcceptedInto(targets, level, /*max_attempts=*/1, /*min_accepts=*/1,
+                     &words);
+  if (words.empty()) return std::nullopt;
+  return std::move(words.front());
 }
 
 std::optional<Word> FprasEngine::SampleAcceptedWord() {
@@ -512,6 +661,8 @@ void ApplyOptionFlags(const CountOptions& options, FprasParams* params) {
   params->recycle_samples = options.recycle_samples;
   params->csr_hot_path = options.csr_hot_path;
   params->num_threads = options.num_threads;
+  params->batch_width = options.batch_width;
+  params->simd_kernels = options.simd_kernels;
 }
 
 }  // namespace

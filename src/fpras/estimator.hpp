@@ -17,6 +17,19 @@
 // returns the built word with probability φ (γ0·Π pr_b⁻¹ telescopes to the
 // uniform γ0 per word — Theorem 2(1)).
 //
+// Batched sampling plane (docs/ARCHITECTURE.md "Memory layout & SIMD
+// dispatch"): instead of one rejection walk at a time, the engine advances
+// batch_width candidate walks in lockstep down the levels on a per-worker
+// FrontierPlane (fpras/plane.hpp). Walks with identical symbol histories
+// share one frontier row ("group"), so each level costs one union-size
+// estimation and one predecessor expansion per group — not per walk — and
+// the reach profile of each accepted walk is built by a fused forward pass
+// over the same plane scratch, never by re-simulating the stored word. Each
+// candidate walk draws exclusively from its own attempt-indexed RNG
+// substream, which makes every estimate, table, sample, and post-run draw
+// bit-identical for every batch width (B = 1 included), exactly as the
+// per-cell substreams make them thread-count-invariant.
+//
 // Concurrency model (docs/ARCHITECTURE.md "Concurrency model"): within level
 // ℓ every (q, ℓ) cell depends only on the frozen level ℓ−1 tables, so Run()
 // fans the cells of each level out over a fixed ThreadPool and joins at a
@@ -42,7 +55,9 @@
 #include "automata/unrolled.hpp"
 #include "counting/union_mc.hpp"
 #include "fpras/params.hpp"
+#include "fpras/plane.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
@@ -60,7 +75,13 @@ struct FprasDiagnostics {
   int64_t starvations = 0;      ///< AppUnion Line-8 events
   int64_t memo_hits = 0;
   int64_t memo_misses = 0;
-  int64_t sample_calls = 0;     ///< invocations of Algorithm 2
+  /// Candidate walks launched (Algorithm 2 attempts). A sample refill stops
+  /// at the end of the lockstep batch in which it filled, so this counter —
+  /// and the per-walk failure counters below — can include up to
+  /// batch_width−1 extra in-flight attempts per cell relative to a narrower
+  /// batch. They are still thread-count- and layout-invariant at a fixed
+  /// batch width; estimates/tables/samples are invariant to all three knobs.
+  int64_t sample_calls = 0;
   int64_t sample_success = 0;
   int64_t fail_phi_gt_1 = 0;    ///< Fail1: φ > 1 at the base (Alg. 2 line 5)
   int64_t fail_bernoulli = 0;   ///< Fail2: returned ⊥ at the base (line 6)
@@ -68,13 +89,22 @@ struct FprasDiagnostics {
   int64_t padded_words = 0;     ///< Alg. 3 lines 27-30 (SmallS events)
   int64_t perturbed_counts = 0; ///< Alg. 3 line 19 events
   int64_t states_processed = 0; ///< reachable (q, ℓ) copies visited
+  int64_t walk_batches = 0;     ///< lockstep plane sweeps launched
+  /// Bytes reserved by the per-worker SampleArenas (snapshot at the
+  /// diagnostics() call, summed over workers).
+  int64_t arena_bytes_reserved = 0;
+  /// Arena capacity-growth events since engine construction: flat after the
+  /// first batches warm the slabs (the zero-per-sample-allocation contract).
+  int64_t arena_alloc_events = 0;
   double wall_seconds = 0.0;    ///< wall-clock time of the Run() call
 };
 
-/// Per-(state, level) FPRAS state: the estimate N(q^ℓ) and sample set S(q^ℓ).
+/// Per-(state, level) FPRAS state: the estimate N(q^ℓ) and sample set S(q^ℓ)
+/// in flat struct-of-arrays form (two slabs per cell, no per-sample heap
+/// vectors — see SampleBlock in automata/unrolled.hpp).
 struct StateLevelData {
-  double count_estimate = 0.0;       ///< N(q^ℓ)
-  std::vector<StoredSample> samples; ///< S(q^ℓ), |S| == ns once filled
+  double count_estimate = 0.0; ///< N(q^ℓ)
+  SampleBlock samples;         ///< S(q^ℓ), count() == ns once filled
 };
 
 /// Sharded, thread-safe cache of sample-context union-size vectors keyed by
@@ -162,14 +192,33 @@ class FprasEngine {
   /// level are range-checked (NFA_CHECK).
   double CountEstimateFor(StateId q, int level) const;
 
-  /// S(q^ℓ) (empty for unreachable copies). Run() must have succeeded; q and
-  /// level are range-checked (NFA_CHECK).
-  const std::vector<StoredSample>& SamplesFor(StateId q, int level) const;
+  /// S(q^ℓ) materialized as StoredSamples (empty for unreachable copies) —
+  /// the invariant-test / inspection view of the flat block. Run() must have
+  /// succeeded; q and level are range-checked (NFA_CHECK).
+  std::vector<StoredSample> SamplesFor(StateId q, int level) const;
+
+  /// S(q^ℓ) in its native flat form (what the hot path reads). Same
+  /// preconditions as SamplesFor.
+  const SampleBlock& SampleBlockFor(StateId q, int level) const;
 
   /// Draws one word almost-uniformly from ∪_{q ∈ targets} L(q^level) using
   /// Algorithm 2 against the tables built by Run(); nullopt = rejection
-  /// (caller retries; Theorem 2(2) bounds the rejection rate).
+  /// (caller retries; Theorem 2(2) bounds the rejection rate). Consumes one
+  /// attempt of the counter-keyed post-run stream.
   std::optional<Word> SampleWord(const Bitset& targets, int level);
+
+  /// Batched post-run draws: launches candidate walks in lockstep batches of
+  /// the engine's batch width until at least `min_accepts` walks accept (or
+  /// `max_attempts` walks have been tried), appending every accepted word of
+  /// the executed batches to `out` in attempt order. Returns the number
+  /// appended. Because each attempt draws from its own counter-keyed
+  /// substream, the concatenated word sequence across calls is bit-identical
+  /// for every batch width, thread count, and kernel table — batching only
+  /// changes how many accepted words one call harvests. Same preconditions
+  /// as SampleWord.
+  int64_t SampleAcceptedInto(const Bitset& targets, int level,
+                             int64_t max_attempts, int64_t min_accepts,
+                             std::vector<Word>* out);
 
   /// Convenience: almost-uniform word from L(A_n) (accepting states at n).
   std::optional<Word> SampleAcceptedWord();
@@ -188,10 +237,9 @@ class FprasEngine {
   /// keeps the hot path allocation-free and race-free under concurrency.
   struct WorkerScratch {
     Bitset pred_scratch;          ///< PredSetInto target (UnionSizes)
-    Bitset walk_cur;              ///< Algorithm 2 ping-pong frontier
-    Bitset walk_next;             ///< Algorithm 2 ping-pong frontier
     Bitset target_scratch;        ///< singleton {q} for RefillSamples
     AppUnionScratch union_scratch;///< batched-membership + draw-table scratch
+    SampleArena arena;            ///< lockstep walk batch slab (plane.hpp)
     FprasDiagnostics diag;        ///< merged into diagnostics() on demand
   };
 
@@ -202,21 +250,37 @@ class FprasEngine {
   enum class UnionPurpose { kCount, kSample };
 
   /// sz_b for every symbol b of the decomposition of ∪_{q∈P} L(q^level)
-  /// (Alg. 2 lines 8-11), via AppUnion with parameters (β, delta_param).
-  /// Draws from the content-keyed substream (purpose, level, P), so the
-  /// result is a deterministic function of the engine seed and the
-  /// arguments — independent of caller, thread, and memo state.
-  std::vector<double> UnionSizes(int level, const Bitset& state_set,
-                                 double delta_param, UnionPurpose purpose,
-                                 WorkerScratch& ws);
+  /// (Alg. 2 lines 8-11), via AppUnion with parameters (β, delta_param),
+  /// written into *out (capacity reused across calls). Draws from the
+  /// content-keyed substream (purpose, level, P), so the result is a
+  /// deterministic function of the engine seed and the arguments —
+  /// independent of caller, thread, and memo state.
+  void UnionSizesInto(int level, const Bitset& state_set, double delta_param,
+                      UnionPurpose purpose, WorkerScratch& ws,
+                      std::vector<double>* out);
 
-  /// Algorithm 2 (iterative form). γ0 = phi0. Symbol and base-case draws
-  /// come from `rng` (the caller's cell substream, or rng_ post-run).
-  std::optional<Word> SampleInternal(int level, const Bitset& state_set,
-                                     double phi0, WorkerScratch& ws, Rng& rng);
+  /// Algorithm 2 over a lockstep batch: advances `count` candidate walks
+  /// (attempt ids first_attempt..first_attempt+count) down the levels on the
+  /// worker's FrontierPlane, group-sharing union-size estimations and
+  /// predecessor expansions between walks with identical symbol histories,
+  /// and applies the base-case accept/reject per walk. Walk j draws only
+  /// from Rng::ForSubstream(seed, walk_key, first_attempt + j), which is
+  /// what makes results invariant to the batch width. Accepted walk ids land
+  /// in ws.arena.accepted in attempt order.
+  void RunWalkBatch(int level, const Bitset& state_set, double phi0,
+                    uint64_t walk_key, int64_t first_attempt, int count,
+                    WorkerScratch& ws);
 
-  /// Refills S(q^ℓ) with xns attempts, padding to ns (Alg. 3 lines 20-30).
-  void RefillSamples(StateId q, int level, WorkerScratch& ws, Rng& rng);
+  /// Fused reach-profile pass: computes the profile of accepted walk `w`
+  /// (in ws.arena) forward over the plane scratch — MakeSample never
+  /// re-simulates a word on this path — and appends (word, profile) to
+  /// `block`.
+  void AppendAcceptedWalk(int level, int walk, WorkerScratch& ws,
+                          SampleBlock* block);
+
+  /// Refills S(q^ℓ) with up to xns lockstep attempts, padding to ns
+  /// (Alg. 3 lines 20-30).
+  void RefillSamples(StateId q, int level, WorkerScratch& ws);
 
   /// One (q, ℓ) cell of Algorithm 3 (lines 12-30): count union, perturbation
   /// branch, sample refill. Reads only level ℓ−1 tables; writes only
@@ -226,9 +290,6 @@ class FprasEngine {
   /// Fans the reachable cells of one level over the pool and joins (the
   /// level barrier).
   Status RunLevel(int level, ThreadPool& pool);
-
-  /// StoredSample for `word` on the layout csr_hot_path selects.
-  StoredSample MakeStored(Word word) const;
 
   double PerturbedCount(int level, Rng& rng);
 
@@ -241,7 +302,15 @@ class FprasEngine {
   FprasParams params_;
   UnrolledNfa unrolled_;
   uint64_t seed_;
-  Rng rng_;  ///< post-run draw stream (SampleWord attempts)
+  /// Next post-run attempt id: every SampleWord/SampleAcceptedInto attempt
+  /// draws from Rng::ForSubstream(seed, draw-tag, counter++), so the draw
+  /// sequence depends only on how many attempts ran before — not on batch
+  /// width, thread count, or kernel table.
+  int64_t post_attempt_counter_ = 0;
+  /// Kernel table the sampling plane uses (params.simd_kernels selects
+  /// scalar vs the runtime-dispatched table; set by Run()).
+  const simd::BitsetKernels* kernels_ = nullptr;
+  int batch_width_ = FprasParams::kDefaultBatchWidth;  ///< resolved by Run()
   /// Worker slot scratch; workers_[i] is owned by pool worker slot i during
   /// RunLevel, and workers_[0] serves the sequential post-run API.
   std::vector<WorkerScratch> workers_;
@@ -274,6 +343,12 @@ struct CountOptions {
   /// Level-sweep worker threads (1 = sequential, 0 = all hardware threads).
   /// Bit-identical results for every value; see FprasParams::num_threads.
   int num_threads = 1;
+  /// Lockstep candidate-walk batch width (0 = built-in default). Bit-
+  /// identical results for every value; see FprasParams::batch_width.
+  int batch_width = 0;
+  /// SIMD kernel table for the sampling plane (false = scalar). Bit-
+  /// identical results either way; see FprasParams::simd_kernels.
+  bool simd_kernels = true;
 };
 
 /// Result of ApproxCount.

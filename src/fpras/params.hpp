@@ -93,6 +93,34 @@ struct FprasParams {
   /// (Rng::ForSubstream), so the thread count only changes wall-clock time.
   int num_threads = 1;
 
+  /// Candidate walks Algorithm 2 advances in lockstep on the FrontierPlane
+  /// (fpras/plane.hpp). 0 = the built-in default (kDefaultBatchWidth).
+  /// Estimates, tables, samples, and draws are bit-identical for every
+  /// value — each candidate walk draws from its own attempt-indexed RNG
+  /// substream, so the batch width only changes wall-clock time (and the
+  /// batch-granular tail of per-walk failure counters; see
+  /// FprasDiagnostics).
+  int batch_width = 0;
+
+  /// Run the sampling plane's frontier/profile kernels on the runtime-
+  /// dispatched SIMD table (util/simd.hpp); false pins this engine to the
+  /// scalar table. Kernels compute identical bits either way, so this flag
+  /// can never change a result. NFACOUNT_FORCE_SCALAR=1 (or
+  /// simd::SetForceScalar) forces scalar process-wide regardless.
+  bool simd_kernels = true;
+
+  /// Default lockstep batch width (batch_width = 0). 16 keeps the overshoot
+  /// past a filled sample set small while amortizing per-batch costs.
+  static constexpr int kDefaultBatchWidth = 16;
+  /// Upper bound accepted for batch_width (validated by FprasEngine::Run).
+  static constexpr int kMaxBatchWidth = 4096;
+
+  /// The lockstep width Run() actually uses: batch_width, or the default
+  /// when 0.
+  int ResolvedBatchWidth() const {
+    return batch_width == 0 ? kDefaultBatchWidth : batch_width;
+  }
+
   int64_t memo_capacity = int64_t{1} << 20;  ///< max cached (level, P) entries
 
   /// δ parameter of the AppUnion calls that compute N(q^ℓ)

@@ -15,6 +15,8 @@ Result<WordSampler> WordSampler::Build(const Nfa& nfa, int n,
   params.n = n == 0 ? 0 : params.n;
   params.csr_hot_path = options.csr_hot_path;
   params.num_threads = options.num_threads;
+  params.batch_width = options.batch_width;
+  params.simd_kernels = options.simd_kernels;
   auto engine = std::make_unique<FprasEngine>(&nfa, params, options.seed);
   NFA_RETURN_NOT_OK(engine->Run());
   return WordSampler(&nfa, std::move(engine), options);
@@ -29,12 +31,21 @@ Result<Word> WordSampler::Sample() {
   if (!(engine_->Estimate() > 0.0)) {
     return Status::NotFound("language estimated empty");
   }
-  for (int attempt = 0; attempt < options_.max_attempts_per_draw; ++attempt) {
-    std::optional<Word> word = engine_->SampleAcceptedWord();
-    if (word.has_value()) return *std::move(word);
+  if (queue_next_ >= queue_.size()) {
+    // Refill: run lockstep batches until at least one walk accepts. Every
+    // accepted walk of the executed batches is an independent almost-
+    // uniform draw, so the surplus serves the following Sample() calls.
+    queue_.clear();
+    queue_next_ = 0;
+    const int64_t got = engine_->SampleAcceptedInto(
+        nfa_->accepting(), n, options_.max_attempts_per_draw,
+        /*min_accepts=*/1, &queue_);
+    if (got == 0) {
+      return Status::ResourceExhausted(
+          "all sampling attempts rejected; tables likely inaccurate");
+    }
   }
-  return Status::ResourceExhausted(
-      "all sampling attempts rejected; tables likely inaccurate");
+  return std::move(queue_[queue_next_++]);
 }
 
 Result<StoredSample> WordSampler::SampleStored() {

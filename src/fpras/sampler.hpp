@@ -39,6 +39,14 @@ struct SamplerOptions {
   /// hardware threads). Tables, estimates, and every subsequent draw are
   /// bit-identical for any value — see FprasParams::num_threads.
   int num_threads = 1;
+  /// Candidate walks advanced in lockstep per plane sweep (0 = engine
+  /// default). The draw sequence is bit-identical for every value — wider
+  /// batches only let one sweep amortize the per-call union estimate over
+  /// more accepted draws. See FprasParams::batch_width.
+  int batch_width = 0;
+  /// SIMD kernel table for the sampling plane (false = scalar; identical
+  /// draws either way). See FprasParams::simd_kernels.
+  bool simd_kernels = true;
 };
 
 /// Draws words almost-uniformly from L(A_n).
@@ -75,6 +83,12 @@ class WordSampler {
   const Nfa* nfa_;
   std::unique_ptr<FprasEngine> engine_;
   SamplerOptions options_;
+  /// Accepted words already produced by the engine's lockstep batches but
+  /// not yet handed out: one plane sweep typically accepts several walks,
+  /// and each Sample() call pops the next one in attempt order (so the draw
+  /// sequence is independent of the batch width).
+  std::vector<Word> queue_;
+  size_t queue_next_ = 0;
 };
 
 }  // namespace nfacount

@@ -10,6 +10,12 @@ Bitset Bitset::FromIndices(size_t size, const std::vector<int>& indices) {
   return b;
 }
 
+Bitset Bitset::FromWords(size_t size, const uint64_t* words) {
+  Bitset b(size);
+  std::copy(words, words + b.words_.size(), b.words_.begin());
+  return b;
+}
+
 void Bitset::SetAll() {
   std::fill(words_.begin(), words_.end(), ~0ULL);
   size_t tail = size_ & 63;
@@ -26,17 +32,13 @@ bool Bitset::Any() const {
 }
 
 size_t Bitset::Count() const {
-  size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
-  return total;
+  return simd::ActiveKernels().popcount(words_.data(), words_.size());
 }
 
 bool Bitset::Intersects(const Bitset& other) const {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if (words_[i] & other.words_[i]) return true;
-  }
-  return false;
+  return simd::ActiveKernels().intersects(words_.data(), other.words_.data(),
+                                          words_.size());
 }
 
 bool Bitset::IsSubsetOf(const Bitset& other) const {
@@ -49,27 +51,40 @@ bool Bitset::IsSubsetOf(const Bitset& other) const {
 
 Bitset& Bitset::operator|=(const Bitset& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  simd::ActiveKernels().or_into(words_.data(), other.words_.data(),
+                                words_.size());
   return *this;
 }
 
 Bitset& Bitset::operator&=(const Bitset& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::ActiveKernels().and_into(words_.data(), other.words_.data(),
+                                 words_.size());
+  return *this;
+}
+
+Bitset& Bitset::AndNot(const Bitset& other) {
+  assert(size_ == other.size_);
+  simd::ActiveKernels().andnot_into(words_.data(), other.words_.data(),
+                                    words_.size());
   return *this;
 }
 
 Bitset& Bitset::OrMasked(const Bitset& other, const Bitset& mask) {
   assert(size_ == other.size_ && size_ == mask.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    words_[i] |= other.words_[i] & mask.words_[i];
-  }
+  simd::ActiveKernels().or_masked_into(words_.data(), other.words_.data(),
+                                       mask.words_.data(), words_.size());
   return *this;
 }
 
 void Bitset::CopyFrom(const Bitset& other) {
   assert(size_ == other.size_);
   std::copy(other.words_.begin(), other.words_.end(), words_.begin());
+}
+
+void Bitset::AssignWords(const uint64_t* words, size_t nwords) {
+  assert(nwords == words_.size());
+  std::copy(words, words + nwords, words_.begin());
 }
 
 int Bitset::FirstSet() const {

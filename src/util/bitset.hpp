@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace nfacount {
 
 /// Fixed-size (chosen at construction) bitset over indices [0, size).
@@ -22,6 +24,10 @@ class Bitset {
 
   /// Builds a bitset of `size` bits with the given indices set.
   static Bitset FromIndices(size_t size, const std::vector<int>& indices);
+
+  /// Builds a bitset of `size` bits from a raw word array of (size+63)/64
+  /// words (little-endian bit order, tail bits beyond `size` must be clear).
+  static Bitset FromWords(size_t size, const uint64_t* words);
 
   size_t size() const { return size_; }
 
@@ -55,6 +61,9 @@ class Bitset {
   Bitset& operator|=(const Bitset& other);
   Bitset& operator&=(const Bitset& other);
 
+  /// this &= ~other (set difference), one kernel pass.
+  Bitset& AndNot(const Bitset& other);
+
   /// Fused frontier-propagation step: this |= (other & mask), one pass over
   /// the word arrays. This is the inner loop of CSR mask-based predecessor/
   /// successor expansion (unrolled.hpp): OR a transition-row mask into the
@@ -65,6 +74,11 @@ class Bitset {
   /// Copies `other` into this. Unlike operator= it requires equal sizes and
   /// never reallocates — safe for scratch buffers on the hot path.
   void CopyFrom(const Bitset& other);
+
+  /// Overwrites the contents from a raw word array of exactly words().size()
+  /// words (tail bits must be clear). Never reallocates — the bridge from
+  /// FrontierPlane rows back into Bitset-taking APIs (memo keys, AppUnion).
+  void AssignWords(const uint64_t* words, size_t nwords);
 
   bool operator==(const Bitset& other) const {
     return size_ == other.size_ && words_ == other.words_;
@@ -98,6 +112,10 @@ class Bitset {
 
   /// Raw words, little-endian bit order (for memo-cache keys).
   const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Mutable raw word pointer for span-kernel interop (plane sweeps). The
+  /// caller must keep tail bits beyond size() clear.
+  uint64_t* mutable_words() { return words_.data(); }
 
  private:
   size_t size_;

@@ -1,0 +1,238 @@
+// Batch-width invariance of the lockstep sampling plane: because every
+// candidate walk draws from its own attempt-indexed RNG substream, the same
+// (nfa, n, seed) must produce bit-identical estimates, per-(q,ℓ) tables, and
+// post-run draw sequences for every batch_width — and for the SIMD vs scalar
+// kernel tables, whose operations compute identical bits by construction.
+// Also covers the arena reuse contract (no per-sample allocations once the
+// slabs are warm) and the batch_width validation surface.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "automata/generators.hpp"
+#include "fpras/fpras.hpp"
+#include "test_seed.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace nfacount {
+namespace {
+
+using testing_support::TestSeed;
+
+CountOptions BatchOpts(uint64_t seed, int batch_width) {
+  CountOptions o;
+  o.eps = 0.3;
+  o.delta = 0.2;
+  o.seed = seed;
+  o.batch_width = batch_width;
+  return o;
+}
+
+// Full per-(q,ℓ) table equality between two engines (counts, words,
+// profiles), bit for bit.
+void ExpectTablesIdentical(const FprasEngine& a, const FprasEngine& b,
+                          const Nfa& nfa, int n) {
+  for (int level = 0; level <= n; ++level) {
+    for (StateId q = 0; q < nfa.num_states(); ++q) {
+      EXPECT_EQ(a.CountEstimateFor(q, level), b.CountEstimateFor(q, level))
+          << "q=" << q << " level=" << level;
+      const auto sa = a.SamplesFor(q, level);
+      const auto sb = b.SamplesFor(q, level);
+      ASSERT_EQ(sa.size(), sb.size()) << "q=" << q << " level=" << level;
+      for (size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_EQ(sa[i].word, sb[i].word)
+            << "q=" << q << " level=" << level << " i=" << i;
+        EXPECT_EQ(sa[i].reach, sb[i].reach)
+            << "q=" << q << " level=" << level << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Batch, EstimateBitIdenticalAcrossBatchWidths) {
+  Rng rng(TestSeed(701));
+  for (int trial = 0; trial < 3; ++trial) {
+    Nfa nfa = RandomNfa(7, 0.3, 0.3, rng);
+    const int n = 6;
+    const uint64_t seed = TestSeed(702) + trial;
+    Result<CountEstimate> narrow = ApproxCount(nfa, n, BatchOpts(seed, 1));
+    Result<CountEstimate> medium = ApproxCount(nfa, n, BatchOpts(seed, 4));
+    Result<CountEstimate> wide = ApproxCount(nfa, n, BatchOpts(seed, 16));
+    ASSERT_TRUE(narrow.ok() && medium.ok() && wide.ok());
+    EXPECT_EQ(narrow->estimate, medium->estimate) << "trial=" << trial;
+    EXPECT_EQ(narrow->estimate, wide->estimate) << "trial=" << trial;
+    // Deterministic structural counters must agree; the per-walk attempt
+    // counters (sample_calls, fail_*) are batch-granular by design.
+    EXPECT_EQ(narrow->diagnostics.states_processed,
+              wide->diagnostics.states_processed);
+    EXPECT_EQ(narrow->diagnostics.padded_words,
+              wide->diagnostics.padded_words);
+    EXPECT_EQ(narrow->diagnostics.perturbed_counts,
+              wide->diagnostics.perturbed_counts);
+  }
+}
+
+TEST(Batch, TablesAndDrawsBitIdenticalAcrossBatchWidths) {
+  Rng rng(TestSeed(711));
+  Nfa nfa = RandomNfa(6, 0.3, 0.35, rng);
+  const int n = 6;
+  Result<FprasParams> params =
+      FprasParams::Make(Schedule::kFaster, nfa.num_states(), n, 0.35, 0.2,
+                        Calibration::Practical());
+  ASSERT_TRUE(params.ok());
+
+  FprasParams p1 = *params;
+  p1.batch_width = 1;
+  FprasParams p16 = *params;
+  p16.batch_width = 16;
+  FprasEngine one(&nfa, p1, TestSeed(712));
+  FprasEngine sixteen(&nfa, p16, TestSeed(712));
+  ASSERT_TRUE(one.Run().ok());
+  ASSERT_TRUE(sixteen.Run().ok());
+
+  EXPECT_EQ(one.Estimate(), sixteen.Estimate());
+  ExpectTablesIdentical(one, sixteen, nfa, n);
+
+  // The post-run draw sequence is counter-keyed per attempt: the j-th
+  // accepted word is the same no matter how attempts were batched. B=1
+  // consumes exactly one attempt per SampleAcceptedWord call; harvest the
+  // wide engine's accepts in bulk and compare the sequences.
+  std::vector<Word> wide_words;
+  sixteen.SampleAcceptedInto(nfa.accepting(), n, /*max_attempts=*/64,
+                             /*min_accepts=*/64, &wide_words);
+  std::vector<Word> narrow_words;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::optional<Word> w = one.SampleAcceptedWord();
+    if (w.has_value()) narrow_words.push_back(*w);
+  }
+  EXPECT_EQ(narrow_words, wide_words);
+}
+
+TEST(Batch, SamplerFacadeIdenticalAcrossBatchWidthsAndKernels) {
+  Rng rng(TestSeed(721));
+  Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
+  SamplerOptions base;
+  base.seed = TestSeed(722);
+  SamplerOptions narrow = base;
+  narrow.batch_width = 1;
+  SamplerOptions wide = base;
+  wide.batch_width = 64;
+  SamplerOptions scalar = base;
+  scalar.batch_width = 64;
+  scalar.simd_kernels = false;
+
+  Result<WordSampler> a = WordSampler::Build(nfa, 6, narrow);
+  Result<WordSampler> b = WordSampler::Build(nfa, 6, wide);
+  Result<WordSampler> c = WordSampler::Build(nfa, 6, scalar);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->CountEstimate(), b->CountEstimate());
+  EXPECT_EQ(a->CountEstimate(), c->CountEstimate());
+  for (int i = 0; i < 20; ++i) {
+    Result<Word> wa = a->Sample();
+    Result<Word> wb = b->Sample();
+    Result<Word> wc = c->Sample();
+    ASSERT_TRUE(wa.ok() && wb.ok() && wc.ok());
+    EXPECT_EQ(*wa, *wb) << "draw " << i;
+    EXPECT_EQ(*wa, *wc) << "draw " << i;
+  }
+}
+
+TEST(Batch, ForcedScalarDispatchIdenticalEstimates) {
+  // Process-wide kernel redirection (the NFACOUNT_FORCE_SCALAR / --no-simd
+  // path) must be invisible in every estimate.
+  Rng rng(TestSeed(731));
+  Nfa nfa = RandomNfa(7, 0.3, 0.3, rng);
+  Result<CountEstimate> active = ApproxCount(nfa, 6, BatchOpts(TestSeed(732), 8));
+  simd::SetForceScalar(true);
+  Result<CountEstimate> scalar = ApproxCount(nfa, 6, BatchOpts(TestSeed(732), 8));
+  simd::SetForceScalar(false);
+  ASSERT_TRUE(active.ok() && scalar.ok());
+  EXPECT_EQ(active->estimate, scalar->estimate);
+}
+
+TEST(Batch, BatchWidthComposesWithThreadsAndLayout) {
+  // The three determinism contracts must hold jointly: (threads, batch,
+  // layout) all flip at once, results stay put.
+  Nfa nfa = SubstringNfa(Word{1, 0, 1});
+  CountOptions base = BatchOpts(TestSeed(741), 1);
+  CountOptions flipped = BatchOpts(TestSeed(741), 32);
+  flipped.num_threads = 4;
+  flipped.csr_hot_path = false;
+  Result<CountEstimate> a = ApproxCount(nfa, 8, base);
+  Result<CountEstimate> b = ApproxCount(nfa, 8, flipped);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->estimate, b->estimate);
+}
+
+TEST(Batch, ArenaStopsAllocatingAfterWarmup) {
+  // The zero-per-sample-allocation contract: once the engine run has warmed
+  // the per-worker arena slabs, drawing many more samples must not grow any
+  // arena capacity.
+  Rng rng(TestSeed(751));
+  Nfa nfa = RandomNfa(6, 0.35, 0.4, rng);
+  SamplerOptions opts;
+  opts.seed = TestSeed(752);
+  opts.batch_width = 16;
+  Result<WordSampler> sampler = WordSampler::Build(nfa, 6, opts);
+  ASSERT_TRUE(sampler.ok());
+
+  // Warmup: the build itself ran thousands of batches; one more draw batch
+  // settles any post-run scratch.
+  ASSERT_TRUE(sampler->Sample().ok());
+  const int64_t warm_allocs = sampler->diagnostics().arena_alloc_events;
+  const int64_t warm_bytes = sampler->diagnostics().arena_bytes_reserved;
+  ASSERT_GT(warm_bytes, 0);
+
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(sampler->Sample().ok());
+  }
+  EXPECT_EQ(sampler->diagnostics().arena_alloc_events, warm_allocs)
+      << "drawing 200 samples grew an arena slab";
+  EXPECT_EQ(sampler->diagnostics().arena_bytes_reserved, warm_bytes);
+}
+
+TEST(Batch, InvalidBatchWidthIsStatusNotCrash) {
+  Nfa nfa = ParityNfa(2);
+  CountOptions bad = BatchOpts(TestSeed(761), -1);
+  Result<CountEstimate> r = ApproxCount(nfa, 5, bad);
+  EXPECT_FALSE(r.ok());
+  bad.batch_width = FprasParams::kMaxBatchWidth + 1;
+  r = ApproxCount(nfa, 5, bad);
+  EXPECT_FALSE(r.ok());
+  // 0 = engine default: valid.
+  bad.batch_width = 0;
+  r = ApproxCount(nfa, 5, bad);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Batch, SampleBlockViewsMatchMaterializedSamples) {
+  // SampleBlockFor and SamplesFor expose the same data: spans vs copies.
+  Rng rng(TestSeed(771));
+  Nfa nfa = RandomNfa(5, 0.3, 0.3, rng);
+  const int n = 5;
+  Result<FprasParams> params = FprasParams::Make(
+      Schedule::kFaster, nfa.num_states(), n, 0.4, 0.2, Calibration::Practical());
+  ASSERT_TRUE(params.ok());
+  FprasEngine engine(&nfa, *params, TestSeed(772));
+  ASSERT_TRUE(engine.Run().ok());
+  for (int level = 0; level <= n; ++level) {
+    for (StateId q = 0; q < nfa.num_states(); ++q) {
+      const SampleBlock& block = engine.SampleBlockFor(q, level);
+      const auto samples = engine.SamplesFor(q, level);
+      ASSERT_EQ(static_cast<size_t>(block.count()), samples.size());
+      for (int64_t i = 0; i < block.count(); ++i) {
+        const SampleRef ref = block.At(i);
+        EXPECT_EQ(ref.ToWord(), samples[static_cast<size_t>(i)].word);
+        for (StateId s = 0; s < nfa.num_states(); ++s) {
+          EXPECT_EQ(ref.ProfileTest(s),
+                    samples[static_cast<size_t>(i)].reach.Test(s));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nfacount
