@@ -2,6 +2,7 @@
 //
 // Usage:
 //   nfa_cli count   <file.nfa|-(stdin)> <n> [eps] [delta] [seed]
+//   nfa_cli count   --load-state <ckpt> [--extend-to <n'>]
 //   nfa_cli lengths <file.nfa|-> <n> [eps] [delta] [seed]
 //   nfa_cli sample  <file.nfa|-> <n> <count> [seed]
 //   nfa_cli exact   <file.nfa|-> <n>
@@ -16,8 +17,27 @@
 //                      (0 = engine default; bit-identical for every value)
 //   --no-simd          force the scalar bitset kernels (process-wide) and
 //                      pin the sampling plane to them; identical results
+//   --json <path>      additionally write a machine-readable report of the
+//                      run (estimate, parameters, diagnostics, timing)
 //
-// File format: see src/automata/io.hpp.
+// Session flags (count command; see docs/ARCHITECTURE.md "Engine lifecycle
+// & incremental extension"):
+//   --horizon <H>      run as an EngineSession with parameters derived at
+//                      horizon H >= n (extendable later up to H)
+//   --save-state <p>   save the session as a binary checkpoint after the
+//                      query (implies a session; horizon defaults to n)
+//   --load-state <p>   resume a checkpoint instead of reading an NFA file;
+//                      eps/delta/seed come from the checkpoint, while
+//                      --threads/--batch-width/--no-simd apply as runtime
+//                      knobs (never changing any result)
+//   --extend-to <n'>   with --load-state: extend the resumed sweep to n'
+//                      (n' <= saved horizon) and answer at that length
+//
+// A session resumed from a checkpoint and extended produces bit-identical
+// output to an uninterrupted run at the same seed and horizon.
+//
+// File format: see src/automata/io.hpp; checkpoint format: see
+// docs/FILE_FORMATS.md "Session checkpoints (.ckpt)".
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +50,9 @@
 #include "automata/regex.hpp"
 #include "counting/exact.hpp"
 #include "fpras/fpras.hpp"
+#include "util/json.hpp"
 #include "util/simd.hpp"
+#include "util/timer.hpp"
 
 using namespace nfacount;
 
@@ -40,6 +62,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  nfa_cli count   <file|-> <n> [eps] [delta] [seed]\n"
+               "  nfa_cli count   --load-state <ckpt> [--extend-to <n'>]\n"
                "  nfa_cli lengths <file|-> <n> [eps] [delta] [seed]\n"
                "  nfa_cli sample  <file|-> <n> <count> [seed]\n"
                "  nfa_cli exact   <file|-> <n>\n"
@@ -48,9 +71,15 @@ int Usage() {
                "flags: --threads <k>      (0 = all hardware threads)\n"
                "       --batch-width <b>  lockstep sampling walks (0 = default)\n"
                "       --no-simd          force scalar bitset kernels\n"
+               "       --json <path>      machine-readable run report\n"
+               "       --horizon <H>      run count as a session sized for H\n"
+               "       --save-state <p>   write a session checkpoint\n"
+               "       --load-state <p>   resume a session checkpoint\n"
+               "       --extend-to <n'>   extend a resumed session to n'\n"
                "       --                 end of flags (later args positional)\n"
                "results are bit-identical for every --threads / --batch-width\n"
-               "value and with or without --no-simd\n");
+               "value, with or without --no-simd, and across checkpoint\n"
+               "save/resume boundaries\n");
   return 2;
 }
 
@@ -59,6 +88,11 @@ struct CliFlags {
   int num_threads = 1;
   int batch_width = 0;  ///< 0 = engine default
   bool no_simd = false;
+  int horizon = -1;     ///< -1 = not a session (unless other session flags)
+  int extend_to = -1;   ///< -1 = answer at the natural length
+  std::string json_path;
+  std::string save_state;
+  std::string load_state;
   bool malformed = false;
 };
 
@@ -84,6 +118,14 @@ std::vector<std::string> ExtractFlags(int argc, char** argv, CliFlags* flags) {
     }
     *out = static_cast<int>(parsed);
   };
+  auto parse_str = [&](int* i, std::string* out) {
+    if (*i + 1 >= argc) {
+      flags->malformed = true;
+      return;
+    }
+    *out = argv[++*i];
+    if (out->empty()) flags->malformed = true;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (!flags_ended && arg == "--") {
@@ -92,19 +134,25 @@ std::vector<std::string> ExtractFlags(int argc, char** argv, CliFlags* flags) {
     }
     if (!flags_ended && arg == "--threads") {
       parse_int(&i, &flags->num_threads, 1 << 20);
-      if (flags->malformed) return positional;
-      continue;
-    }
-    if (!flags_ended && arg == "--batch-width") {
+    } else if (!flags_ended && arg == "--batch-width") {
       parse_int(&i, &flags->batch_width, 1 << 20);
-      if (flags->malformed) return positional;
-      continue;
-    }
-    if (!flags_ended && arg == "--no-simd") {
+    } else if (!flags_ended && arg == "--no-simd") {
       flags->no_simd = true;
+    } else if (!flags_ended && arg == "--horizon") {
+      parse_int(&i, &flags->horizon, 1 << 20);
+    } else if (!flags_ended && arg == "--extend-to") {
+      parse_int(&i, &flags->extend_to, 1 << 20);
+    } else if (!flags_ended && arg == "--json") {
+      parse_str(&i, &flags->json_path);
+    } else if (!flags_ended && arg == "--save-state") {
+      parse_str(&i, &flags->save_state);
+    } else if (!flags_ended && arg == "--load-state") {
+      parse_str(&i, &flags->load_state);
+    } else {
+      positional.push_back(arg);
       continue;
     }
-    positional.push_back(arg);
+    if (flags->malformed) return positional;
   }
   return positional;
 }
@@ -123,14 +171,150 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Renders the run counters for --json reports.
+JsonObject DiagnosticsJson(const FprasDiagnostics& d) {
+  JsonObject o;
+  o.Set("appunion_calls", d.appunion_calls)
+      .Set("appunion_trials", d.appunion_trials)
+      .Set("membership_checks", d.membership_checks)
+      .Set("starvations", d.starvations)
+      .Set("memo_hits", d.memo_hits)
+      .Set("memo_misses", d.memo_misses)
+      .Set("sample_calls", d.sample_calls)
+      .Set("sample_success", d.sample_success)
+      .Set("fail_phi_gt_1", d.fail_phi_gt_1)
+      .Set("fail_bernoulli", d.fail_bernoulli)
+      .Set("fail_dead_branch", d.fail_dead_branch)
+      .Set("padded_words", d.padded_words)
+      .Set("perturbed_counts", d.perturbed_counts)
+      .Set("states_processed", d.states_processed)
+      .Set("walk_batches", d.walk_batches)
+      .Set("arena_bytes_reserved", d.arena_bytes_reserved)
+      .Set("arena_alloc_events", d.arena_alloc_events)
+      .Set("wall_seconds", d.wall_seconds);
+  return o;
+}
+
+/// Writes a --json report; empty path is a no-op, failures are fatal so a
+/// scripted pipeline never silently loses its output.
+int WriteJsonReport(const std::string& path, const JsonObject& report) {
+  if (path.empty()) return 0;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write --json file %s\n", path.c_str());
+    return 1;
+  }
+  const std::string body = report.Render() + "\n";
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != body.size() || !closed) {
+    std::fprintf(stderr, "error: short write on --json file %s\n",
+                 path.c_str());
+    std::remove(path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// The count command on the session path (--horizon / --save-state /
+/// --load-state / --extend-to): create or resume an EngineSession, extend it
+/// to the query length, answer, optionally persist.
+int RunSessionCount(const CliFlags& flags,
+                    const std::vector<std::string>& args) {
+  WallTimer timer;
+  Result<EngineSession> session = Status::Internal("unreachable");
+  int query_len = -1;
+
+  if (!flags.load_state.empty()) {
+    // Resume: the checkpoint carries the automaton and all derivation
+    // parameters; the CLI knobs apply as runtime-only overrides.
+    SessionKnobs knobs;
+    knobs.num_threads = flags.num_threads;
+    knobs.batch_width = flags.batch_width;
+    knobs.simd_kernels = !flags.no_simd;
+    session = EngineSession::Load(flags.load_state, &knobs);
+    if (!session.ok()) return Fail(session.status());
+    query_len = flags.extend_to >= 0 ? flags.extend_to
+                                     : session->computed_level();
+  } else {
+    // Fresh session: positional <file> <n> as in the plain count command,
+    // with the horizon defaulting to n.
+    if (args.size() < 3) return Usage();
+    Result<Nfa> nfa = LoadFromArg(args[1]);
+    if (!nfa.ok()) return Fail(nfa.status());
+    const int n = std::atoi(args[2].c_str());
+    CountOptions options;
+    options.num_threads = flags.num_threads;
+    options.batch_width = flags.batch_width;
+    options.simd_kernels = !flags.no_simd;
+    if (args.size() > 3) options.eps = std::atof(args[3].c_str());
+    if (args.size() > 4) options.delta = std::atof(args[4].c_str());
+    if (args.size() > 5) {
+      options.seed = std::strtoull(args[5].c_str(), nullptr, 10);
+    }
+    const int horizon = flags.horizon >= 0 ? flags.horizon : n;
+    if (horizon < n) {
+      std::fprintf(stderr, "error: --horizon must be >= n\n");
+      return 2;
+    }
+    session = EngineSession::Create(*nfa, horizon, options);
+    if (!session.ok()) return Fail(session.status());
+    query_len = flags.extend_to >= 0 ? flags.extend_to : n;
+  }
+
+  Result<double> estimate = session->CountAtLength(query_len);
+  if (!estimate.ok()) return Fail(estimate.status());
+  std::printf("%.6g\n", *estimate);
+
+  if (!flags.save_state.empty()) {
+    Status saved = session->Save(flags.save_state);
+    if (!saved.ok()) return Fail(saved);
+  }
+
+  const FprasDiagnostics& diag = session->diagnostics();
+  std::fprintf(stderr,
+               "# session horizon=%d computed=%d length=%d seed=%llu "
+               "threads=%d wall_ms=%.1f%s%s\n",
+               session->horizon(), session->computed_level(), query_len,
+               static_cast<unsigned long long>(session->seed()),
+               flags.num_threads, timer.ElapsedSeconds() * 1e3,
+               flags.save_state.empty() ? "" : " saved=",
+               flags.save_state.c_str());
+
+  JsonObject report;
+  report.Set("command", "count")
+      .Set("mode", flags.load_state.empty() ? "session" : "session-resume")
+      .Set("estimate", *estimate)
+      .Set("length", query_len)
+      .Set("horizon", session->horizon())
+      .Set("computed_level", session->computed_level())
+      .Set("eps", session->params().eps)
+      .Set("delta", session->params().delta)
+      .Set("seed", session->seed())
+      .Set("threads", flags.num_threads)
+      .Set("batch_width", session->params().ResolvedBatchWidth())
+      .Set("simd", !flags.no_simd)
+      .Set("wall_seconds", timer.ElapsedSeconds())
+      .SetRaw("diagnostics", DiagnosticsJson(diag).Render());
+  return WriteJsonReport(flags.json_path, report);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliFlags flags;
   const std::vector<std::string> args = ExtractFlags(argc, argv, &flags);
-  if (flags.malformed || args.size() < 2) return Usage();
+  const bool session_mode = !flags.load_state.empty() ||
+                            !flags.save_state.empty() || flags.horizon >= 0 ||
+                            flags.extend_to >= 0;
+  if (flags.malformed || args.empty()) return Usage();
   if (flags.no_simd) simd::SetForceScalar(true);
   const std::string& command = args[0];
+
+  // Only `count --load-state` may omit the positional <file> argument (the
+  // checkpoint carries the automaton); every other command needs it.
+  if (command == "count" && session_mode) return RunSessionCount(flags, args);
+  if (args.size() < 2) return Usage();
 
   if (command == "regex") {
     if (args.size() < 3) return Usage();
@@ -179,14 +363,41 @@ int main(int argc, char** argv) {
                    static_cast<long long>(r->diagnostics.memo_misses),
                    static_cast<long long>(r->diagnostics.arena_bytes_reserved),
                    static_cast<long long>(r->diagnostics.arena_alloc_events));
+      JsonObject report;
+      report.Set("command", "count")
+          .Set("mode", "one-shot")
+          .Set("estimate", r->estimate)
+          .Set("length", n)
+          .Set("eps", options.eps)
+          .Set("delta", options.delta)
+          .Set("seed", options.seed)
+          .Set("threads", options.num_threads)
+          .Set("batch_width", r->params.ResolvedBatchWidth())
+          .Set("simd", options.simd_kernels)
+          .Set("wall_seconds", r->diagnostics.wall_seconds)
+          .SetRaw("diagnostics", DiagnosticsJson(r->diagnostics).Render());
+      return WriteJsonReport(flags.json_path, report);
     } else {
       Result<std::vector<double>> r = ApproxCountAllLengths(*nfa, n, options);
       if (!r.ok()) return Fail(r.status());
+      std::string slices = "[";
       for (int len = 0; len <= n; ++len) {
         std::printf("%d %.6g\n", len, (*r)[len]);
+        if (len > 0) slices += ",";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", (*r)[len]);
+        slices += buf;
       }
+      slices += "]";
+      JsonObject report;
+      report.Set("command", "lengths")
+          .Set("n", n)
+          .Set("eps", options.eps)
+          .Set("delta", options.delta)
+          .Set("seed", options.seed)
+          .SetRaw("estimates", std::move(slices));
+      return WriteJsonReport(flags.json_path, report);
     }
-    return 0;
   }
 
   if (command == "sample") {

@@ -124,6 +124,32 @@ class SampleBlock {
                                 profiles_.capacity() * sizeof(uint64_t));
   }
 
+  /// The raw symbol slab (count() × word_len() entries) — checkpoint
+  /// serialization reads the block in its native flat form.
+  const std::vector<Symbol>& symbols_slab() const { return symbols_; }
+  /// The raw reach-profile slab (count() × profile_words() words).
+  const std::vector<uint64_t>& profiles_slab() const { return profiles_; }
+
+  /// Installs deserialized slab contents (checkpoint load): `symbols` must
+  /// hold count·word_len entries and `profiles` count·⌈profile_bits/64⌉
+  /// words. Returns InvalidArgument on any dimension mismatch, leaving the
+  /// block empty at the new strides.
+  Status Restore(int word_len, size_t profile_bits, int64_t count,
+                 std::vector<Symbol> symbols, std::vector<uint64_t> profiles) {
+    if (word_len < 0 || count < 0) {
+      return Status::Invalid("SampleBlock::Restore: negative dimension");
+    }
+    Reset(word_len, profile_bits);
+    if (symbols.size() != static_cast<size_t>(count) * word_len_ ||
+        profiles.size() != static_cast<size_t>(count) * profile_words_) {
+      return Status::Invalid("SampleBlock::Restore: slab size mismatch");
+    }
+    symbols_ = std::move(symbols);
+    profiles_ = std::move(profiles);
+    count_ = count;
+    return Status::Ok();
+  }
+
  private:
   int word_len_ = 0;
   size_t profile_words_ = 0;

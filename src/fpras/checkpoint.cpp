@@ -1,0 +1,427 @@
+#include "fpras/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "automata/io.hpp"
+
+namespace nfacount {
+
+namespace {
+
+// Preamble layout: 4 magic bytes, u32 version, u32 endianness marker. The
+// body is canonical little-endian regardless of host order; the marker exists
+// to reject files produced by a hypothetical writer emitting native
+// big-endian, with a clear message instead of a checksum mismatch.
+constexpr char kMagic[4] = {'N', 'F', 'C', 'K'};
+constexpr uint32_t kEndianMarker = 0x01020304u;
+constexpr size_t kPreambleBytes = 12;
+constexpr size_t kChecksumBytes = 8;
+
+uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Appends fixed-width little-endian primitives to a byte string.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Bytes(const void* data, size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+  void String(const std::string& s) {
+    U64(s.size());
+    buf_.append(s);
+  }
+
+  std::string& buffer() { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over a byte span; every overrun is a
+/// DataLoss status (a truncated file fails here, before any semantic check).
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Status U8(uint8_t* out) {
+    NFA_RETURN_NOT_OK(Need(1));
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return Status::Ok();
+  }
+  Status U32(uint32_t* out) {
+    NFA_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::Ok();
+  }
+  Status U64(uint64_t* out) {
+    NFA_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::Ok();
+  }
+  Status I32(int32_t* out) {
+    uint32_t v = 0;
+    NFA_RETURN_NOT_OK(U32(&v));
+    *out = static_cast<int32_t>(v);
+    return Status::Ok();
+  }
+  Status I64(int64_t* out) {
+    uint64_t v = 0;
+    NFA_RETURN_NOT_OK(U64(&v));
+    *out = static_cast<int64_t>(v);
+    return Status::Ok();
+  }
+  Status F64(double* out) {
+    uint64_t bits = 0;
+    NFA_RETURN_NOT_OK(U64(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::Ok();
+  }
+  Status Bytes(void* out, size_t size) {
+    NFA_RETURN_NOT_OK(Need(size));
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return Status::Ok();
+  }
+  Status String(std::string* out, size_t max_size) {
+    uint64_t size = 0;
+    NFA_RETURN_NOT_OK(U64(&size));
+    if (size > max_size) {
+      return Status::DataLoss("checkpoint: embedded string length corrupt");
+    }
+    NFA_RETURN_NOT_OK(Need(static_cast<size_t>(size)));
+    out->assign(data_ + pos_, static_cast<size_t>(size));
+    pos_ += static_cast<size_t>(size);
+    return Status::Ok();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  Status Need(size_t bytes) {
+    if (size_ - pos_ < bytes) {
+      return Status::DataLoss("checkpoint truncated: field overruns file");
+    }
+    return Status::Ok();
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void WriteParams(const FprasParams& p, ByteWriter* w) {
+  w->U32(static_cast<uint32_t>(p.schedule));
+  w->I32(p.m);
+  w->I32(p.n);
+  w->F64(p.eps);
+  w->F64(p.delta);
+  // Derived values are stored verbatim rather than re-derived on load:
+  // libm differences across platforms must not perturb a restored run.
+  w->F64(p.beta);
+  w->F64(p.eta);
+  w->I64(p.ns);
+  w->I64(p.xns);
+  w->F64(p.calibration.ns_scale);
+  w->F64(p.calibration.xns_log_scale);
+  w->F64(p.calibration.trial_scale);
+  w->I64(p.calibration.ns_floor);
+  w->I64(p.calibration.trial_floor);
+  w->F64(p.calibration.xns_multiplier_floor);
+  w->U8(p.perturb_support ? 1 : 0);
+  w->U8(p.memoize_unions ? 1 : 0);
+  w->U8(p.amortize_oracle ? 1 : 0);
+  w->U8(p.recycle_samples ? 1 : 0);
+  w->U8(p.csr_hot_path ? 1 : 0);
+  w->U8(p.simd_kernels ? 1 : 0);
+  w->I32(p.num_threads);
+  w->I32(p.batch_width);
+  w->I64(p.memo_capacity);
+}
+
+Status ReadParams(ByteReader* r, FprasParams* p) {
+  uint32_t schedule = 0;
+  NFA_RETURN_NOT_OK(r->U32(&schedule));
+  if (schedule > static_cast<uint32_t>(Schedule::kAcjr)) {
+    return Status::Invalid("checkpoint: unknown schedule id");
+  }
+  p->schedule = static_cast<Schedule>(schedule);
+  NFA_RETURN_NOT_OK(r->I32(&p->m));
+  NFA_RETURN_NOT_OK(r->I32(&p->n));
+  NFA_RETURN_NOT_OK(r->F64(&p->eps));
+  NFA_RETURN_NOT_OK(r->F64(&p->delta));
+  NFA_RETURN_NOT_OK(r->F64(&p->beta));
+  NFA_RETURN_NOT_OK(r->F64(&p->eta));
+  NFA_RETURN_NOT_OK(r->I64(&p->ns));
+  NFA_RETURN_NOT_OK(r->I64(&p->xns));
+  NFA_RETURN_NOT_OK(r->F64(&p->calibration.ns_scale));
+  NFA_RETURN_NOT_OK(r->F64(&p->calibration.xns_log_scale));
+  NFA_RETURN_NOT_OK(r->F64(&p->calibration.trial_scale));
+  NFA_RETURN_NOT_OK(r->I64(&p->calibration.ns_floor));
+  NFA_RETURN_NOT_OK(r->I64(&p->calibration.trial_floor));
+  NFA_RETURN_NOT_OK(r->F64(&p->calibration.xns_multiplier_floor));
+  uint8_t flag = 0;
+  NFA_RETURN_NOT_OK(r->U8(&flag));
+  p->perturb_support = flag != 0;
+  NFA_RETURN_NOT_OK(r->U8(&flag));
+  p->memoize_unions = flag != 0;
+  NFA_RETURN_NOT_OK(r->U8(&flag));
+  p->amortize_oracle = flag != 0;
+  NFA_RETURN_NOT_OK(r->U8(&flag));
+  p->recycle_samples = flag != 0;
+  NFA_RETURN_NOT_OK(r->U8(&flag));
+  p->csr_hot_path = flag != 0;
+  NFA_RETURN_NOT_OK(r->U8(&flag));
+  p->simd_kernels = flag != 0;
+  NFA_RETURN_NOT_OK(r->I32(&p->num_threads));
+  NFA_RETURN_NOT_OK(r->I32(&p->batch_width));
+  NFA_RETURN_NOT_OK(r->I64(&p->memo_capacity));
+  if (p->m < 1 || p->n < 0 || !(p->eps > 0.0) ||
+      !(p->delta > 0.0 && p->delta < 1.0) || p->ns < 1 || p->xns < p->ns) {
+    return Status::Invalid("checkpoint: parameter block fails validation");
+  }
+  // Allocation guards: engine construction sizes tables by these fields
+  // before any level data is read, so a crafted file must not be able to
+  // demand absurd allocations (the failure model is Status, not bad_alloc).
+  // 2^24 (q, ℓ) cells / 2^30 samples per cell are far beyond any session
+  // this loader's machine could have produced.
+  if (p->n > (1 << 24) ||
+      static_cast<int64_t>(p->m) * (static_cast<int64_t>(p->n) + 1) >
+          (int64_t{1} << 24) ||
+      p->ns > (int64_t{1} << 30)) {
+    return Status::Invalid("checkpoint: dimensions exceed loader limits");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializeSessionCheckpoint(const EngineSession& session) {
+  const FprasEngine& engine = session.engine();
+  const int m = session.nfa().num_states();
+  const int computed = session.computed_level();
+
+  ByteWriter w;
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.U32(kCheckpointVersion);
+  w.U32(kEndianMarker);
+
+  w.U64(session.seed());
+  WriteParams(session.params(), &w);
+  w.I32(computed);
+  w.I64(engine.draw_cursor());
+  w.String(NfaToText(session.nfa()));
+
+  for (int level = 0; level <= computed; ++level) {
+    const LevelState& state = engine.LevelStateAt(level);
+    for (int q = 0; q < m; ++q) {
+      const StateLevelData& cell = state.cells[static_cast<size_t>(q)];
+      w.F64(cell.count_estimate);
+      w.I64(cell.samples.count());
+      const std::vector<Symbol>& symbols = cell.samples.symbols_slab();
+      if (!symbols.empty()) {
+        w.Bytes(symbols.data(), symbols.size() * sizeof(Symbol));
+      }
+      const std::vector<uint64_t>& profiles = cell.samples.profiles_slab();
+      for (uint64_t word : profiles) w.U64(word);
+    }
+  }
+
+  w.U64(Fnv1a64(w.buffer().data(), w.buffer().size()));
+  return std::move(w.buffer());
+}
+
+Result<EngineSession> DeserializeSessionCheckpoint(const std::string& bytes,
+                                                   const SessionKnobs* knobs) {
+  if (bytes.size() < kPreambleBytes + kChecksumBytes) {
+    return Status::DataLoss("checkpoint truncated: shorter than preamble");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Invalid("not a session checkpoint (bad magic)");
+  }
+  ByteReader preamble(bytes.data() + sizeof(kMagic), 8);
+  uint32_t version = 0;
+  uint32_t endian = 0;
+  NFA_RETURN_NOT_OK(preamble.U32(&version));
+  NFA_RETURN_NOT_OK(preamble.U32(&endian));
+  if (version != kCheckpointVersion) {
+    return Status::Invalid("unsupported checkpoint version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kCheckpointVersion) + ")");
+  }
+  if (endian != kEndianMarker) {
+    return Status::Invalid(
+        "checkpoint byte order is not canonical little-endian");
+  }
+
+  const size_t body_size = bytes.size() - kChecksumBytes;
+  ByteReader tail(bytes.data() + body_size, kChecksumBytes);
+  uint64_t stored_sum = 0;
+  NFA_RETURN_NOT_OK(tail.U64(&stored_sum));
+  if (Fnv1a64(bytes.data(), body_size) != stored_sum) {
+    return Status::DataLoss("checkpoint integrity checksum mismatch");
+  }
+
+  ByteReader r(bytes.data() + kPreambleBytes,
+               body_size - kPreambleBytes);
+  uint64_t seed = 0;
+  NFA_RETURN_NOT_OK(r.U64(&seed));
+  FprasParams params;
+  NFA_RETURN_NOT_OK(ReadParams(&r, &params));
+  int32_t computed = 0;
+  NFA_RETURN_NOT_OK(r.I32(&computed));
+  int64_t draw_cursor = 0;
+  NFA_RETURN_NOT_OK(r.I64(&draw_cursor));
+  if (computed < 0 || computed > params.n) {
+    return Status::Invalid("checkpoint: computed level outside [0, horizon]");
+  }
+
+  std::string nfa_text;
+  NFA_RETURN_NOT_OK(r.String(&nfa_text, bytes.size()));
+  Result<Nfa> parsed = ParseNfaText(nfa_text);
+  if (!parsed.ok()) {
+    return Status::Invalid("checkpoint: embedded automaton unreadable: " +
+                           parsed.status().message());
+  }
+  auto nfa = std::make_unique<Nfa>(std::move(parsed).value());
+  if (nfa->num_states() != params.m) {
+    return Status::Invalid(
+        "checkpoint: automaton size disagrees with parameter block");
+  }
+
+  const int m = params.m;
+  const size_t profile_words = (static_cast<size_t>(m) + 63) / 64;
+  // Every serialized cell occupies at least 16 bytes (count estimate +
+  // sample count), so the claimed level range must fit the bytes actually
+  // present before anything is allocated for it.
+  if ((static_cast<uint64_t>(computed) + 1) * static_cast<uint64_t>(m) * 16 >
+      r.remaining()) {
+    return Status::DataLoss("checkpoint truncated: level data missing");
+  }
+  std::vector<LevelState> levels(static_cast<size_t>(computed) + 1);
+  for (int level = 0; level <= computed; ++level) {
+    LevelState& state = levels[static_cast<size_t>(level)];
+    state.level = level;
+    state.cells.resize(static_cast<size_t>(m));
+    for (int q = 0; q < m; ++q) {
+      StateLevelData& cell = state.cells[static_cast<size_t>(q)];
+      NFA_RETURN_NOT_OK(r.F64(&cell.count_estimate));
+      int64_t count = 0;
+      NFA_RETURN_NOT_OK(r.I64(&count));
+      // Bound the claimed sample count by the bytes remaining for this
+      // cell's slabs (level symbols + profile words per sample) before
+      // sizing any vector by it.
+      const uint64_t per_sample =
+          static_cast<uint64_t>(level) * sizeof(Symbol) +
+          profile_words * sizeof(uint64_t);
+      if (count < 0 ||
+          static_cast<uint64_t>(count) > r.remaining() / per_sample) {
+        return Status::DataLoss("checkpoint: sample count corrupt");
+      }
+      std::vector<Symbol> symbols(static_cast<size_t>(count) *
+                                  static_cast<size_t>(level));
+      if (!symbols.empty()) {
+        NFA_RETURN_NOT_OK(r.Bytes(symbols.data(),
+                                  symbols.size() * sizeof(Symbol)));
+      }
+      std::vector<uint64_t> profiles(static_cast<size_t>(count) *
+                                     profile_words);
+      for (uint64_t& word : profiles) {
+        NFA_RETURN_NOT_OK(r.U64(&word));
+      }
+      NFA_RETURN_NOT_OK(cell.samples.Restore(level, static_cast<size_t>(m),
+                                             count, std::move(symbols),
+                                             std::move(profiles)));
+    }
+  }
+  if (r.remaining() != 0) {
+    return Status::DataLoss("checkpoint: trailing bytes after level data");
+  }
+
+  if (knobs != nullptr) {
+    params.num_threads = knobs->num_threads;
+    params.batch_width = knobs->batch_width;
+    params.simd_kernels = knobs->simd_kernels;
+    params.csr_hot_path = knobs->csr_hot_path;
+  }
+  return EngineSession::Restore(std::move(nfa), params, seed, computed,
+                                std::move(levels), draw_cursor);
+}
+
+Status SaveSessionCheckpoint(const EngineSession& session,
+                             const std::string& path) {
+  const std::string bytes = SerializeSessionCheckpoint(session);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Invalid("cannot open checkpoint file for writing: " +
+                           path);
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !closed) {
+    std::remove(path.c_str());
+    return Status::DataLoss("short write while saving checkpoint: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<EngineSession> LoadSessionCheckpoint(const std::string& path,
+                                            const SessionKnobs* knobs) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open checkpoint file: " + path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::DataLoss("read error while loading checkpoint: " + path);
+  }
+  return DeserializeSessionCheckpoint(bytes, knobs);
+}
+
+}  // namespace nfacount

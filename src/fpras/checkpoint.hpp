@@ -1,0 +1,56 @@
+// Binary session checkpoints: persist an EngineSession's full computed state
+// (automaton, derived parameters, every computed LevelState, and the post-run
+// draw cursor) and restore it in another process, on another machine, or
+// under different runtime knobs — with bit-identical results.
+//
+// Format (docs/FILE_FORMATS.md "Session checkpoints (.ckpt)"): a fixed
+// preamble — magic "NFCK", format version, endianness marker — followed by a
+// canonical little-endian body and a trailing FNV-1a 64 integrity checksum.
+// The file is self-contained: the automaton rides along as its text
+// serialization (automata/io.hpp), so a checkpoint needs no side files.
+//
+// Failure model: every defect is a Status, never UB or a partial session —
+//   InvalidArgument  not a checkpoint (bad magic) / unsupported version /
+//                    non-canonical byte order / inconsistent dimensions
+//   DataLoss         truncated file or checksum mismatch (bit corruption)
+//
+// Deliberately NOT serialized: the union-size memo (a pure cache whose
+// entries are content-keyed — recomputation reproduces them exactly, so a
+// resumed session is merely cache-cold, never different) and the
+// diagnostics counters (a resumed session restarts them at zero).
+
+#ifndef NFACOUNT_FPRAS_CHECKPOINT_HPP_
+#define NFACOUNT_FPRAS_CHECKPOINT_HPP_
+
+#include <string>
+
+#include "fpras/session.hpp"
+
+namespace nfacount {
+
+/// Current checkpoint format version (bumped on any layout change; readers
+/// reject other versions rather than guessing).
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Serializes `session` to `path` (atomically overwrites on success is NOT
+/// guaranteed — write to a temp path and rename for that). The session's
+/// computed prefix, not the horizon, bounds the file size.
+Status SaveSessionCheckpoint(const EngineSession& session,
+                             const std::string& path);
+
+/// Restores a session saved by SaveSessionCheckpoint. `knobs`, when given,
+/// replaces the saved runtime knobs (threads, batch width, SIMD, layout) —
+/// the determinism contract makes this invisible in every result.
+Result<EngineSession> LoadSessionCheckpoint(const std::string& path,
+                                            const SessionKnobs* knobs = nullptr);
+
+/// In-memory variants (testing, alternative transports): the byte string is
+/// exactly the file contents.
+std::string SerializeSessionCheckpoint(const EngineSession& session);
+Result<EngineSession> DeserializeSessionCheckpoint(const std::string& bytes,
+                                                   const SessionKnobs* knobs =
+                                                       nullptr);
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_FPRAS_CHECKPOINT_HPP_

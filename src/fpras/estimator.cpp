@@ -153,21 +153,32 @@ const FprasDiagnostics& FprasEngine::diagnostics() const {
 }
 
 double FprasEngine::CountEstimateFor(StateId q, int level) const {
-  NFA_CHECK(ran_ok_, "CountEstimateFor requires a successful Run()");
+  NFA_CHECK(prepared_, "CountEstimateFor requires a prepared engine (Run)");
   NFA_CHECK(level >= 0 && level <= params_.n,
             "CountEstimateFor: level out of [0, n]");
+  NFA_CHECK(level <= computed_level_,
+            "CountEstimateFor: level not yet computed");
   NFA_CHECK(q >= 0 && q < nfa_->num_states(),
             "CountEstimateFor: state out of [0, m)");
-  return table_[level][q].count_estimate;
+  return levels_[level].cells[q].count_estimate;
 }
 
 const SampleBlock& FprasEngine::SampleBlockFor(StateId q, int level) const {
-  NFA_CHECK(ran_ok_, "SamplesFor requires a successful Run()");
+  NFA_CHECK(prepared_, "SamplesFor requires a prepared engine (Run)");
   NFA_CHECK(level >= 0 && level <= params_.n,
             "SamplesFor: level out of [0, n]");
+  NFA_CHECK(level <= computed_level_, "SamplesFor: level not yet computed");
   NFA_CHECK(q >= 0 && q < nfa_->num_states(),
             "SamplesFor: state out of [0, m)");
-  return table_[level][q].samples;
+  return levels_[level].cells[q].samples;
+}
+
+const LevelState& FprasEngine::LevelStateAt(int level) const {
+  NFA_CHECK(prepared_, "LevelStateAt requires a prepared engine (Run)");
+  NFA_CHECK(level >= 0 && level <= params_.n,
+            "LevelStateAt: level out of [0, n]");
+  NFA_CHECK(level <= computed_level_, "LevelStateAt: level not yet computed");
+  return levels_[level];
 }
 
 std::vector<StoredSample> FprasEngine::SamplesFor(StateId q, int level) const {
@@ -220,7 +231,7 @@ void FprasEngine::UnionSizesInto(int level, const Bitset& state_set,
     std::vector<PredecessorInput> inputs;
     inputs.reserve(preds.Count());
     preds.ForEachSet([&](int p) {
-      inputs.push_back(PredecessorInput{&table_[level - 1][p],
+      inputs.push_back(PredecessorInput{&levels_[level - 1].cells[p],
                                         static_cast<StateId>(p), nfa_,
                                         params_.amortize_oracle});
     });
@@ -253,7 +264,6 @@ void FprasEngine::RunWalkBatch(int level, const Bitset& state_set, double phi0,
   const int k = nfa_->alphabet_size();
   ar.BeginBatch(count, level, m_bits, k);
   ++ws.diag.walk_batches;
-  ws.diag.sample_calls += count;
 
   // All walks start in one group whose frontier is the target set.
   std::copy(state_set.words().data(), state_set.words().data() + row_words,
@@ -293,8 +303,10 @@ void FprasEngine::RunWalkBatch(int level, const Bitset& state_set, double phi0,
       const double total = ar.group_total[g];
       if (!(total > 0.0)) {
         // Every symbol slice estimated empty: reachable only through a
-        // perturbed/failed estimate; treat as rejection.
-        ++ws.diag.fail_dead_branch;
+        // perturbed/failed estimate; treat as rejection. Outcomes are staged
+        // per walk and folded into the diagnostics by the caller only for
+        // the attempts it consumes (ConsumeWalkDiagnostics).
+        ar.outcome_of[w] = SampleArena::kOutcomeDead;
         ar.state_of[w] = SampleArena::kDead;
         continue;
       }
@@ -343,23 +355,36 @@ void FprasEngine::RunWalkBatch(int level, const Bitset& state_set, double phi0,
     if (ar.state_of[w] != SampleArena::kAlive) continue;
     const uint64_t* row = ar.cur.Row(ar.group_of[w]);
     if (!((row[init >> 6] >> (init & 63)) & 1)) {
-      ++ws.diag.fail_dead_branch;
+      ar.outcome_of[w] = SampleArena::kOutcomeDead;
       ar.state_of[w] = SampleArena::kDead;
       continue;
     }
     if (ar.phi[w] > 1.0) {
-      ++ws.diag.fail_phi_gt_1;  // Fail1
+      ar.outcome_of[w] = SampleArena::kOutcomePhi;  // Fail1
       ar.state_of[w] = SampleArena::kDead;
       continue;
     }
     if (!ar.rng[w].Bernoulli(ar.phi[w])) {
-      ++ws.diag.fail_bernoulli;  // Fail2
+      ar.outcome_of[w] = SampleArena::kOutcomeBernoulli;  // Fail2
       ar.state_of[w] = SampleArena::kDead;
       continue;
     }
-    ++ws.diag.sample_success;
+    ar.outcome_of[w] = SampleArena::kOutcomeAccepted;
     ar.state_of[w] = SampleArena::kAccepted;
     ar.accepted.push_back(w);
+  }
+}
+
+void FprasEngine::ConsumeWalkDiagnostics(int consumed, WorkerScratch& ws) {
+  const SampleArena& ar = ws.arena;
+  ws.diag.sample_calls += consumed;
+  for (int w = 0; w < consumed; ++w) {
+    switch (ar.outcome_of[w]) {
+      case SampleArena::kOutcomeAccepted: ++ws.diag.sample_success; break;
+      case SampleArena::kOutcomePhi: ++ws.diag.fail_phi_gt_1; break;
+      case SampleArena::kOutcomeBernoulli: ++ws.diag.fail_bernoulli; break;
+      default: ++ws.diag.fail_dead_branch; break;
+    }
   }
 }
 
@@ -400,7 +425,7 @@ double FprasEngine::PerturbedCount(int level, Rng& rng) {
 }
 
 void FprasEngine::RefillSamples(StateId q, int level, WorkerScratch& ws) {
-  StateLevelData& slot = table_[level][q];
+  StateLevelData& slot = levels_[level].cells[q];
   slot.samples.Reset(level, static_cast<size_t>(nfa_->num_states()));
   slot.samples.Reserve(params_.ns);
   const double count = slot.count_estimate;
@@ -423,11 +448,19 @@ void FprasEngine::RefillSamples(StateId q, int level, WorkerScratch& ws) {
       RunWalkBatch(level, target, gamma0, walk_key, attempt, batch, ws);
       // Keep the first accepted walks in attempt order; surplus accepts in
       // the final batch are discarded (they would be the next sequential
-      // attempts' accepts, which a narrower batch never runs).
+      // attempts' accepts, which a narrower batch never runs). Diagnostics
+      // consume exactly through the attempt that fills S(q^ℓ) — the last
+      // attempt a batch_width = 1 run executes — so the per-walk counters
+      // are identical for every batch width.
+      int consumed = batch;
       for (int32_t w : ws.arena.accepted) {
-        if (slot.samples.count() >= params_.ns) break;
         AppendAcceptedWalk(level, w, ws, &slot.samples);
+        if (slot.samples.count() >= params_.ns) {
+          consumed = w + 1;
+          break;
+        }
       }
+      ConsumeWalkDiagnostics(consumed, ws);
       attempt += batch;
     }
   }
@@ -467,25 +500,37 @@ void FprasEngine::ProcessCell(StateId q, int level, WorkerScratch& ws) {
     total = PerturbedCount(level, cell_rng);  // lines 18-19
     ++ws.diag.perturbed_counts;
   }
-  table_[level][q].count_estimate = total;
+  levels_[level].cells[q].count_estimate = total;
   RefillSamples(q, level, ws);
   ++ws.diag.states_processed;
 }
 
-Status FprasEngine::RunLevel(int level, ThreadPool& pool) {
-  // Level barrier: every cell of level ℓ reads only the frozen ℓ−1 tables
-  // (the sampling walks descend strictly below ℓ) and writes only its
-  // own table_[ℓ][q] slot, so the cells are independent.
+Status FprasEngine::AdvanceLevel(ThreadPool& pool) {
+  // Level barrier: every cell of level ℓ reads only the frozen LevelState
+  // ℓ−1 (the sampling walks descend strictly below ℓ) and writes only its
+  // own levels_[ℓ].cells[q] slot, so the cells are independent.
+  const int level = computed_level_ + 1;
   const std::vector<int> states = unrolled_.ReachableAt(level).ToIndices();
-  return pool.ParallelFor(
+  NFA_RETURN_NOT_OK(pool.ParallelFor(
       static_cast<int64_t>(states.size()), [&](int64_t i, int worker) {
         ProcessCell(static_cast<StateId>(states[static_cast<size_t>(i)]),
                     level, workers_[static_cast<size_t>(worker)]);
         return Status::Ok();
-      });
+      }));
+  levels_[level].level = level;
+  computed_level_ = level;
+  if (computed_level_ == params_.n) {
+    // Final answer. Single accepting state: N(q_F^n) (Alg. 3 line 31).
+    // Multiple accepting states: |L(A_n)| = |∪_{f∈F} L(f^n)| via one more
+    // AppUnion over the accepting states' (S, N) pairs (footnote 1: the
+    // single final state assumption is WLOG). Content-keyed, so resumed
+    // and uninterrupted runs agree exactly.
+    final_estimate_ = EstimateUnionOfStates(nfa_->accepting(), params_.n);
+  }
+  return Status::Ok();
 }
 
-Status FprasEngine::Run() {
+Status FprasEngine::Prepare() {
   WallTimer timer;
   NFA_RETURN_NOT_OK(nfa_->Validate());
   // Validate the thread knob before allocating anything sized by it: an
@@ -499,7 +544,11 @@ Status FprasEngine::Run() {
       params_.batch_width > FprasParams::kMaxBatchWidth) {
     return Status::Invalid("batch_width must be in [0, 4096]");
   }
-  ran_ok_ = false;
+  prepared_ = false;
+  computed_level_ = -1;
+  final_estimate_ = 0.0;
+  run_wall_seconds_ = 0.0;
+  pool_.reset();
 
   const int n = params_.n;
   const int m = nfa_->num_states();
@@ -516,14 +565,16 @@ Status FprasEngine::Run() {
     ws.arena.PrepareRun(batch_width_, std::max(n, 1),
                         static_cast<size_t>(m), nfa_->alphabet_size());
   }
-  table_.assign(static_cast<size_t>(n) + 1,
-                std::vector<StateLevelData>(static_cast<size_t>(m)));
+  levels_.assign(static_cast<size_t>(n) + 1, LevelState{});
+  for (LevelState& state : levels_) {
+    state.cells.resize(static_cast<size_t>(m));
+  }
   memo_.Reset(params_.memo_capacity);
 
   // Level 0 (Alg. 3 lines 6-10): L(I⁰) = {λ}, everything else empty. The
   // sample list holds ns copies of λ — "uniform with replacement" from a
   // singleton language — so AppUnion cursors cannot starve at level 1.
-  StateLevelData& base = table_[0][nfa_->initial()];
+  StateLevelData& base = levels_[0].cells[nfa_->initial()];
   base.count_estimate = 1.0;
   base.samples.Reset(0, static_cast<size_t>(m));
   base.samples.Reserve(params_.ns);
@@ -534,39 +585,110 @@ Status FprasEngine::Run() {
     base.samples.AppendRepeat(nullptr, lambda_reach.words().data(),
                               params_.ns);
   }
+  levels_[0].level = 0;
+  computed_level_ = 0;
+  prepared_ = true;
+  if (params_.n == 0) {
+    // Degenerate horizon: the pipeline is already complete.
+    final_estimate_ = EstimateUnionOfStates(nfa_->accepting(), 0);
+  }
+  run_wall_seconds_ += timer.ElapsedSeconds();
+  return Status::Ok();
+}
 
-  {
-    ThreadPool pool(threads);
-    for (int level = 1; level <= n; ++level) {
-      NFA_RETURN_NOT_OK(RunLevel(level, pool));
+Status FprasEngine::RunToLevel(int target) {
+  if (!prepared_) {
+    return Status::FailedPrecondition("RunToLevel requires Prepare()");
+  }
+  if (target < 0 || target > params_.n) {
+    return Status::OutOfRange(
+        "RunToLevel: target level outside [0, horizon]; the horizon fixed "
+        "the parameter derivation at construction");
+  }
+  if (target <= computed_level_) return Status::Ok();
+  WallTimer timer;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(
+        ThreadPool::ResolveThreadCount(params_.num_threads));
+  }
+  while (computed_level_ < target) {
+    NFA_RETURN_NOT_OK(AdvanceLevel(*pool_));
+  }
+  run_wall_seconds_ += timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Status FprasEngine::Run() {
+  NFA_RETURN_NOT_OK(Prepare());
+  return RunToLevel(params_.n);
+}
+
+Status FprasEngine::RestoreComputedState(int computed_level,
+                                         std::vector<LevelState> levels,
+                                         int64_t draw_cursor) {
+  if (!prepared_) {
+    return Status::FailedPrecondition(
+        "RestoreComputedState requires Prepare()");
+  }
+  if (computed_level < 0 || computed_level > params_.n) {
+    return Status::OutOfRange(
+        "RestoreComputedState: computed level outside [0, horizon]");
+  }
+  if (levels.size() != static_cast<size_t>(computed_level) + 1) {
+    return Status::Invalid("RestoreComputedState: level count mismatch");
+  }
+  if (draw_cursor < 0) {
+    return Status::Invalid("RestoreComputedState: negative draw cursor");
+  }
+  const int m = nfa_->num_states();
+  const size_t profile_words = (static_cast<size_t>(m) + 63) / 64;
+  for (int level = 0; level <= computed_level; ++level) {
+    const LevelState& state = levels[static_cast<size_t>(level)];
+    if (state.level != level) {
+      return Status::Invalid("RestoreComputedState: level index mismatch");
+    }
+    if (state.cells.size() != static_cast<size_t>(m)) {
+      return Status::Invalid("RestoreComputedState: cell count mismatch");
+    }
+    for (const StateLevelData& cell : state.cells) {
+      if (cell.samples.count() > 0 &&
+          (cell.samples.word_len() != level ||
+           cell.samples.profile_words() != profile_words)) {
+        return Status::Invalid(
+            "RestoreComputedState: sample block stride mismatch");
+      }
     }
   }
-
-  // Final answer. Single accepting state: N(q_F^n) (Alg. 3 line 31).
-  // Multiple accepting states: |L(A_n)| = |∪_{f∈F} L(f^n)| via one more
-  // AppUnion over the accepting states' (S, N) pairs (footnote 1: the single
-  // final state assumption is WLOG).
-  ran_ok_ = true;
-  final_estimate_ = EstimateUnionOfStates(nfa_->accepting(), n);
-
-  run_wall_seconds_ = timer.ElapsedSeconds();
+  for (int level = 0; level <= computed_level; ++level) {
+    levels_[static_cast<size_t>(level)] =
+        std::move(levels[static_cast<size_t>(level)]);
+  }
+  computed_level_ = computed_level;
+  post_attempt_counter_ = draw_cursor;
+  if (computed_level_ == params_.n) {
+    final_estimate_ = EstimateUnionOfStates(nfa_->accepting(), params_.n);
+  }
   return Status::Ok();
 }
 
 double FprasEngine::EstimateUnionOfStates(const Bitset& targets, int level) {
-  NFA_CHECK(ran_ok_, "EstimateUnionOfStates requires a successful Run()");
+  NFA_CHECK(prepared_, "EstimateUnionOfStates requires a prepared engine");
+  NFA_CHECK(level >= 0 && level <= computed_level_,
+            "EstimateUnionOfStates: level not yet computed");
   Bitset alive = targets;
   alive &= unrolled_.ReachableAt(level);
   const size_t count = alive.Count();
   if (count == 0) return 0.0;
-  if (count == 1) return table_[level][alive.FirstSet()].count_estimate;
+  if (count == 1) return levels_[level].cells[alive.FirstSet()].count_estimate;
 
-  // Sequential post-barrier path: workers_[0] is free once RunLevel joined.
+  // Sequential post-barrier path: workers_[0] is free once the level
+  // barrier joined.
   WorkerScratch& ws = workers_[0];
   std::vector<PredecessorInput> inputs;
   alive.ForEachSet([&](int q) {
-    inputs.push_back(PredecessorInput{&table_[level][q], static_cast<StateId>(q),
-                                      nfa_, params_.amortize_oracle});
+    inputs.push_back(PredecessorInput{&levels_[level].cells[q],
+                                      static_cast<StateId>(q), nfa_,
+                                      params_.amortize_oracle});
   });
   std::vector<const PredecessorInput*> ptrs;
   ptrs.reserve(inputs.size());
@@ -588,9 +710,11 @@ double FprasEngine::EstimateUnionOfStates(const Bitset& targets, int level) {
 }
 
 double FprasEngine::EstimateAtLength(int level) {
-  NFA_CHECK(ran_ok_, "EstimateAtLength requires a successful Run()");
+  NFA_CHECK(prepared_, "EstimateAtLength requires a prepared engine (Run)");
   NFA_CHECK(level >= 0 && level <= params_.n,
             "EstimateAtLength: level out of [0, n]");
+  NFA_CHECK(level <= computed_level_,
+            "EstimateAtLength: level not yet computed");
   if (level == 0) {
     return nfa_->IsAccepting(nfa_->initial()) ? 1.0 : 0.0;
   }
@@ -600,10 +724,12 @@ double FprasEngine::EstimateAtLength(int level) {
 int64_t FprasEngine::SampleAcceptedInto(const Bitset& targets, int level,
                                         int64_t max_attempts,
                                         int64_t min_accepts,
-                                        std::vector<Word>* out) {
-  NFA_CHECK(ran_ok_, "SampleWord requires a successful Run()");
+                                        std::vector<Word>* out,
+                                        bool consume_exact) {
+  NFA_CHECK(prepared_, "SampleWord requires a prepared engine (Run)");
   NFA_CHECK(level >= 0 && level <= params_.n,
             "SampleWord: level out of [0, n]");
+  NFA_CHECK(level <= computed_level_, "SampleWord: level not yet computed");
   Bitset alive = targets;
   alive &= unrolled_.ReachableAt(level);
   if (alive.None()) return 0;
@@ -614,7 +740,8 @@ int64_t FprasEngine::SampleAcceptedInto(const Bitset& targets, int level,
   if (!(union_estimate > 0.0)) return 0;
   const double gamma0 = kGammaNumerator / union_estimate;
 
-  // Post-run draws run sequentially on worker slot 0 (RunLevel has joined).
+  // Post-run draws run sequentially on worker slot 0 (the level barrier has
+  // joined).
   WorkerScratch& ws = workers_[0];
   int64_t appended = 0;
   int64_t attempts_left = max_attempts;
@@ -623,12 +750,39 @@ int64_t FprasEngine::SampleAcceptedInto(const Bitset& targets, int level,
         static_cast<int>(std::min<int64_t>(batch_width_, attempts_left));
     RunWalkBatch(level, alive, gamma0, kDrawStreamTag, post_attempt_counter_,
                  batch, ws);
-    post_attempt_counter_ += batch;
-    attempts_left -= batch;
-    for (int32_t w : ws.arena.accepted) {
-      out->emplace_back(ws.arena.WordOf(w), ws.arena.WordOf(w) + level);
-      ++appended;
+    int consumed = batch;
+    if (consume_exact) {
+      // Exact mode: stop at the accept that satisfies the request; the
+      // cursor and budget advance only through it, so the walks after it
+      // are as if they never ran (a later call re-derives them from their
+      // per-attempt substreams, bit for bit).
+      for (int32_t w : ws.arena.accepted) {
+        out->emplace_back(ws.arena.WordOf(w), ws.arena.WordOf(w) + level);
+        ++appended;
+        if (appended >= min_accepts) {
+          consumed = w + 1;
+          break;
+        }
+      }
+    } else {
+      // Bulk mode: harvest every accept of the batch (the caller queues the
+      // surplus). A batch_width = 1 run serving the same number of draws
+      // executes exactly the attempts through this batch's last accept, so
+      // consuming up to there keeps the per-walk counters aligned across
+      // widths at every queue-drain point; trailing failures past the last
+      // accept of a satisfied harvest are speculative and uncounted.
+      for (int32_t w : ws.arena.accepted) {
+        out->emplace_back(ws.arena.WordOf(w), ws.arena.WordOf(w) + level);
+        ++appended;
+      }
+      if (appended >= min_accepts && !ws.arena.accepted.empty()) {
+        consumed = ws.arena.accepted.back() + 1;
+      }
     }
+    const int64_t advance = consume_exact ? consumed : batch;
+    post_attempt_counter_ += advance;
+    attempts_left -= advance;
+    ConsumeWalkDiagnostics(consumed, ws);
   }
   return appended;
 }

@@ -31,21 +31,33 @@
 // per-cell substreams make them thread-count-invariant.
 //
 // Concurrency model (docs/ARCHITECTURE.md "Concurrency model"): within level
-// ℓ every (q, ℓ) cell depends only on the frozen level ℓ−1 tables, so Run()
-// fans the cells of each level out over a fixed ThreadPool and joins at a
-// level barrier (RunLevel). Determinism does not come from execution order:
-// every cell draws from its own counter-based RNG substream
+// ℓ every (q, ℓ) cell depends only on the frozen level ℓ−1 tables, so the
+// sweep fans the cells of each level out over a fixed ThreadPool and joins at
+// a level barrier (AdvanceLevel). Determinism does not come from execution
+// order: every cell draws from its own counter-based RNG substream
 // (Rng::ForSubstream(seed, q, ℓ)), and every union-size estimation draws from
 // a substream keyed by its *content* (purpose, level, P-set). Estimates,
 // samples, and per-(q,ℓ) tables are therefore bit-identical for every
 // num_threads value, including 1; only scheduling-dependent counters (memo
 // hits/misses, appunion_calls) may differ between thread counts.
+//
+// Resumable pipeline (docs/ARCHITECTURE.md "Engine lifecycle & incremental
+// extension"): the per-(q,ℓ) table is organized as one LevelState object per
+// level, advanced strictly in level order by AdvanceLevel — a step that reads
+// only the frozen LevelState below it. Because every random draw is keyed by
+// content or by (q, ℓ) coordinates, the sweep can stop after any level and
+// resume later (RunToLevel), in another process (checkpoint restore via
+// RestoreComputedState), or with different num_threads / batch_width / SIMD
+// knobs, and still produce bit-identical tables, estimates, and post-run
+// draws to one uninterrupted Run(). EngineSession (fpras/session.hpp) is the
+// user-facing wrapper over this contract.
 
 #ifndef NFACOUNT_FPRAS_ESTIMATOR_HPP_
 #define NFACOUNT_FPRAS_ESTIMATOR_HPP_
 
 #include <array>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -75,12 +87,17 @@ struct FprasDiagnostics {
   int64_t starvations = 0;      ///< AppUnion Line-8 events
   int64_t memo_hits = 0;
   int64_t memo_misses = 0;
-  /// Candidate walks launched (Algorithm 2 attempts). A sample refill stops
-  /// at the end of the lockstep batch in which it filled, so this counter —
-  /// and the per-walk failure counters below — can include up to
-  /// batch_width−1 extra in-flight attempts per cell relative to a narrower
-  /// batch. They are still thread-count- and layout-invariant at a fixed
-  /// batch width; estimates/tables/samples are invariant to all three knobs.
+  /// Candidate walks launched (Algorithm 2 attempts), counted exactly per
+  /// consumed attempt: a lockstep batch may execute speculative walks past
+  /// the attempt that fills S(q^ℓ) (or past the accept that satisfies a
+  /// draw request), but those surplus walks are discarded unseen and are
+  /// NOT counted. Table-building refills and the session draw path
+  /// (SampleAcceptedInto's exact mode) therefore match what a sequential
+  /// batch_width = 1 run reports for every batch width, thread count, and
+  /// kernel table (asserted by tests/test_batch.cpp); WordSampler's bulk
+  /// harvests count every attempt through the final batch's last accept,
+  /// which agrees across widths whenever its queue has been drained. Only
+  /// walk_batches is inherently batch-shaped.
   int64_t sample_calls = 0;
   int64_t sample_success = 0;
   int64_t fail_phi_gt_1 = 0;    ///< Fail1: φ > 1 at the base (Alg. 2 line 5)
@@ -105,6 +122,20 @@ struct FprasDiagnostics {
 struct StateLevelData {
   double count_estimate = 0.0; ///< N(q^ℓ)
   SampleBlock samples;         ///< S(q^ℓ), count() == ns once filled
+};
+
+/// Everything one level of the unrolled DP contributes: the Inv-1 count
+/// estimates and Inv-2 sample multisets of every state copy q^ℓ. A
+/// LevelState is written exactly once (by the AdvanceLevel step that computes
+/// its level, or by a checkpoint restore) and is immutable afterwards —
+/// levels above it only read it. This is the unit of checkpoint
+/// serialization (fpras/checkpoint.hpp).
+struct LevelState {
+  int level = -1;                    ///< ℓ, or -1 when not yet computed
+  std::vector<StateLevelData> cells; ///< indexed by state id, size m
+
+  /// True once AdvanceLevel (or a restore) has produced this level.
+  bool computed() const { return level >= 0; }
 };
 
 /// Sharded, thread-safe cache of sample-context union-size vectors keyed by
@@ -164,10 +195,14 @@ class UnionSizeMemo {
   std::atomic<int64_t> misses_{0};
 };
 
-/// One full run of the FPRAS over a fixed (NFA, n). After Run() succeeds the
-/// engine exposes the estimate, the per-(q,ℓ) table (for invariant tests) and
-/// almost-uniform word sampling from any level set (the paper's uniform
-/// generation application).
+/// The FPRAS over a fixed (NFA, horizon n), organized as a resumable
+/// level-state pipeline. The classic one-shot entry point is Run(); the
+/// incremental surface is Prepare() + RunToLevel(ℓ), which advances the DP
+/// one LevelState at a time and may stop and resume anywhere — every query
+/// accessor works for any already-computed level, and RestoreComputedState()
+/// installs levels recovered from a binary checkpoint. All three paths
+/// produce bit-identical tables, estimates, and draws for the same
+/// (seed, params) point.
 class FprasEngine {
  public:
   /// The NFA must outlive the engine.
@@ -175,31 +210,72 @@ class FprasEngine {
 
   /// Executes Algorithm 3 over all levels, fanning each level's reachable
   /// cells out over params.num_threads workers (see the concurrency model in
-  /// the file comment). Idempotent (re-runs reset state).
+  /// the file comment). Idempotent (re-runs reset state). Equivalent to
+  /// Prepare() followed by RunToLevel(horizon()).
   Status Run();
 
+  /// Validates parameters, allocates the per-worker scratch and the level
+  /// table, and installs LevelState 0 (Alg. 3 lines 6-10: L(I⁰) = {λ}).
+  /// After success computed_level() == 0 and every query accessor is live
+  /// for level 0. Idempotent: calling it again resets the pipeline.
+  Status Prepare();
+
+  /// Advances the pipeline level by level until `target` is computed
+  /// (no-op when target <= computed_level()). Requires Prepare(); target
+  /// must be in [0, horizon()] or Status::OutOfRange is returned. Reaching
+  /// the horizon finalizes Estimate(). Splitting the sweep across any
+  /// sequence of RunToLevel calls — or across a checkpoint save/load — is
+  /// invisible in every estimate, table, and draw.
+  Status RunToLevel(int target);
+
+  /// Highest level whose LevelState is computed; -1 before Prepare().
+  int computed_level() const { return computed_level_; }
+
+  /// The maximum level this engine can compute (params().n): parameter
+  /// derivation fixed β, ns, xns for this horizon at construction.
+  int horizon() const { return params_.n; }
+
   /// Final estimate of |L(A_n)| (AppUnion over accepting states if |F| > 1).
+  /// 0.0 until the horizon level has been computed.
   double Estimate() const { return final_estimate_; }
 
-  /// Estimate of |L(A_ℓ)| for any ℓ ≤ n, from the same run: the DP maintains
-  /// AccurateN at every level, so per-length counts come for free (each
-  /// carries the same per-level (1±β)^ℓ ⊆ (1±ε) envelope). Run() must have
-  /// succeeded and `level` must be in [0, n] — violations abort via
-  /// NFA_CHECK instead of reading out of bounds.
+  /// Estimate of |L(A_ℓ)| for any computed ℓ: the DP maintains AccurateN at
+  /// every level, so per-length counts come for free (each carries the same
+  /// per-level (1±β)^ℓ ⊆ (1±ε) envelope). `level` must be in
+  /// [0, computed_level()] — violations abort via NFA_CHECK instead of
+  /// reading out of bounds.
   double EstimateAtLength(int level);
 
-  /// N(q^ℓ); 0 for unreachable copies. Run() must have succeeded; q and
+  /// N(q^ℓ); 0 for unreachable copies. The level must be computed; q and
   /// level are range-checked (NFA_CHECK).
   double CountEstimateFor(StateId q, int level) const;
 
   /// S(q^ℓ) materialized as StoredSamples (empty for unreachable copies) —
-  /// the invariant-test / inspection view of the flat block. Run() must have
-  /// succeeded; q and level are range-checked (NFA_CHECK).
+  /// the invariant-test / inspection view of the flat block. The level must
+  /// be computed; q and level are range-checked (NFA_CHECK).
   std::vector<StoredSample> SamplesFor(StateId q, int level) const;
 
   /// S(q^ℓ) in its native flat form (what the hot path reads). Same
   /// preconditions as SamplesFor.
   const SampleBlock& SampleBlockFor(StateId q, int level) const;
+
+  /// The whole computed LevelState of one level (checkpoint serialization
+  /// and structural tests). Same preconditions as SamplesFor.
+  const LevelState& LevelStateAt(int level) const;
+
+  /// Installs externally recovered levels 0..computed_level (checkpoint
+  /// load): levels[ℓ] must hold exactly m cells whose SampleBlocks carry
+  /// word length ℓ and this automaton's profile stride, and `draw_cursor`
+  /// restores the post-run attempt counter so resumed draw streams continue
+  /// where the saved session stopped. Requires a successful Prepare();
+  /// validation failures leave the engine prepared-at-level-0.
+  Status RestoreComputedState(int computed_level,
+                              std::vector<LevelState> levels,
+                              int64_t draw_cursor);
+
+  /// Next post-run sampling attempt id (the "RNG cursor" of the draw
+  /// streams): checkpoint state, advanced by SampleWord/SampleAcceptedInto.
+  int64_t draw_cursor() const { return post_attempt_counter_; }
 
   /// Draws one word almost-uniformly from ∪_{q ∈ targets} L(q^level) using
   /// Algorithm 2 against the tables built by Run(); nullopt = rejection
@@ -209,16 +285,33 @@ class FprasEngine {
 
   /// Batched post-run draws: launches candidate walks in lockstep batches of
   /// the engine's batch width until at least `min_accepts` walks accept (or
-  /// `max_attempts` walks have been tried), appending every accepted word of
-  /// the executed batches to `out` in attempt order. Returns the number
-  /// appended. Because each attempt draws from its own counter-keyed
-  /// substream, the concatenated word sequence across calls is bit-identical
-  /// for every batch width, thread count, and kernel table — batching only
-  /// changes how many accepted words one call harvests. Same preconditions
-  /// as SampleWord.
+  /// `max_attempts` walks have been tried), appending accepted words to
+  /// `out` in attempt order. Returns the number appended. Because each
+  /// attempt draws from its own counter-keyed substream, the appended
+  /// sequence is bit-identical for every batch width, thread count, and
+  /// kernel table. Two consumption modes govern what happens to the tail of
+  /// the final batch:
+  ///
+  /// - bulk (`consume_exact` false, the default): every accepted walk of
+  ///   every executed batch is appended (possibly more than `min_accepts`)
+  ///   and the draw cursor advances past all executed attempts. Callers
+  ///   that queue the surplus and serve it in order (WordSampler) keep a
+  ///   width-invariant draw stream while amortizing one union estimate
+  ///   over many draws.
+  /// - exact (`consume_exact` true): appending stops at the accept that
+  ///   satisfies `min_accepts`, and the cursor, the attempt budget, and the
+  ///   per-walk diagnostics advance only through that attempt — exactly a
+  ///   sequential batch_width = 1 run. Speculative later walks are
+  ///   discarded unseen and will be re-derived bit-identically if a later
+  ///   call reaches their attempt ids, so the draw stream is invariant
+  ///   across batch widths even for arbitrary call/length interleavings
+  ///   (the EngineSession contract).
+  ///
+  /// Same preconditions as SampleWord.
   int64_t SampleAcceptedInto(const Bitset& targets, int level,
                              int64_t max_attempts, int64_t min_accepts,
-                             std::vector<Word>* out);
+                             std::vector<Word>* out,
+                             bool consume_exact = false);
 
   /// Convenience: almost-uniform word from L(A_n) (accepting states at n).
   std::optional<Word> SampleAcceptedWord();
@@ -233,7 +326,7 @@ class FprasEngine {
 
  private:
   /// Per-worker scratch bundle: everything a cell computation mutates other
-  /// than its own table_[ℓ][q] slot. One instance per ThreadPool worker slot
+  /// than its own levels_[ℓ].cells[q] slot. One instance per ThreadPool worker slot
   /// keeps the hot path allocation-free and race-free under concurrency.
   struct WorkerScratch {
     Bitset pred_scratch;          ///< PredSetInto target (UnionSizes)
@@ -278,18 +371,27 @@ class FprasEngine {
   void AppendAcceptedWalk(int level, int walk, WorkerScratch& ws,
                           SampleBlock* block);
 
+  /// Folds the outcomes of the first `consumed` walks of the last
+  /// RunWalkBatch into ws.diag (sample_calls, sample_success, fail_*).
+  /// Callers pass exactly the attempts a sequential batch_width = 1 run
+  /// would have executed, which is what makes the per-walk counters
+  /// batch-width-exact (see FprasDiagnostics::sample_calls).
+  void ConsumeWalkDiagnostics(int consumed, WorkerScratch& ws);
+
   /// Refills S(q^ℓ) with up to xns lockstep attempts, padding to ns
   /// (Alg. 3 lines 20-30).
   void RefillSamples(StateId q, int level, WorkerScratch& ws);
 
   /// One (q, ℓ) cell of Algorithm 3 (lines 12-30): count union, perturbation
   /// branch, sample refill. Reads only level ℓ−1 tables; writes only
-  /// table_[ℓ][q] and `ws`.
+  /// levels_[ℓ].cells[q] and `ws`.
   void ProcessCell(StateId q, int level, WorkerScratch& ws);
 
-  /// Fans the reachable cells of one level over the pool and joins (the
-  /// level barrier).
-  Status RunLevel(int level, ThreadPool& pool);
+  /// One pipeline step: computes LevelState computed_level_+1 by fanning its
+  /// reachable cells over the pool and joining (the level barrier), reading
+  /// only the frozen LevelState below, then advances the cursor. Reaching
+  /// the horizon finalizes final_estimate_.
+  Status AdvanceLevel(ThreadPool& pool);
 
   double PerturbedCount(int level, Rng& rng);
 
@@ -312,14 +414,21 @@ class FprasEngine {
   const simd::BitsetKernels* kernels_ = nullptr;
   int batch_width_ = FprasParams::kDefaultBatchWidth;  ///< resolved by Run()
   /// Worker slot scratch; workers_[i] is owned by pool worker slot i during
-  /// RunLevel, and workers_[0] serves the sequential post-run API.
+  /// AdvanceLevel, and workers_[0] serves the sequential post-run API.
   std::vector<WorkerScratch> workers_;
-  std::vector<std::vector<StateLevelData>> table_;  // [level][state]
+  /// Lazily-created level-sweep pool, reused across every RunToLevel call of
+  /// one prepared run (incremental extensions must not respawn threads per
+  /// step). Reset by Prepare(); idle (condition-wait) between sweeps.
+  std::unique_ptr<ThreadPool> pool_;
+  /// The pipeline: levels_[ℓ] is frozen once computed (ℓ <= computed_level_).
+  std::vector<LevelState> levels_;
+  /// Highest computed level; -1 until Prepare() installs level 0.
+  int computed_level_ = -1;
   UnionSizeMemo memo_;  ///< sample-context union sizes, shared across workers
   double final_estimate_ = 0.0;
   double run_wall_seconds_ = 0.0;
   mutable FprasDiagnostics diag_;  ///< diagnostics() merge target
-  bool ran_ok_ = false;
+  bool prepared_ = false;  ///< Prepare() succeeded (accessor precondition)
 };
 
 // ---------------------------------------------------------------------------

@@ -17,6 +17,7 @@ void SampleArena::PrepareRun(int max_batch, int max_word_len, size_t bits,
   Ensure(group_of, static_cast<size_t>(b));
   Ensure(next_group_of, static_cast<size_t>(b));
   Ensure(state_of, static_cast<size_t>(b));
+  Ensure(outcome_of, static_cast<size_t>(b));
   Ensure(group_total, static_cast<size_t>(b));
   Ensure(group_ready, static_cast<size_t>(b));
   Ensure(child_of, static_cast<size_t>(b) * alphabet_size);
@@ -52,6 +53,7 @@ void SampleArena::BeginBatch(int batch, int word_len, size_t bits,
   Ensure(group_of, static_cast<size_t>(batch));
   Ensure(next_group_of, static_cast<size_t>(batch));
   Ensure(state_of, static_cast<size_t>(batch));
+  Ensure(outcome_of, static_cast<size_t>(batch));
   Ensure(group_total, static_cast<size_t>(batch));
   Ensure(group_ready, static_cast<size_t>(batch));
   Ensure(child_of, static_cast<size_t>(batch) * alphabet_size);
@@ -68,7 +70,8 @@ int64_t SampleArena::bytes_reserved() const {
                                  child_of.capacity() + accepted.capacity()) *
                                 sizeof(int32_t));
   total += static_cast<int64_t>(
-      (state_of.capacity() + group_ready.capacity()) * sizeof(uint8_t));
+      (state_of.capacity() + outcome_of.capacity() + group_ready.capacity()) *
+      sizeof(uint8_t));
   total += static_cast<int64_t>(group_total.capacity() * sizeof(double));
   for (const auto& sizes : group_sizes) {
     total += static_cast<int64_t>(sizes.capacity() * sizeof(double));

@@ -76,6 +76,15 @@ class SampleArena {
   static constexpr uint8_t kDead = 1;
   static constexpr uint8_t kAccepted = 2;
 
+  /// Per-walk outcome codes (outcome_of values), staged by the sweep and
+  /// folded into the engine diagnostics only for the attempts the caller
+  /// actually consumes — the mechanism that keeps the per-walk counters
+  /// exact for every batch width.
+  static constexpr uint8_t kOutcomeAccepted = 0;  ///< base-case accept
+  static constexpr uint8_t kOutcomePhi = 1;       ///< Fail1: φ > 1
+  static constexpr uint8_t kOutcomeBernoulli = 2; ///< Fail2: ⊥ at the base
+  static constexpr uint8_t kOutcomeDead = 3;      ///< dead branch mid-walk
+
   /// One-time (per Run) sizing for batches of up to `max_batch` walks over
   /// words of length up to `max_word_len` and frontiers of `bits` bits.
   void PrepareRun(int max_batch, int max_word_len, size_t bits,
@@ -111,6 +120,7 @@ class SampleArena {
   std::vector<int32_t> group_of;    ///< current group id per walk
   std::vector<int32_t> next_group_of;
   std::vector<uint8_t> state_of;    ///< kAlive / kDead / kAccepted
+  std::vector<uint8_t> outcome_of;  ///< kOutcome* fate per walk
   std::vector<int32_t> accepted;    ///< accepted walk ids, attempt order
 
   // Per-group state at the current level, indexed by group id.

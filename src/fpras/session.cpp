@@ -1,0 +1,131 @@
+#include "fpras/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "fpras/checkpoint.hpp"
+
+namespace nfacount {
+
+namespace {
+
+/// Rejection budget per requested draw (matches SamplerOptions' default:
+/// well beyond the Theorem 2(2) bound, so exhausting it indicates
+/// inaccurate tables rather than bad luck).
+constexpr int64_t kAttemptsPerDraw = 4096;
+
+}  // namespace
+
+Result<EngineSession> EngineSession::Create(const Nfa& nfa, int horizon,
+                                            const CountOptions& options) {
+  NFA_RETURN_NOT_OK(nfa.Validate());
+  if (horizon < 0) return Status::Invalid("horizon must be >= 0");
+
+  FprasParams params;
+  NFA_ASSIGN_OR_RETURN(
+      params, FprasParams::Make(options.schedule, nfa.num_states(), horizon,
+                                options.eps, options.delta,
+                                options.calibration));
+  params.perturb_support = options.perturb_support;
+  params.memoize_unions = options.memoize_unions;
+  params.amortize_oracle = options.amortize_oracle;
+  params.recycle_samples = options.recycle_samples;
+  params.csr_hot_path = options.csr_hot_path;
+  params.num_threads = options.num_threads;
+  params.batch_width = options.batch_width;
+  params.simd_kernels = options.simd_kernels;
+
+  auto owned = std::make_unique<Nfa>(nfa);
+  auto engine =
+      std::make_unique<FprasEngine>(owned.get(), params, options.seed);
+  NFA_RETURN_NOT_OK(engine->Prepare());
+  return EngineSession(std::move(owned), std::move(engine), options.seed);
+}
+
+Result<EngineSession> EngineSession::Restore(std::unique_ptr<Nfa> nfa,
+                                             const FprasParams& params,
+                                             uint64_t seed, int computed_level,
+                                             std::vector<LevelState> levels,
+                                             int64_t draw_cursor) {
+  if (nfa == nullptr) return Status::Invalid("Restore: null automaton");
+  NFA_RETURN_NOT_OK(nfa->Validate());
+  if (params.m != nfa->num_states()) {
+    return Status::Invalid("Restore: params.m does not match the automaton");
+  }
+  auto engine = std::make_unique<FprasEngine>(nfa.get(), params, seed);
+  NFA_RETURN_NOT_OK(engine->Prepare());
+  NFA_RETURN_NOT_OK(engine->RestoreComputedState(
+      computed_level, std::move(levels), draw_cursor));
+  return EngineSession(std::move(nfa), std::move(engine), seed);
+}
+
+Status EngineSession::CheckLength(int length) const {
+  if (length < 0) return Status::Invalid("length must be >= 0");
+  if (length > horizon()) {
+    return Status::OutOfRange(
+        "length exceeds the session horizon; the horizon fixed the "
+        "parameter derivation — create a session with a larger horizon");
+  }
+  return Status::Ok();
+}
+
+Status EngineSession::ExtendTo(int level) {
+  NFA_RETURN_NOT_OK(CheckLength(level));
+  return engine_->RunToLevel(level);
+}
+
+Result<double> EngineSession::CountAtLength(int length) {
+  NFA_RETURN_NOT_OK(ExtendTo(length));
+  return engine_->EstimateAtLength(length);
+}
+
+Result<double> EngineSession::CountFor(StateId q, int length) {
+  NFA_RETURN_NOT_OK(ExtendTo(length));
+  if (q < 0 || q >= nfa_->num_states()) {
+    return Status::Invalid("CountFor: state out of [0, m)");
+  }
+  return engine_->CountEstimateFor(q, length);
+}
+
+Result<std::vector<Word>> EngineSession::SampleWords(int length,
+                                                     int64_t count) {
+  NFA_RETURN_NOT_OK(ExtendTo(length));
+  if (count < 0) return Status::Invalid("SampleWords: count must be >= 0");
+  std::vector<Word> out;
+  if (count == 0) return out;
+  if (length == 0) {
+    if (!nfa_->IsAccepting(nfa_->initial())) {
+      return Status::NotFound("L(A_0) is empty");
+    }
+    out.assign(static_cast<size_t>(count), Word{});
+    return out;
+  }
+  if (!(engine_->EstimateAtLength(length) > 0.0)) {
+    return Status::NotFound("language estimated empty at this length");
+  }
+  out.reserve(static_cast<size_t>(count));
+  // Exact consumption: the draw cursor advances only through the accept
+  // that completes the request, so the concatenation of all SampleWords
+  // results — across any interleaving of lengths, extensions, checkpoint
+  // save/resume boundaries, and runtime-knob changes — is one deterministic
+  // sequence (see FprasEngine::SampleAcceptedInto).
+  const int64_t appended = engine_->SampleAcceptedInto(
+      nfa_->accepting(), length, kAttemptsPerDraw * count, count, &out,
+      /*consume_exact=*/true);
+  if (appended < count) {
+    return Status::ResourceExhausted(
+        "sampling attempts exhausted; tables likely inaccurate");
+  }
+  return out;
+}
+
+Status EngineSession::Save(const std::string& path) const {
+  return SaveSessionCheckpoint(*this, path);
+}
+
+Result<EngineSession> EngineSession::Load(const std::string& path,
+                                          const SessionKnobs* knobs) {
+  return LoadSessionCheckpoint(path, knobs);
+}
+
+}  // namespace nfacount

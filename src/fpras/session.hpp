@@ -1,0 +1,143 @@
+// EngineSession — the incremental, multi-query surface over the resumable
+// LevelState pipeline (fpras/estimator.hpp).
+//
+// Algorithm 3's invariants make every prefix of a run reusable: after the
+// sweep has computed levels 0..ℓ, the Inv-1 count estimates answer |L(A_j)|
+// for every j ≤ ℓ and the Inv-2 sample multisets serve almost-uniform word
+// draws at every j ≤ ℓ — and computing level ℓ+1 needs only level ℓ. A
+// session therefore amortizes one expensive sweep across many queries:
+//
+//   auto session = EngineSession::Create(nfa, /*horizon=*/64, options);
+//   session->CountAtLength(16);   // runs levels 1..16, answers
+//   session->CountAtLength(12);   // already computed: O(1) + one union
+//   session->SampleWords(16, 10); // draws against the same tables
+//   session->CountAtLength(32);   // extends 17..32 — no recomputation
+//   session->Save("run.ckpt");    // binary checkpoint (fpras/checkpoint.hpp)
+//
+// The horizon fixes the parameter derivation (β = ε/4n², ns, xns are
+// functions of n): every answer the session ever gives carries the accuracy
+// envelope of a fresh ApproxCount at the horizon, and extension past the
+// horizon is refused rather than silently degrading the guarantee.
+//
+// Determinism contract (inherited from the engine's content-keyed RNG
+// substreams): a session extended incrementally, resumed from a checkpoint —
+// even on different num_threads / batch_width / SIMD / layout knobs — and a
+// fresh uninterrupted run at the same (nfa, horizon, eps, delta, schedule,
+// calibration, seed) produce bit-identical estimates, per-(q,ℓ) tables, and
+// draw sequences (tests/test_session.cpp, tests/test_checkpoint.cpp).
+
+#ifndef NFACOUNT_FPRAS_SESSION_HPP_
+#define NFACOUNT_FPRAS_SESSION_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpras/estimator.hpp"
+
+namespace nfacount {
+
+/// Runtime-only knobs that may be changed when resuming a session (they can
+/// never change a result — only wall-clock time): worker threads, lockstep
+/// batch width, kernel table, and transition layout.
+struct SessionKnobs {
+  int num_threads = 1;       ///< see FprasParams::num_threads
+  int batch_width = 0;       ///< see FprasParams::batch_width (0 = default)
+  bool simd_kernels = true;  ///< see FprasParams::simd_kernels
+  bool csr_hot_path = true;  ///< see FprasParams::csr_hot_path
+};
+
+class EngineSession;
+
+/// Forward declaration of the checkpoint loader (fpras/checkpoint.hpp).
+Result<EngineSession> LoadSessionCheckpoint(const std::string& path,
+                                            const SessionKnobs* knobs);
+
+/// A long-lived FPRAS run serving count and sampling queries at any computed
+/// length, extensible level by level up to its horizon, and persistable as a
+/// binary checkpoint. Owns a private copy of the automaton, so the session
+/// (and its checkpoints) are self-contained. Movable, not copyable.
+class EngineSession {
+ public:
+  /// Builds a session for `nfa` with parameters derived at `horizon` and
+  /// computes level 0 only — level sweeps run lazily on the first query or
+  /// ExtendTo. All CountOptions fields apply (eps, delta, schedule,
+  /// calibration, seed, behavior flags, threads/batch/simd).
+  static Result<EngineSession> Create(const Nfa& nfa, int horizon,
+                                      const CountOptions& options);
+
+  /// Advances the level sweep until `level` is computed; no-op when already
+  /// there. OutOfRange when level exceeds the horizon (the parameter
+  /// derivation cannot be extended in place — create a session with a larger
+  /// horizon instead).
+  Status ExtendTo(int level);
+
+  /// (ε,δ)-estimate of |L(A_length)| — extends the sweep as needed. Every
+  /// length shares the horizon's accuracy envelope.
+  Result<double> CountAtLength(int length);
+
+  /// N(q^length), the per-state count estimate (0 for unreachable copies);
+  /// extends the sweep as needed.
+  Result<double> CountFor(StateId q, int length);
+
+  /// Draws `count` almost-uniform words from L(A_length), extending the
+  /// sweep as needed. Consumes the session's counter-keyed draw streams, so
+  /// the concatenation of all SampleWords results is one deterministic
+  /// sequence — checkpoint save/restore continues it seamlessly. NotFound
+  /// when the language at this length is estimated empty; ResourceExhausted
+  /// when the per-draw rejection budget is exceeded (inaccurate tables).
+  Result<std::vector<Word>> SampleWords(int length, int64_t count);
+
+  /// Writes the full session state to `path` as a versioned binary
+  /// checkpoint (see docs/FILE_FORMATS.md "Session checkpoints").
+  Status Save(const std::string& path) const;
+
+  /// Restores a session from a checkpoint written by Save(). The optional
+  /// `knobs` override the saved runtime knobs (results are knob-invariant).
+  static Result<EngineSession> Load(const std::string& path,
+                                    const SessionKnobs* knobs = nullptr);
+
+  /// Rebuilds a session from already-deserialized parts (the checkpoint
+  /// loader's entry point; usable by any other storage backend). Validates
+  /// via FprasEngine::RestoreComputedState.
+  static Result<EngineSession> Restore(std::unique_ptr<Nfa> nfa,
+                                       const FprasParams& params,
+                                       uint64_t seed, int computed_level,
+                                       std::vector<LevelState> levels,
+                                       int64_t draw_cursor);
+
+  /// Highest level computed so far (0 right after Create).
+  int computed_level() const { return engine_->computed_level(); }
+  /// The immutable maximum level of this session.
+  int horizon() const { return engine_->horizon(); }
+  /// The session's private automaton copy.
+  const Nfa& nfa() const { return *nfa_; }
+  /// Fully derived parameters (fixed at the horizon).
+  const FprasParams& params() const { return engine_->params(); }
+  /// Seed of the whole randomized session.
+  uint64_t seed() const { return seed_; }
+  /// Counters accumulated over every extension and draw so far. Not part of
+  /// checkpoints: a resumed session restarts its counters at zero.
+  const FprasDiagnostics& diagnostics() const {
+    return engine_->diagnostics();
+  }
+  /// The underlying engine (table inspection, invariant tests).
+  const FprasEngine& engine() const { return *engine_; }
+
+ private:
+  EngineSession(std::unique_ptr<Nfa> nfa,
+                std::unique_ptr<FprasEngine> engine, uint64_t seed)
+      : nfa_(std::move(nfa)), engine_(std::move(engine)), seed_(seed) {}
+
+  /// Validates a query length against the horizon as Status (the session
+  /// surface reports misuse as errors, not NFA_CHECK aborts).
+  Status CheckLength(int length) const;
+
+  std::unique_ptr<Nfa> nfa_;         ///< owned copy; engine_ points into it
+  std::unique_ptr<FprasEngine> engine_;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_FPRAS_SESSION_HPP_

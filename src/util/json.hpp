@@ -1,0 +1,96 @@
+// Minimal JSON rendering for machine-readable outputs: bench trajectory
+// files (BENCH_*.json via bench/bench_common.hpp) and the CLI's --json
+// reports (examples/nfa_cli.cpp). Write-only by design — the library never
+// parses JSON — and dependency-free so any layer can emit a report.
+
+#ifndef NFACOUNT_UTIL_JSON_HPP_
+#define NFACOUNT_UTIL_JSON_HPP_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nfacount {
+
+/// Ordered key → value list rendered as one JSON object. Insertion order is
+/// preserved so reruns diff cleanly. Values are pre-rendered; use the typed
+/// Set overloads (strings are escaped, doubles round-trip via %.17g).
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value) {
+    return SetRaw(key, Quote(value));
+  }
+  JsonObject& Set(const std::string& key, const char* value) {
+    return SetRaw(key, Quote(value));
+  }
+  JsonObject& Set(const std::string& key, double value) {
+    // JSON has no inf/nan literals; a sub-resolution timer can produce an
+    // infinite ratio — emit null so the file stays parseable.
+    if (!std::isfinite(value)) return SetRaw(key, "null");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return SetRaw(key, buf);
+  }
+  JsonObject& Set(const std::string& key, int64_t value) {
+    return SetRaw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, int value) {
+    return SetRaw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, uint64_t value) {
+    return SetRaw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, bool value) {
+    return SetRaw(key, value ? "true" : "false");
+  }
+  /// Inserts an already-rendered JSON value (nested object/array).
+  JsonObject& SetRaw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+
+  bool empty() const { return fields_.empty(); }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += Quote(fields_[i].first) + ":" + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Renders `s` as a JSON string literal (escapes quotes and controls).
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_UTIL_JSON_HPP_

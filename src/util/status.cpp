@@ -27,6 +27,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kNotFound:           return "NotFound";
     case StatusCode::kUnimplemented:      return "Unimplemented";
     case StatusCode::kInternal:           return "Internal";
+    case StatusCode::kDataLoss:           return "DataLoss";
   }
   return "Unknown";
 }

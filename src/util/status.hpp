@@ -22,6 +22,9 @@ enum class StatusCode {
   kNotFound,
   kUnimplemented,
   kInternal,
+  /// Stored data is unreadable: truncated, corrupted, or failing its
+  /// integrity checksum (checkpoint files, serialized state).
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -59,6 +62,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -13,12 +13,14 @@
 #include "automata/generators.hpp"
 #include "fpras/fpras.hpp"
 #include "test_seed.hpp"
+#include "test_tables.hpp"
 #include "util/rng.hpp"
 #include "util/simd.hpp"
 
 namespace nfacount {
 namespace {
 
+using testing_support::ExpectTablesIdentical;
 using testing_support::TestSeed;
 
 CountOptions BatchOpts(uint64_t seed, int batch_width) {
@@ -28,27 +30,6 @@ CountOptions BatchOpts(uint64_t seed, int batch_width) {
   o.seed = seed;
   o.batch_width = batch_width;
   return o;
-}
-
-// Full per-(q,ℓ) table equality between two engines (counts, words,
-// profiles), bit for bit.
-void ExpectTablesIdentical(const FprasEngine& a, const FprasEngine& b,
-                          const Nfa& nfa, int n) {
-  for (int level = 0; level <= n; ++level) {
-    for (StateId q = 0; q < nfa.num_states(); ++q) {
-      EXPECT_EQ(a.CountEstimateFor(q, level), b.CountEstimateFor(q, level))
-          << "q=" << q << " level=" << level;
-      const auto sa = a.SamplesFor(q, level);
-      const auto sb = b.SamplesFor(q, level);
-      ASSERT_EQ(sa.size(), sb.size()) << "q=" << q << " level=" << level;
-      for (size_t i = 0; i < sa.size(); ++i) {
-        EXPECT_EQ(sa[i].word, sb[i].word)
-            << "q=" << q << " level=" << level << " i=" << i;
-        EXPECT_EQ(sa[i].reach, sb[i].reach)
-            << "q=" << q << " level=" << level << " i=" << i;
-      }
-    }
-  }
 }
 
 TEST(Batch, EstimateBitIdenticalAcrossBatchWidths) {
@@ -63,14 +44,34 @@ TEST(Batch, EstimateBitIdenticalAcrossBatchWidths) {
     ASSERT_TRUE(narrow.ok() && medium.ok() && wide.ok());
     EXPECT_EQ(narrow->estimate, medium->estimate) << "trial=" << trial;
     EXPECT_EQ(narrow->estimate, wide->estimate) << "trial=" << trial;
-    // Deterministic structural counters must agree; the per-walk attempt
-    // counters (sample_calls, fail_*) are batch-granular by design.
-    EXPECT_EQ(narrow->diagnostics.states_processed,
-              wide->diagnostics.states_processed);
-    EXPECT_EQ(narrow->diagnostics.padded_words,
-              wide->diagnostics.padded_words);
-    EXPECT_EQ(narrow->diagnostics.perturbed_counts,
-              wide->diagnostics.perturbed_counts);
+    // Every deterministic counter must agree — including the per-walk
+    // attempt counters (sample_calls, fail_*): the engine consumes outcomes
+    // exactly up to the attempt that fills each sample set, so speculative
+    // lockstep surplus never leaks into the diagnostics at any width.
+    for (const CountEstimate* other : {&*medium, &*wide}) {
+      EXPECT_EQ(narrow->diagnostics.states_processed,
+                other->diagnostics.states_processed);
+      EXPECT_EQ(narrow->diagnostics.padded_words,
+                other->diagnostics.padded_words);
+      EXPECT_EQ(narrow->diagnostics.perturbed_counts,
+                other->diagnostics.perturbed_counts);
+      EXPECT_EQ(narrow->diagnostics.sample_calls,
+                other->diagnostics.sample_calls);
+      EXPECT_EQ(narrow->diagnostics.sample_success,
+                other->diagnostics.sample_success);
+      EXPECT_EQ(narrow->diagnostics.fail_phi_gt_1,
+                other->diagnostics.fail_phi_gt_1);
+      EXPECT_EQ(narrow->diagnostics.fail_bernoulli,
+                other->diagnostics.fail_bernoulli);
+      EXPECT_EQ(narrow->diagnostics.fail_dead_branch,
+                other->diagnostics.fail_dead_branch);
+      // Accounting identity: every consumed attempt has exactly one fate.
+      EXPECT_EQ(other->diagnostics.sample_calls,
+                other->diagnostics.sample_success +
+                    other->diagnostics.fail_phi_gt_1 +
+                    other->diagnostics.fail_bernoulli +
+                    other->diagnostics.fail_dead_branch);
+    }
   }
 }
 

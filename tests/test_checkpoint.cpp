@@ -1,0 +1,286 @@
+// Binary session checkpoints: save→load→extend must be bit-identical to an
+// uninterrupted run at the same (seed, knob) point — across every
+// num_threads × batch_width × simd × csr_hot_path combination — and every
+// defective file (truncated, corrupted, wrong magic/version/endianness) must
+// be rejected with a precise Status, never loaded partially. A committed
+// golden file pins the on-disk format against accidental layout changes.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "automata/generators.hpp"
+#include "fpras/fpras.hpp"
+#include "test_seed.hpp"
+#include "test_tables.hpp"
+#include "util/rng.hpp"
+
+#ifndef NFACOUNT_TEST_DATA_DIR
+#define NFACOUNT_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace nfacount {
+namespace {
+
+using testing_support::ExpectTablesIdentical;
+using testing_support::SessionTestOptions;
+using testing_support::TestSeed;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Checkpoint, RoundTripRestoresFullState) {
+  // Property: save → load reproduces every structural field, every table
+  // cell, and the draw-cursor position (so draw streams continue in step).
+  Rng rng(TestSeed(901));
+  for (int trial = 0; trial < 3; ++trial) {
+    Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
+    const int horizon = 7;
+    const int computed = 4;
+    Result<EngineSession> original =
+        EngineSession::Create(nfa, horizon, SessionTestOptions(TestSeed(902) + trial));
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(original->ExtendTo(computed).ok());
+    // Advance the draw cursor before saving: resume must continue it.
+    Result<std::vector<Word>> pre = original->SampleWords(computed, 3);
+    ASSERT_TRUE(pre.ok());
+
+    const std::string path = TempPath("roundtrip.ckpt");
+    ASSERT_TRUE(original->Save(path).ok());
+    Result<EngineSession> loaded = EngineSession::Load(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    EXPECT_EQ(loaded->horizon(), horizon);
+    EXPECT_EQ(loaded->computed_level(), computed);
+    EXPECT_EQ(loaded->seed(), original->seed());
+    EXPECT_EQ(loaded->params().ns, original->params().ns);
+    EXPECT_EQ(loaded->params().xns, original->params().xns);
+    EXPECT_EQ(loaded->params().beta, original->params().beta);
+    EXPECT_EQ(loaded->params().eta, original->params().eta);
+    EXPECT_EQ(loaded->nfa().num_states(), nfa.num_states());
+    ExpectTablesIdentical(original->engine(), loaded->engine(), nfa,
+                          computed);
+
+    // Draw-stream continuity: the next draws agree between the session that
+    // never stopped and the one that went through disk.
+    Result<std::vector<Word>> a = original->SampleWords(computed, 4);
+    Result<std::vector<Word>> b = loaded->SampleWords(computed, 4);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << "trial=" << trial;
+  }
+}
+
+TEST(Checkpoint, SaveLoadExtendBitIdenticalToFreshAcrossKnobGrid) {
+  // The acceptance matrix: a session saved at n/2 and resumed under every
+  // (threads, batch, simd, csr) combination, then extended to n, must equal
+  // a fresh uninterrupted run — estimates, tables, and draws.
+  Rng rng(TestSeed(911));
+  Nfa nfa = RandomNfa(6, 0.3, 0.35, rng);
+  const int n = 8;
+  const int half = 4;
+  CountOptions opts = SessionTestOptions(TestSeed(912));
+
+  Result<EngineSession> fresh = EngineSession::Create(nfa, n, opts);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(fresh->ExtendTo(n).ok());
+  Result<std::vector<Word>> fresh_words = fresh->SampleWords(n, 6);
+  Result<std::vector<Word>> fresh_words2 = fresh->SampleWords(n, 4);
+  ASSERT_TRUE(fresh_words.ok() && fresh_words2.ok());
+
+  Result<EngineSession> half_way = EngineSession::Create(nfa, n, opts);
+  ASSERT_TRUE(half_way.ok());
+  ASSERT_TRUE(half_way->ExtendTo(half).ok());
+  const std::string path = TempPath("grid.ckpt");
+  ASSERT_TRUE(half_way->Save(path).ok());
+
+  const int threads_grid[] = {1, 4};
+  const int batch_grid[] = {1, 32};
+  const bool simd_grid[] = {true, false};
+  const bool csr_grid[] = {true, false};
+  for (int threads : threads_grid) {
+    for (int batch : batch_grid) {
+      for (bool simd : simd_grid) {
+        for (bool csr : csr_grid) {
+          SessionKnobs knobs;
+          knobs.num_threads = threads;
+          knobs.batch_width = batch;
+          knobs.simd_kernels = simd;
+          knobs.csr_hot_path = csr;
+          Result<EngineSession> resumed = EngineSession::Load(path, &knobs);
+          ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+          ASSERT_TRUE(resumed->ExtendTo(n).ok());
+          SCOPED_TRACE(::testing::Message()
+                       << "threads=" << threads << " batch=" << batch
+                       << " simd=" << simd << " csr=" << csr);
+          for (int level = 0; level <= n; ++level) {
+            Result<double> a = fresh->CountAtLength(level);
+            Result<double> b = resumed->CountAtLength(level);
+            ASSERT_TRUE(a.ok() && b.ok());
+            EXPECT_EQ(*a, *b) << "level=" << level;
+          }
+          ExpectTablesIdentical(fresh->engine(), resumed->engine(), nfa, n);
+          // The draw stream must track the fresh session's across repeated
+          // calls — the cursor advances exactly, never batch-rounded.
+          Result<std::vector<Word>> words = resumed->SampleWords(n, 6);
+          Result<std::vector<Word>> words2 = resumed->SampleWords(n, 4);
+          ASSERT_TRUE(words.ok() && words2.ok());
+          EXPECT_EQ(*fresh_words, *words);
+          EXPECT_EQ(*fresh_words2, *words2);
+        }
+      }
+    }
+  }
+}
+
+TEST(Checkpoint, InMemorySerializationMatchesFile) {
+  Rng rng(TestSeed(921));
+  Nfa nfa = RandomNfa(5, 0.3, 0.3, rng);
+  Result<EngineSession> session =
+      EngineSession::Create(nfa, 5, SessionTestOptions(TestSeed(922)));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->ExtendTo(3).ok());
+
+  const std::string bytes = SerializeSessionCheckpoint(*session);
+  const std::string path = TempPath("inmem.ckpt");
+  ASSERT_TRUE(session->Save(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string file_bytes(bytes.size() + 64, '\0');
+  const size_t got = std::fread(&file_bytes[0], 1, file_bytes.size(), f);
+  std::fclose(f);
+  file_bytes.resize(got);
+  EXPECT_EQ(bytes, file_bytes);
+
+  Result<EngineSession> loaded = DeserializeSessionCheckpoint(bytes);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->computed_level(), 3);
+}
+
+TEST(Checkpoint, TruncationIsDataLoss) {
+  Rng rng(TestSeed(931));
+  Nfa nfa = RandomNfa(5, 0.3, 0.3, rng);
+  Result<EngineSession> session =
+      EngineSession::Create(nfa, 5, SessionTestOptions(TestSeed(932)));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->ExtendTo(3).ok());
+  const std::string bytes = SerializeSessionCheckpoint(*session);
+
+  // Every proper prefix must be rejected as data loss (a handful of cut
+  // points covers the preamble, the header, the tables, and the checksum).
+  for (size_t cut : {size_t{0}, size_t{5}, size_t{11}, size_t{40},
+                     bytes.size() / 2, bytes.size() - 1}) {
+    Result<EngineSession> r =
+        DeserializeSessionCheckpoint(bytes.substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "cut=" << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << "cut=" << cut;
+  }
+}
+
+TEST(Checkpoint, BitCorruptionIsDetected) {
+  Rng rng(TestSeed(941));
+  Nfa nfa = RandomNfa(5, 0.3, 0.3, rng);
+  Result<EngineSession> session =
+      EngineSession::Create(nfa, 5, SessionTestOptions(TestSeed(942)));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->ExtendTo(3).ok());
+  const std::string bytes = SerializeSessionCheckpoint(*session);
+
+  // Flip one bit at a spread of positions past the preamble: the checksum
+  // must catch every one (the preamble fields have their own diagnostics,
+  // tested below).
+  Rng flip_rng(TestSeed(943));
+  for (int i = 0; i < 24; ++i) {
+    const size_t pos =
+        12 + static_cast<size_t>(
+                 flip_rng.UniformU64(static_cast<uint64_t>(bytes.size() - 12)));
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1 << (i % 8)));
+    Result<EngineSession> r = DeserializeSessionCheckpoint(corrupt);
+    ASSERT_FALSE(r.ok()) << "pos=" << pos;
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << "pos=" << pos;
+  }
+}
+
+TEST(Checkpoint, PreambleDefectsGetPreciseDiagnostics) {
+  Rng rng(TestSeed(951));
+  Nfa nfa = RandomNfa(5, 0.3, 0.3, rng);
+  Result<EngineSession> session =
+      EngineSession::Create(nfa, 5, SessionTestOptions(TestSeed(952)));
+  ASSERT_TRUE(session.ok());
+  const std::string bytes = SerializeSessionCheckpoint(*session);
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  Result<EngineSession> r1 = DeserializeSessionCheckpoint(bad_magic);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r1.status().message().find("magic"), std::string::npos);
+
+  std::string bad_version = bytes;
+  bad_version[4] = 99;  // version precedes the checksum check by design
+  Result<EngineSession> r2 = DeserializeSessionCheckpoint(bad_version);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r2.status().message().find("version"), std::string::npos);
+
+  // The canonical marker 0x01020304 serializes little-endian as the byte
+  // run 04 03 02 01; a writer emitting native big-endian order would
+  // produce the reverse, which the loader must name precisely.
+  std::string bad_endian = bytes;
+  bad_endian[8] = 0x01;
+  bad_endian[9] = 0x02;
+  bad_endian[10] = 0x03;
+  bad_endian[11] = 0x04;
+  Result<EngineSession> r3 = DeserializeSessionCheckpoint(bad_endian);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r3.status().message().find("endian"), std::string::npos);
+}
+
+TEST(Checkpoint, MissingFileIsNotFound) {
+  Result<EngineSession> r =
+      EngineSession::Load(TempPath("no_such_file.ckpt"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Checkpoint, GoldenFileReadsBackAndExtends) {
+  // The committed fixture pins format version 1: header geometry, parameter
+  // block layout, level-table packing. Regenerate it with
+  //   example_nfa_cli count tests/data/golden.nfa 4 0.3 0.2 12345
+  //       --horizon 6 --save-state tests/data/golden_session.ckpt
+  // (one line) and update the constants below ONLY on a deliberate format
+  // bump.
+  const std::string path =
+      std::string(NFACOUNT_TEST_DATA_DIR) + "/golden_session.ckpt";
+  Result<EngineSession> golden = EngineSession::Load(path);
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  EXPECT_EQ(golden->nfa().num_states(), 4);
+  EXPECT_EQ(golden->horizon(), 6);
+  EXPECT_EQ(golden->computed_level(), 4);
+  EXPECT_EQ(golden->seed(), 12345u);
+  EXPECT_EQ(golden->params().eps, 0.3);
+  EXPECT_EQ(golden->params().delta, 0.2);
+
+  // The stored tables must answer exactly what the writer recorded (the
+  // value is data read back, not recomputed, so the comparison is exact).
+  Result<double> at4 = golden->CountAtLength(4);
+  ASSERT_TRUE(at4.ok());
+  // golden.nfa guesses a '1' three positions before the end: |L_4| = 2³ = 8.
+  EXPECT_NEAR(*at4 / 8.0, 1.0, 0.35);
+
+  // And the session must remain a live, extensible run.
+  ASSERT_TRUE(golden->ExtendTo(6).ok());
+  Result<double> at6 = golden->CountAtLength(6);
+  ASSERT_TRUE(at6.ok());
+  EXPECT_GT(*at6, 0.0);
+  Result<std::vector<Word>> words = golden->SampleWords(6, 3);
+  ASSERT_TRUE(words.ok());
+  EXPECT_EQ(words->size(), 3u);
+}
+
+}  // namespace
+}  // namespace nfacount

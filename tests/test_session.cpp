@@ -1,0 +1,243 @@
+// EngineSession: the incremental multi-query surface must be invisible in
+// every result — a session extended in any number of steps, under any
+// runtime-knob combination, equals one uninterrupted run at the same
+// (nfa, horizon, eps, delta, seed) point, bit for bit; and its per-length
+// answers equal the facade's.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "automata/generators.hpp"
+#include "fpras/fpras.hpp"
+#include "test_seed.hpp"
+#include "test_tables.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+using testing_support::ExpectTablesIdentical;
+using testing_support::SessionTestOptions;
+using testing_support::TestSeed;
+
+TEST(Session, HorizonCountEqualsApproxCount) {
+  // A session queried at its horizon is exactly the facade run: same params
+  // derivation, same streams, same estimate — not approximately, equal.
+  Rng rng(TestSeed(801));
+  for (int trial = 0; trial < 3; ++trial) {
+    Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
+    const int n = 6;
+    CountOptions opts = SessionTestOptions(TestSeed(802) + trial);
+    Result<CountEstimate> direct = ApproxCount(nfa, n, opts);
+    Result<EngineSession> session = EngineSession::Create(nfa, n, opts);
+    ASSERT_TRUE(direct.ok() && session.ok());
+    Result<double> at_horizon = session->CountAtLength(n);
+    ASSERT_TRUE(at_horizon.ok());
+    EXPECT_EQ(direct->estimate, *at_horizon) << "trial=" << trial;
+  }
+}
+
+TEST(Session, IncrementalExtensionBitIdenticalToOneShot) {
+  Rng rng(TestSeed(811));
+  Nfa nfa = RandomNfa(7, 0.3, 0.3, rng);
+  const int n = 8;
+  CountOptions opts = SessionTestOptions(TestSeed(812));
+
+  Result<EngineSession> one_shot = EngineSession::Create(nfa, n, opts);
+  ASSERT_TRUE(one_shot.ok());
+  ASSERT_TRUE(one_shot->ExtendTo(n).ok());
+
+  // Level-by-level, with queries interleaved between extensions: neither the
+  // step granularity nor the reads may perturb anything.
+  Result<EngineSession> stepped = EngineSession::Create(nfa, n, opts);
+  ASSERT_TRUE(stepped.ok());
+  for (int level = 1; level <= n; ++level) {
+    ASSERT_TRUE(stepped->ExtendTo(level).ok());
+    Result<double> count = stepped->CountAtLength(level);
+    ASSERT_TRUE(count.ok());
+  }
+
+  EXPECT_EQ(one_shot->computed_level(), stepped->computed_level());
+  for (int level = 0; level <= n; ++level) {
+    Result<double> a = one_shot->CountAtLength(level);
+    Result<double> b = stepped->CountAtLength(level);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << "level=" << level;
+  }
+  ExpectTablesIdentical(one_shot->engine(), stepped->engine(), nfa, n);
+}
+
+TEST(Session, ExtensionComposesWithKnobFlips) {
+  // The determinism contracts must hold jointly with incrementality:
+  // extend-in-steps on (4 threads, batch 32, scalar, legacy layout) equals
+  // one-shot on the defaults.
+  Nfa nfa = SubstringNfa(Word{1, 0, 1});
+  const int n = 8;
+  CountOptions base = SessionTestOptions(TestSeed(821));
+  CountOptions flipped = base;
+  flipped.num_threads = 4;
+  flipped.batch_width = 32;
+  flipped.simd_kernels = false;
+  flipped.csr_hot_path = false;
+
+  Result<EngineSession> a = EngineSession::Create(nfa, n, base);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(a->ExtendTo(n).ok());
+
+  Result<EngineSession> b = EngineSession::Create(nfa, n, flipped);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(b->ExtendTo(3).ok());
+  ASSERT_TRUE(b->ExtendTo(5).ok());
+  ASSERT_TRUE(b->ExtendTo(n).ok());
+
+  for (int level = 0; level <= n; ++level) {
+    Result<double> ca = a->CountAtLength(level);
+    Result<double> cb = b->CountAtLength(level);
+    ASSERT_TRUE(ca.ok() && cb.ok());
+    EXPECT_EQ(*ca, *cb) << "level=" << level;
+  }
+  ExpectTablesIdentical(a->engine(), b->engine(), nfa, n);
+}
+
+TEST(Session, DrawSequenceSurvivesExtensionSplits) {
+  Rng rng(TestSeed(831));
+  Nfa nfa = RandomNfa(6, 0.3, 0.35, rng);
+  const int n = 6;
+  CountOptions opts = SessionTestOptions(TestSeed(832));
+
+  Result<EngineSession> a = EngineSession::Create(nfa, n, opts);
+  Result<EngineSession> b = EngineSession::Create(nfa, n, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  ASSERT_TRUE(a->ExtendTo(n).ok());
+  Result<std::vector<Word>> wa = a->SampleWords(n, 8);
+
+  ASSERT_TRUE(b->ExtendTo(2).ok());
+  ASSERT_TRUE(b->ExtendTo(n).ok());
+  Result<std::vector<Word>> wb = b->SampleWords(n, 8);
+
+  ASSERT_TRUE(wa.ok() && wb.ok());
+  EXPECT_EQ(*wa, *wb);
+
+  // Continuations of the two draw streams stay aligned too.
+  Result<std::vector<Word>> wa2 = a->SampleWords(n, 5);
+  Result<std::vector<Word>> wb2 = b->SampleWords(n, 5);
+  ASSERT_TRUE(wa2.ok() && wb2.ok());
+  EXPECT_EQ(*wa2, *wb2);
+}
+
+TEST(Session, DrawStreamInvariantAcrossBatchWidthsAndLengths) {
+  // The session consumes draw attempts exactly (never batch-rounded), so
+  // repeated SampleWords calls — even interleaved across lengths — yield
+  // one identical sequence for every batch width, and the exact per-walk
+  // counters stay aligned call by call.
+  Rng rng(TestSeed(891));
+  Nfa nfa = RandomNfa(6, 0.3, 0.35, rng);
+  const int n = 6;
+  CountOptions narrow_opts = SessionTestOptions(TestSeed(892));
+  narrow_opts.batch_width = 1;
+  CountOptions wide_opts = SessionTestOptions(TestSeed(892));
+  wide_opts.batch_width = 32;
+
+  Result<EngineSession> narrow = EngineSession::Create(nfa, n, narrow_opts);
+  Result<EngineSession> wide = EngineSession::Create(nfa, n, wide_opts);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  ASSERT_TRUE(narrow->ExtendTo(n).ok());
+  ASSERT_TRUE(wide->ExtendTo(n).ok());
+
+  const int lengths[] = {n, n, n - 2, n, n - 2};
+  const int64_t counts[] = {2, 3, 1, 4, 2};
+  for (size_t i = 0; i < 5; ++i) {
+    Result<std::vector<Word>> wn = narrow->SampleWords(lengths[i], counts[i]);
+    Result<std::vector<Word>> ww = wide->SampleWords(lengths[i], counts[i]);
+    ASSERT_TRUE(wn.ok() && ww.ok()) << "call " << i;
+    EXPECT_EQ(*wn, *ww) << "call " << i;
+    EXPECT_EQ(narrow->diagnostics().sample_calls,
+              wide->diagnostics().sample_calls)
+        << "call " << i;
+    EXPECT_EQ(narrow->diagnostics().sample_success,
+              wide->diagnostics().sample_success)
+        << "call " << i;
+  }
+}
+
+TEST(Session, QueriesAtEarlierLengthsNeedNoRecomputation) {
+  Rng rng(TestSeed(841));
+  Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
+  const int n = 7;
+  Result<EngineSession> session =
+      EngineSession::Create(nfa, n, SessionTestOptions(TestSeed(842)));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->ExtendTo(n).ok());
+  const int64_t states_after_sweep =
+      session->diagnostics().states_processed;
+  for (int level = 0; level <= n; ++level) {
+    ASSERT_TRUE(session->CountAtLength(level).ok());
+  }
+  // No cell was reprocessed by the queries.
+  EXPECT_EQ(session->diagnostics().states_processed, states_after_sweep);
+}
+
+TEST(Session, CountForMatchesEngineTable) {
+  Rng rng(TestSeed(851));
+  Nfa nfa = RandomNfa(5, 0.3, 0.3, rng);
+  const int n = 5;
+  Result<EngineSession> session =
+      EngineSession::Create(nfa, n, SessionTestOptions(TestSeed(852)));
+  ASSERT_TRUE(session.ok());
+  for (StateId q = 0; q < nfa.num_states(); ++q) {
+    Result<double> c = session->CountFor(q, 4);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(*c, session->engine().CountEstimateFor(q, 4));
+  }
+}
+
+TEST(Session, LengthValidationIsStatusNotCrash) {
+  Nfa nfa = ParityNfa(2);
+  Result<EngineSession> session =
+      EngineSession::Create(nfa, 5, SessionTestOptions(TestSeed(861)));
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->ExtendTo(6).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(session->ExtendTo(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session->CountAtLength(99).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(session->SampleWords(6, 1).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(session->CountFor(99, 2).status().code(),
+            StatusCode::kInvalidArgument);
+  // The failed calls must not have advanced anything.
+  EXPECT_EQ(session->computed_level(), 2);  // CountFor extended to 2
+}
+
+TEST(Session, EmptyLanguageAndLengthZeroEdges) {
+  // Needle NFA: exactly one word at n = 3, empty at other lengths.
+  Nfa nfa = SparseNeedle(Word{1, 0, 1});
+  Result<EngineSession> session =
+      EngineSession::Create(nfa, 4, SessionTestOptions(TestSeed(871)));
+  ASSERT_TRUE(session.ok());
+  Result<std::vector<Word>> empty = session->SampleWords(4, 2);
+  EXPECT_EQ(empty.status().code(), StatusCode::kNotFound);
+  Result<std::vector<Word>> hit = session->SampleWords(3, 2);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_EQ(hit->size(), 2u);
+  EXPECT_EQ((*hit)[0], (Word{1, 0, 1}));
+  EXPECT_EQ((*hit)[1], (Word{1, 0, 1}));
+  // Length 0: L(A_0) is empty unless the initial state accepts.
+  Result<std::vector<Word>> zero = session->SampleWords(0, 1);
+  EXPECT_EQ(zero.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Session, ZeroHorizonSession) {
+  Nfa nfa = DenseCompleteNfa(3);
+  Result<EngineSession> session =
+      EngineSession::Create(nfa, 0, SessionTestOptions(TestSeed(881)));
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->computed_level(), 0);
+  Result<double> c = session->CountAtLength(0);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, nfa.IsAccepting(nfa.initial()) ? 1.0 : 0.0);
+}
+
+}  // namespace
+}  // namespace nfacount

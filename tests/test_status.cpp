@@ -35,6 +35,7 @@ TEST(Status, FactoryConstructorsCarryCodeAndMessage) {
       {Status::NotFound("e"), StatusCode::kNotFound, "NotFound"},
       {Status::Unimplemented("f"), StatusCode::kUnimplemented, "Unimplemented"},
       {Status::Internal("g"), StatusCode::kInternal, "Internal"},
+      {Status::DataLoss("h"), StatusCode::kDataLoss, "DataLoss"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
