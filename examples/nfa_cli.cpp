@@ -17,6 +17,10 @@
 //                      (0 = engine default; bit-identical for every value)
 //   --no-simd          force the scalar bitset kernels (process-wide) and
 //                      pin the sampling plane to them; identical results
+//   --descent-cache <e> cross-batch descent-cache entry budget for
+//                      count/lengths/sample (0 disables; default = engine
+//                      default; bit-identical results at every value —
+//                      NFACOUNT_DESCENT_CACHE=<e> overrides process-wide)
 //   --json <path>      additionally write a machine-readable report of the
 //                      run (estimate, parameters, diagnostics, timing)
 //
@@ -71,6 +75,7 @@ int Usage() {
                "flags: --threads <k>      (0 = all hardware threads)\n"
                "       --batch-width <b>  lockstep sampling walks (0 = default)\n"
                "       --no-simd          force scalar bitset kernels\n"
+               "       --descent-cache <e> descent-cache entries (0 = off)\n"
                "       --json <path>      machine-readable run report\n"
                "       --horizon <H>      run count as a session sized for H\n"
                "       --save-state <p>   write a session checkpoint\n"
@@ -88,6 +93,7 @@ struct CliFlags {
   int num_threads = 1;
   int batch_width = 0;  ///< 0 = engine default
   bool no_simd = false;
+  int descent_cache = -1;  ///< -1 = engine default, 0 = disabled
   int horizon = -1;     ///< -1 = not a session (unless other session flags)
   int extend_to = -1;   ///< -1 = answer at the natural length
   std::string json_path;
@@ -138,6 +144,8 @@ std::vector<std::string> ExtractFlags(int argc, char** argv, CliFlags* flags) {
       parse_int(&i, &flags->batch_width, 1 << 20);
     } else if (!flags_ended && arg == "--no-simd") {
       flags->no_simd = true;
+    } else if (!flags_ended && arg == "--descent-cache") {
+      parse_int(&i, &flags->descent_cache, 1 << 30);
     } else if (!flags_ended && arg == "--horizon") {
       parse_int(&i, &flags->horizon, 1 << 20);
     } else if (!flags_ended && arg == "--extend-to") {
@@ -180,6 +188,10 @@ JsonObject DiagnosticsJson(const FprasDiagnostics& d) {
       .Set("starvations", d.starvations)
       .Set("memo_hits", d.memo_hits)
       .Set("memo_misses", d.memo_misses)
+      .Set("descent_hits", d.descent_hits)
+      .Set("descent_misses", d.descent_misses)
+      .Set("descent_entries", d.descent_entries)
+      .Set("descent_bytes", d.descent_bytes)
       .Set("sample_calls", d.sample_calls)
       .Set("sample_success", d.sample_success)
       .Set("fail_phi_gt_1", d.fail_phi_gt_1)
@@ -232,6 +244,7 @@ int RunSessionCount(const CliFlags& flags,
     knobs.num_threads = flags.num_threads;
     knobs.batch_width = flags.batch_width;
     knobs.simd_kernels = !flags.no_simd;
+    knobs.descent_cache_capacity = flags.descent_cache;
     session = EngineSession::Load(flags.load_state, &knobs);
     if (!session.ok()) return Fail(session.status());
     query_len = flags.extend_to >= 0 ? flags.extend_to
@@ -247,6 +260,7 @@ int RunSessionCount(const CliFlags& flags,
     options.num_threads = flags.num_threads;
     options.batch_width = flags.batch_width;
     options.simd_kernels = !flags.no_simd;
+    options.descent_cache_capacity = flags.descent_cache;
     if (args.size() > 3) options.eps = std::atof(args[3].c_str());
     if (args.size() > 4) options.delta = std::atof(args[4].c_str());
     if (args.size() > 5) {
@@ -340,6 +354,7 @@ int main(int argc, char** argv) {
     options.num_threads = flags.num_threads;
     options.batch_width = flags.batch_width;
     options.simd_kernels = !flags.no_simd;
+    options.descent_cache_capacity = flags.descent_cache;
     if (args.size() > 3) options.eps = std::atof(args[3].c_str());
     if (args.size() > 4) options.delta = std::atof(args[4].c_str());
     if (args.size() > 5) options.seed = std::strtoull(args[5].c_str(), nullptr, 10);
@@ -407,6 +422,7 @@ int main(int argc, char** argv) {
     options.num_threads = flags.num_threads;
     options.batch_width = flags.batch_width;
     options.simd_kernels = !flags.no_simd;
+    options.descent_cache_capacity = flags.descent_cache;
     if (args.size() > 4) options.seed = std::strtoull(args[4].c_str(), nullptr, 10);
     Result<WordSampler> sampler = WordSampler::Build(*nfa, n, options);
     if (!sampler.ok()) return Fail(sampler.status());

@@ -6,6 +6,10 @@
 #include <utility>
 #include <vector>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "automata/io.hpp"
 
 namespace nfacount {
@@ -382,24 +386,56 @@ Result<EngineSession> DeserializeSessionCheckpoint(const std::string& bytes,
     params.batch_width = knobs->batch_width;
     params.simd_kernels = knobs->simd_kernels;
     params.csr_hot_path = knobs->csr_hot_path;
+    if (knobs->descent_cache_capacity >= 0) {
+      params.descent_cache_capacity = knobs->descent_cache_capacity;
+    }
   }
   return EngineSession::Restore(std::move(nfa), params, seed, computed,
                                 std::move(levels), draw_cursor);
 }
 
+namespace internal {
+
+int64_t g_checkpoint_write_limit = -1;
+
+}  // namespace internal
+
 Status SaveSessionCheckpoint(const EngineSession& session,
                              const std::string& path) {
   const std::string bytes = SerializeSessionCheckpoint(session);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Crash-safe save: write the complete checkpoint to <path>.tmp, flush it
+  // to stable storage, then atomically rename over the destination. A crash,
+  // kill, or I/O failure at any point leaves `path` holding either the old
+  // checkpoint or the new one in full — never a truncated file — and a
+  // failed save never removes a pre-existing checkpoint (the old in-place
+  // writer clobbered it mid-fwrite and std::remove'd it on short writes).
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) {
-    return Status::Invalid("cannot open checkpoint file for writing: " +
-                           path);
+    return Status::Invalid("cannot open checkpoint temp file for writing: " +
+                           tmp_path);
   }
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool closed = std::fclose(f) == 0;
-  if (written != bytes.size() || !closed) {
-    std::remove(path.c_str());
-    return Status::DataLoss("short write while saving checkpoint: " + path);
+  size_t to_write = bytes.size();
+  if (internal::g_checkpoint_write_limit >= 0 &&
+      static_cast<size_t>(internal::g_checkpoint_write_limit) < to_write) {
+    to_write = static_cast<size_t>(internal::g_checkpoint_write_limit);
+  }
+  bool ok = std::fwrite(bytes.data(), 1, to_write, f) == bytes.size();
+  if (ok && std::fflush(f) != 0) ok = false;
+#ifndef _WIN32
+  // fflush only moves bytes into the kernel; fsync makes the rename below a
+  // durable old-or-new choice even across power loss.
+  if (ok && fsync(fileno(f)) != 0) ok = false;
+#endif
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp_path.c_str());  // the checkpoint at `path` is untouched
+    return Status::DataLoss("short write while saving checkpoint: " +
+                            tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::DataLoss("cannot move checkpoint into place: " + path);
   }
   return Status::Ok();
 }

@@ -14,10 +14,12 @@
 //                    non-canonical byte order / inconsistent dimensions
 //   DataLoss         truncated file or checksum mismatch (bit corruption)
 //
-// Deliberately NOT serialized: the union-size memo (a pure cache whose
-// entries are content-keyed — recomputation reproduces them exactly, so a
-// resumed session is merely cache-cold, never different) and the
-// diagnostics counters (a resumed session restarts them at zero).
+// Deliberately NOT serialized: the union-size memo and the descent cache
+// (pure caches whose entries are content-keyed — recomputation reproduces
+// them exactly, so a resumed session is merely cache-cold, never different;
+// the descent-cache capacity is a runtime knob carried by SessionKnobs, not
+// by the format) and the diagnostics counters (a resumed session restarts
+// them at zero).
 
 #ifndef NFACOUNT_FPRAS_CHECKPOINT_HPP_
 #define NFACOUNT_FPRAS_CHECKPOINT_HPP_
@@ -32,11 +34,23 @@ namespace nfacount {
 /// reject other versions rather than guessing).
 inline constexpr uint32_t kCheckpointVersion = 1;
 
-/// Serializes `session` to `path` (atomically overwrites on success is NOT
-/// guaranteed — write to a temp path and rename for that). The session's
-/// computed prefix, not the horizon, bounds the file size.
+/// Serializes `session` to `path` crash-safely: the checkpoint is written to
+/// `<path>.tmp`, flushed and fsynced, then atomically renamed over `path`.
+/// On any failure (and across crashes or kills mid-save) a pre-existing
+/// checkpoint at `path` survives untouched, and the temp file is removed on
+/// every failure this process observes. The session's computed prefix, not
+/// the horizon, bounds the file size.
 Status SaveSessionCheckpoint(const EngineSession& session,
                              const std::string& path);
+
+namespace internal {
+/// Test-only fault injection for SaveSessionCheckpoint: when >= 0, the save
+/// writes at most this many bytes of the temp file before failing exactly
+/// like a short write (crash / disk-full simulation for the crash-safety
+/// tests). -1 (the default) disables the limit. Set only from
+/// single-threaded test setup.
+extern int64_t g_checkpoint_write_limit;
+}  // namespace internal
 
 /// Restores a session saved by SaveSessionCheckpoint. `knobs`, when given,
 /// replaces the saved runtime knobs (threads, batch width, SIMD, layout) —

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <utility>
 
 #include "counting/union_mc.hpp"
@@ -114,12 +115,126 @@ bool UnionSizeMemo::Lookup(int level, const Bitset& set,
 
 void UnionSizeMemo::Insert(int level, const Bitset& set,
                            const std::vector<double>& sizes) {
-  if (entries_.load(std::memory_order_relaxed) >= capacity_) return;
   Shard& shard = ShardFor(level, set);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.map.emplace(Key{level, set}, sizes).second) {
-    entries_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.map.find(Key{level, set}) != shard.map.end()) return;
+  // Reserve one entry of the shared budget before emplacing: a CAS loop on
+  // the counter cannot overshoot capacity_, unlike the old pre-lock
+  // `entries_ >= capacity_` check, where every concurrent inserter passed
+  // the gate and then all of them emplaced.
+  int64_t current = entries_.load(std::memory_order_relaxed);
+  do {
+    if (current >= capacity_) return;
+  } while (!entries_.compare_exchange_weak(current, current + 1,
+                                           std::memory_order_relaxed));
+  shard.map.emplace(Key{level, set}, sizes);
+}
+
+// ---------------------------------------------------------------------------
+// DescentCache
+// ---------------------------------------------------------------------------
+
+void DescentCache::Reset(int64_t capacity, size_t row_words,
+                         int alphabet_size) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
   }
+  capacity_ = capacity;
+  row_words_ = row_words;
+  alphabet_size_ = alphabet_size;
+  entries_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+bool DescentCache::LookupSizes(int level, const Bitset& set,
+                               std::vector<double>* out) {
+  // thread_local probe: the Bitset copy-assign reuses its vector capacity, so
+  // a lookup allocates nothing once the key is warm (hot-path contract).
+  thread_local Key probe;
+  probe.level = level;
+  probe.set = set;
+  Shard& shard = ShardFor(level, set);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(probe);
+    if (it != shard.map.end()) {
+      *out = it->second.sizes;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void DescentCache::InsertSizes(int level, const Bitset& set,
+                               const std::vector<double>& sizes) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(level, set);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.find(Key{level, set}) != shard.map.end()) return;
+  // Same no-overshoot discipline as UnionSizeMemo::Insert: reserve one entry
+  // of the shared budget via CAS before emplacing.
+  int64_t current = entries_.load(std::memory_order_relaxed);
+  do {
+    if (current >= capacity_) return;
+  } while (!entries_.compare_exchange_weak(current, current + 1,
+                                           std::memory_order_relaxed));
+  Entry entry;
+  entry.sizes = sizes;
+  bytes_.fetch_add(
+      static_cast<int64_t>(sizeof(Entry) +
+                           set.words().size() * sizeof(uint64_t) +
+                           sizes.size() * sizeof(double)),
+      std::memory_order_relaxed);
+  shard.map.emplace(Key{level, set}, std::move(entry));
+}
+
+bool DescentCache::LookupRow(int level, const Bitset& set, int symbol,
+                             uint64_t* out_row) {
+  thread_local Key probe;
+  probe.level = level;
+  probe.set = set;
+  Shard& shard = ShardFor(level, set);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(probe);
+    if (it != shard.map.end() && !it->second.row_filled.empty() &&
+        it->second.row_filled[static_cast<size_t>(symbol)]) {
+      const uint64_t* src =
+          it->second.rows.data() + static_cast<size_t>(symbol) * row_words_;
+      std::copy(src, src + row_words_, out_row);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void DescentCache::InsertRow(int level, const Bitset& set, int symbol,
+                             const uint64_t* row) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(level, set);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(Key{level, set});
+  if (it == shard.map.end()) return;  // entry never admitted (budget spent)
+  Entry& entry = it->second;
+  if (entry.rows.empty()) {
+    entry.rows.assign(static_cast<size_t>(alphabet_size_) * row_words_, 0);
+    entry.row_filled.assign(static_cast<size_t>(alphabet_size_), 0);
+    bytes_.fetch_add(
+        static_cast<int64_t>(entry.rows.size() * sizeof(uint64_t) +
+                             entry.row_filled.size()),
+        std::memory_order_relaxed);
+  }
+  if (entry.row_filled[static_cast<size_t>(symbol)]) return;
+  std::copy(row, row + row_words_,
+            entry.rows.data() + static_cast<size_t>(symbol) * row_words_);
+  entry.row_filled[static_cast<size_t>(symbol)] = 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -144,10 +259,14 @@ const FprasDiagnostics& FprasEngine::diagnostics() const {
     diag_.arena_bytes_reserved += ws.arena.bytes_reserved();
     diag_.arena_alloc_events += ws.arena.alloc_events();
   }
-  // The memo's counters are authoritative (shared across workers); they are
-  // the only scheduling-dependent diagnostics.
+  // The memo's and descent cache's counters are authoritative (shared across
+  // workers); they are the only scheduling-dependent diagnostics.
   diag_.memo_hits = memo_.hits();
   diag_.memo_misses = memo_.misses();
+  diag_.descent_hits = descent_.hits();
+  diag_.descent_misses = descent_.misses();
+  diag_.descent_entries = descent_.entries();
+  diag_.descent_bytes = descent_.bytes();
   diag_.wall_seconds = run_wall_seconds_;
   return diag_;
 }
@@ -279,6 +398,11 @@ void FprasEngine::RunWalkBatch(int level, const Bitset& state_set, double phi0,
 
   const double eta_call = params_.EtaForSampleCall();
   const double delta_union = eta_call / (4.0 * std::max(params_.n, 1));
+  // Cross-batch descent cache: both per-group computations below — the
+  // union-size vector and the predecessor expansion — are pure functions of
+  // (level, frontier content[, symbol]), so a hit replaces the recomputation
+  // with a copy of bit-identical data (see DescentCache's purity argument).
+  const bool use_descent = descent_.enabled();
 
   for (int i = level; i >= 1; --i) {
     std::fill(ar.group_ready.begin(), ar.group_ready.begin() + group_count, 0);
@@ -291,10 +415,15 @@ void FprasEngine::RunWalkBatch(int level, const Bitset& state_set, double phi0,
       const int g = ar.group_of[w];
       std::vector<double>& sizes = ar.group_sizes[static_cast<size_t>(g)];
       if (!ar.group_ready[g]) {
-        // One union-size estimation per group — every member shares it.
+        // One union-size estimation per group — every member shares it, and
+        // the descent cache shares it across batches, cells, and draws.
         ar.frontier_scratch.AssignWords(ar.cur.Row(g), row_words);
-        UnionSizesInto(i, ar.frontier_scratch, delta_union,
-                       UnionPurpose::kSample, ws, &sizes);
+        if (!use_descent ||
+            !descent_.LookupSizes(i, ar.frontier_scratch, &sizes)) {
+          UnionSizesInto(i, ar.frontier_scratch, delta_union,
+                         UnionPurpose::kSample, ws, &sizes);
+          if (use_descent) descent_.InsertSizes(i, ar.frontier_scratch, sizes);
+        }
         double total = 0.0;
         for (double s : sizes) total += s;
         ar.group_total[g] = total;
@@ -319,15 +448,29 @@ void FprasEngine::RunWalkBatch(int level, const Bitset& state_set, double phi0,
         // plane's row for the child group.
         child = next_group_count++;
         uint64_t* out_row = ar.next.Row(child);
-        if (params_.csr_hot_path) {
-          unrolled_.PredSetWordsInto(ar.cur.Row(g), static_cast<Symbol>(b), i,
-                                     out_row, *kernels_);
-        } else {
-          ar.expand_scratch.AssignWords(ar.cur.Row(g), row_words);
-          Bitset preds = unrolled_.PredSetLegacy(ar.expand_scratch,
-                                                 static_cast<Symbol>(b), i);
-          std::copy(preds.words().data(), preds.words().data() + row_words,
-                    out_row);
+        // Descent-cache row probe before expanding. ar.cur rows are stable
+        // for the whole level pass, but ar.frontier_scratch is overwritten by
+        // later groups' size estimations, so the probe key is re-materialized
+        // into its own scratch.
+        bool row_cached = false;
+        if (use_descent) {
+          ar.descent_scratch.AssignWords(ar.cur.Row(g), row_words);
+          row_cached = descent_.LookupRow(i, ar.descent_scratch, b, out_row);
+        }
+        if (!row_cached) {
+          if (params_.csr_hot_path) {
+            unrolled_.PredSetWordsInto(ar.cur.Row(g), static_cast<Symbol>(b),
+                                       i, out_row, *kernels_);
+          } else {
+            ar.expand_scratch.AssignWords(ar.cur.Row(g), row_words);
+            Bitset preds = unrolled_.PredSetLegacy(ar.expand_scratch,
+                                                   static_cast<Symbol>(b), i);
+            std::copy(preds.words().data(), preds.words().data() + row_words,
+                      out_row);
+          }
+          if (use_descent) {
+            descent_.InsertRow(i, ar.descent_scratch, b, out_row);
+          }
         }
         // Invariant carried over from the sequential walk's assert(cur.Any()):
         // sizes[b] > 0 implies the b-predecessor slice is non-empty.
@@ -544,6 +687,9 @@ Status FprasEngine::Prepare() {
       params_.batch_width > FprasParams::kMaxBatchWidth) {
     return Status::Invalid("batch_width must be in [0, 4096]");
   }
+  if (params_.descent_cache_capacity < 0) {
+    return Status::Invalid("descent_cache_capacity must be >= 0");
+  }
   prepared_ = false;
   computed_level_ = -1;
   final_estimate_ = 0.0;
@@ -570,6 +716,19 @@ Status FprasEngine::Prepare() {
     state.cells.resize(static_cast<size_t>(m));
   }
   memo_.Reset(params_.memo_capacity);
+  // Descent cache: process-wide env override first (CI runs the whole tier-1
+  // suite with NFACOUNT_DESCENT_CACHE=0 to keep the cache-off fallback
+  // covered, same idiom as NFACOUNT_FORCE_SCALAR), then the params knob.
+  // Results are bit-identical at every capacity, so the override can never
+  // change what a test asserts about estimates, tables, or draws.
+  int64_t descent_capacity = params_.descent_cache_capacity;
+  if (const char* env = std::getenv("NFACOUNT_DESCENT_CACHE")) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 0) descent_capacity = parsed;
+  }
+  descent_.Reset(descent_capacity, (static_cast<size_t>(m) + 63) / 64,
+                 nfa_->alphabet_size());
 
   // Level 0 (Alg. 3 lines 6-10): L(I⁰) = {λ}, everything else empty. The
   // sample list holds ns copies of λ — "uniform with replacement" from a
@@ -817,6 +976,9 @@ void ApplyOptionFlags(const CountOptions& options, FprasParams* params) {
   params->num_threads = options.num_threads;
   params->batch_width = options.batch_width;
   params->simd_kernels = options.simd_kernels;
+  if (options.descent_cache_capacity >= 0) {
+    params->descent_cache_capacity = options.descent_cache_capacity;
+  }
 }
 
 }  // namespace

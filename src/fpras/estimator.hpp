@@ -87,6 +87,15 @@ struct FprasDiagnostics {
   int64_t starvations = 0;      ///< AppUnion Line-8 events
   int64_t memo_hits = 0;
   int64_t memo_misses = 0;
+  /// DescentCache probes answered from the cache (sizes and predecessor
+  /// rows combined) vs computed fresh. Scheduling-dependent like the memo
+  /// counters; additionally, a descent hit bypasses the union memo entirely,
+  /// so memo traffic shrinks when the descent cache is enabled (results
+  /// never move — both are pure caches of content-keyed computations).
+  int64_t descent_hits = 0;
+  int64_t descent_misses = 0;
+  int64_t descent_entries = 0;  ///< admitted (level, frontier) cache entries
+  int64_t descent_bytes = 0;    ///< approximate descent-cache footprint
   /// Candidate walks launched (Algorithm 2 attempts), counted exactly per
   /// consumed attempt: a lockstep batch may execute speculative walks past
   /// the attempt that fills S(q^ℓ) (or past the accept that satisfies a
@@ -160,6 +169,7 @@ class UnionSizeMemo {
 
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t entries() const { return entries_.load(std::memory_order_relaxed); }
 
  private:
   struct Key {
@@ -191,6 +201,104 @@ class UnionSizeMemo {
   std::array<Shard, kNumShards> shards_;
   int64_t capacity_ = 0;
   std::atomic<int64_t> entries_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
+/// Sharded, capacity-bounded cache of the per-(level, frontier-set) descent
+/// work the lockstep sampling plane repeats across refill batches, cells, and
+/// post-run draws: the per-symbol union-size vector (what Alg. 2 lines 8-11
+/// recompute for every group that reaches the same frontier) and the expanded
+/// predecessor rows Pred(P, b) (the PredSetInto result per chosen symbol).
+///
+/// Purity argument (why this never changes a result): UnionSizes draws from a
+/// substream keyed by (purpose, level, P-set content) — never from caller
+/// state — so recomputation reproduces the cached vector bit for bit; and the
+/// predecessor expansion is a pure function of (level, frontier, symbol) over
+/// the fixed unrolled automaton. Estimates, tables, and draw streams are
+/// therefore bit-identical with the cache on, off, or at any capacity; only
+/// the atomic hit/miss counters are scheduling-dependent.
+///
+/// Capacity discipline: entries are admitted by InsertSizes under the shard
+/// lock against a shared budget (a CAS reservation on entries_, the fix the
+/// union memo also received — no overshoot under concurrency). Predecessor
+/// rows piggyback on already-admitted entries only (InsertRow never creates
+/// an entry), so one budget bounds both. A capacity of 0 disables the cache.
+class DescentCache {
+ public:
+  /// Clears all shards and counters and fixes the geometry: row_words words
+  /// per predecessor row, alphabet_size rows per entry. Capacity caps the
+  /// number of (level, frontier) entries; 0 disables the cache entirely.
+  void Reset(int64_t capacity, size_t row_words, int alphabet_size);
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// If (level, set) is cached, copies its per-symbol sizes into *out and
+  /// returns true. Counts one hit or miss.
+  bool LookupSizes(int level, const Bitset& set, std::vector<double>* out);
+
+  /// Admits (level, set) → sizes unless the budget is exhausted (first
+  /// writer wins; concurrent inserts of the same key carry identical
+  /// values because UnionSizes is content-keyed).
+  void InsertSizes(int level, const Bitset& set,
+                   const std::vector<double>& sizes);
+
+  /// If the expanded row Pred(set, symbol) at `level` is cached, copies its
+  /// row_words words into out_row and returns true. Counts one hit or miss.
+  bool LookupRow(int level, const Bitset& set, int symbol, uint64_t* out_row);
+
+  /// Stores the expanded row for an already-admitted (level, set) entry;
+  /// no-op when the entry was never admitted (budget exhausted). Concurrent
+  /// fills write identical bits (pure function of the key).
+  void InsertRow(int level, const Bitset& set, int symbol,
+                 const uint64_t* row);
+
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t entries() const { return entries_.load(std::memory_order_relaxed); }
+  int64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Key {
+    int level;
+    Bitset set;
+    bool operator==(const Key& other) const {
+      return level == other.level && set == other.set;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return static_cast<size_t>(
+          HashCombine(static_cast<uint64_t>(key.level), key.set.Hash()));
+    }
+  };
+  /// One admitted (level, frontier) entry. `rows` is allocated lazily on the
+  /// first InsertRow (alphabet_size × row_words flat words); row_filled[b]
+  /// marks which symbols have been expanded.
+  struct Entry {
+    std::vector<double> sizes;
+    std::vector<uint64_t> rows;
+    std::vector<uint8_t> row_filled;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> map;
+  };
+
+  static constexpr int kNumShards = 16;
+
+  Shard& ShardFor(int level, const Bitset& set) {
+    return shards_[static_cast<size_t>(
+        HashCombine(static_cast<uint64_t>(level), set.Hash()) %
+        kNumShards)];
+  }
+
+  std::array<Shard, kNumShards> shards_;
+  int64_t capacity_ = 0;
+  size_t row_words_ = 0;
+  int alphabet_size_ = 0;
+  std::atomic<int64_t> entries_{0};
+  std::atomic<int64_t> bytes_{0};
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
 };
@@ -425,6 +533,10 @@ class FprasEngine {
   /// Highest computed level; -1 until Prepare() installs level 0.
   int computed_level_ = -1;
   UnionSizeMemo memo_;  ///< sample-context union sizes, shared across workers
+  /// Cross-batch descent cache (sizes + predecessor rows per (level,
+  /// frontier)), shared across workers like the memo. Reset by Prepare()
+  /// from params_.descent_cache_capacity.
+  DescentCache descent_;
   double final_estimate_ = 0.0;
   double run_wall_seconds_ = 0.0;
   mutable FprasDiagnostics diag_;  ///< diagnostics() merge target
@@ -458,6 +570,10 @@ struct CountOptions {
   /// SIMD kernel table for the sampling plane (false = scalar). Bit-
   /// identical results either way; see FprasParams::simd_kernels.
   bool simd_kernels = true;
+  /// Cross-batch descent-cache entry budget (0 disables the cache, -1 = use
+  /// the built-in default). Bit-identical results at every value; see
+  /// FprasParams::descent_cache_capacity.
+  int64_t descent_cache_capacity = -1;
 };
 
 /// Result of ApproxCount.

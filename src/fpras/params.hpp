@@ -123,6 +123,20 @@ struct FprasParams {
 
   int64_t memo_capacity = int64_t{1} << 20;  ///< max cached (level, P) entries
 
+  /// Default entry budget of the cross-batch descent cache.
+  static constexpr int64_t kDefaultDescentCacheCapacity = int64_t{1} << 20;
+
+  /// Max (level, frontier-set) entries of the cross-batch descent cache
+  /// (fpras/estimator.hpp DescentCache): memoized per-symbol union sizes and
+  /// predecessor-row expansions shared across refill batches, cells, and
+  /// post-run draws. 0 disables the cache. Like the union memo, the cache is
+  /// pure — estimates, tables, and draws are bit-identical at every
+  /// capacity; the knob only trades memory for repeated descent work.
+  /// Runtime-only (not serialized into checkpoints — carried by
+  /// SessionKnobs on restore); NFACOUNT_DESCENT_CACHE overrides it
+  /// process-wide.
+  int64_t descent_cache_capacity = kDefaultDescentCacheCapacity;
+
   /// δ parameter of the AppUnion calls that compute N(q^ℓ)
   /// (Alg. 3 line 15): η / (2·(1 − 2^{-(n+1)})).
   double DeltaForCountUnion() const;

@@ -131,6 +131,10 @@ class SampleArena {
 
   // Scratch bitsets bridging plane rows into Bitset-taking APIs.
   Bitset frontier_scratch;  ///< group frontier view (UnionSizes, memo key)
+  /// Descent-cache row-probe key. Separate from frontier_scratch because a
+  /// group's symbol expansions can run after later groups have already
+  /// overwritten frontier_scratch with their own size-estimation keys.
+  Bitset descent_scratch;
   Bitset expand_scratch;    ///< legacy-layout expansion input
   Bitset profile_cur;       ///< fused forward reach-profile pass
   Bitset profile_next;

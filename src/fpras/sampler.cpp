@@ -17,6 +17,9 @@ Result<WordSampler> WordSampler::Build(const Nfa& nfa, int n,
   params.num_threads = options.num_threads;
   params.batch_width = options.batch_width;
   params.simd_kernels = options.simd_kernels;
+  if (options.descent_cache_capacity >= 0) {
+    params.descent_cache_capacity = options.descent_cache_capacity;
+  }
   auto engine = std::make_unique<FprasEngine>(&nfa, params, options.seed);
   NFA_RETURN_NOT_OK(engine->Run());
   return WordSampler(&nfa, std::move(engine), options);

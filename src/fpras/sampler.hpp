@@ -47,6 +47,11 @@ struct SamplerOptions {
   /// SIMD kernel table for the sampling plane (false = scalar; identical
   /// draws either way). See FprasParams::simd_kernels.
   bool simd_kernels = true;
+  /// Cross-batch descent-cache entry budget (0 disables, -1 = engine
+  /// default). Draw streams are bit-identical at every value — the cache
+  /// only removes repeated per-(level, frontier) descent work. See
+  /// FprasParams::descent_cache_capacity.
+  int64_t descent_cache_capacity = -1;
 };
 
 /// Draws words almost-uniformly from L(A_n).

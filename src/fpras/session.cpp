@@ -34,6 +34,9 @@ Result<EngineSession> EngineSession::Create(const Nfa& nfa, int horizon,
   params.num_threads = options.num_threads;
   params.batch_width = options.batch_width;
   params.simd_kernels = options.simd_kernels;
+  if (options.descent_cache_capacity >= 0) {
+    params.descent_cache_capacity = options.descent_cache_capacity;
+  }
 
   auto owned = std::make_unique<Nfa>(nfa);
   auto engine =

@@ -45,6 +45,11 @@ struct SessionKnobs {
   int batch_width = 0;       ///< see FprasParams::batch_width (0 = default)
   bool simd_kernels = true;  ///< see FprasParams::simd_kernels
   bool csr_hot_path = true;  ///< see FprasParams::csr_hot_path
+  /// Descent-cache entry budget for the resumed session (-1 keeps the
+  /// built-in default). Runtime-only like the other knobs: checkpoints do
+  /// not serialize it, and results are bit-identical at every value. See
+  /// FprasParams::descent_cache_capacity.
+  int64_t descent_cache_capacity = -1;
 };
 
 class EngineSession;

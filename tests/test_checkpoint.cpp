@@ -11,6 +11,11 @@
 #include <string>
 #include <vector>
 
+#ifndef _WIN32
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 #include "automata/generators.hpp"
 #include "fpras/fpras.hpp"
 #include "test_seed.hpp"
@@ -280,6 +285,141 @@ TEST(Checkpoint, GoldenFileReadsBackAndExtends) {
   Result<std::vector<Word>> words = golden->SampleWords(6, 3);
   ASSERT_TRUE(words.ok());
   EXPECT_EQ(words->size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash safety (ISSUE 6 satellite): a failed or interrupted save must never
+// corrupt or remove a pre-existing checkpoint.
+// ---------------------------------------------------------------------------
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return std::string();
+  std::string bytes;
+  char buf[1 << 14];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, got);
+  std::fclose(f);
+  return bytes;
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+/// RAII reset of the save fault-injection hook.
+struct WriteLimitGuard {
+  explicit WriteLimitGuard(int64_t limit) {
+    internal::g_checkpoint_write_limit = limit;
+  }
+  ~WriteLimitGuard() { internal::g_checkpoint_write_limit = -1; }
+};
+
+TEST(CheckpointCrashSafety, FailedSaveLeavesExistingCheckpointIntact) {
+  // A good checkpoint exists; a later save dies mid-write (simulated as a
+  // short write via the injection hook — what a crash, kill, or full disk
+  // looks like to the writer). The original file must survive byte-for-byte
+  // and still load; the temp file must be cleaned up.
+  Rng rng(TestSeed(951));
+  Nfa nfa = RandomNfa(6, 0.3, 0.3, rng);
+  Result<EngineSession> session =
+      EngineSession::Create(nfa, 7, SessionTestOptions(TestSeed(952)));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->ExtendTo(3).ok());
+
+  const std::string path = TempPath("crash_safe.ckpt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(session->Save(path).ok());
+  const std::string good_bytes = ReadFileBytes(path);
+  ASSERT_FALSE(good_bytes.empty());
+
+  // Advance the session so the failed save would have written new content.
+  ASSERT_TRUE(session->ExtendTo(6).ok());
+  {
+    WriteLimitGuard limit(16);  // die 16 bytes into the temp file
+    Status failed = session->Save(path);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kDataLoss)
+        << failed.ToString();
+  }
+
+  EXPECT_EQ(ReadFileBytes(path), good_bytes);  // old checkpoint untouched
+  EXPECT_FALSE(FileExists(path + ".tmp"));     // partial temp cleaned up
+  Result<EngineSession> reloaded = EngineSession::Load(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->computed_level(), 3);
+
+  // After the failure the same session saves fine, atomically replacing the
+  // old file, and the reloaded state reflects the new computed level.
+  ASSERT_TRUE(session->Save(path).ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  Result<EngineSession> extended = EngineSession::Load(path);
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended->computed_level(), 6);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCrashSafety, UnwritableTempPathFailsWithoutTouchingCheckpoint) {
+  // Block the <path>.tmp slot with a directory so the temp file cannot even
+  // be opened: the save must fail cleanly and the existing checkpoint must
+  // not be modified or removed (the CI session-identity job runs the same
+  // scenario through the CLI).
+  Rng rng(TestSeed(961));
+  Nfa nfa = RandomNfa(5, 0.3, 0.3, rng);
+  Result<EngineSession> session =
+      EngineSession::Create(nfa, 5, SessionTestOptions(TestSeed(962)));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->ExtendTo(2).ok());
+
+  const std::string path = TempPath("blocked_tmp.ckpt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(session->Save(path).ok());
+  const std::string good_bytes = ReadFileBytes(path);
+
+#ifndef _WIN32
+  const std::string tmp = path + ".tmp";
+  ASSERT_EQ(::mkdir(tmp.c_str(), 0755), 0);
+  Status failed = session->Save(path);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kInvalidArgument) << failed.ToString();
+  EXPECT_EQ(ReadFileBytes(path), good_bytes);
+  Result<EngineSession> reloaded = EngineSession::Load(path);
+  EXPECT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_EQ(::rmdir(tmp.c_str()), 0);
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCrashSafety, StaleTempFromKilledWriterIsReplacedBySave) {
+  // A writer killed between fwrite and rename leaves <path>.tmp behind. A
+  // later save must simply overwrite it and complete; the stale partial
+  // bytes must never end up at the destination.
+  Rng rng(TestSeed(971));
+  Nfa nfa = RandomNfa(5, 0.3, 0.3, rng);
+  Result<EngineSession> session =
+      EngineSession::Create(nfa, 5, SessionTestOptions(TestSeed(972)));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->ExtendTo(4).ok());
+
+  const std::string path = TempPath("stale_tmp.ckpt");
+  const std::string tmp = path + ".tmp";
+  std::remove(path.c_str());
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NFCK garbage from a killed writer", f);
+    std::fclose(f);
+  }
+  ASSERT_TRUE(session->Save(path).ok());
+  EXPECT_FALSE(FileExists(tmp));
+  Result<EngineSession> loaded = EngineSession::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->computed_level(), 4);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -179,6 +179,11 @@ TEST(Fpras, MemoizationDoesNotChangeAccuracyButSavesWork) {
   CountOptions with_memo = Opts(TestSeed(77));
   CountOptions without_memo = Opts(TestSeed(77));
   without_memo.memoize_unions = false;
+  // The descent cache sits in front of the memo and would serve the repeated
+  // sample-path unions either way; disable it so this test isolates the memo
+  // ablation (the descent cache has its own suite, test_descent_cache.cpp).
+  with_memo.descent_cache_capacity = 0;
+  without_memo.descent_cache_capacity = 0;
 
   Result<CountEstimate> a = ApproxCount(nfa, n, with_memo);
   Result<CountEstimate> b = ApproxCount(nfa, n, without_memo);

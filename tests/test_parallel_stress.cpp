@@ -28,6 +28,11 @@ TEST(ParallelStress, MemoDisabledManyThreadsMatchesSequential) {
     base.delta = 0.2;
     base.seed = TestSeed(372) + trial;
     base.memoize_unions = false;  // force every cell to recompute unions
+    // The descent cache also skips union estimations on a hit, and its hit
+    // pattern is scheduling-dependent — results stay bit-identical (the
+    // identity grid in test_descent_cache.cpp) but the appunion_trials
+    // work counter below would not. Off, so every walk recomputes.
+    base.descent_cache_capacity = 0;
 
     CountOptions sequential = base;
     sequential.num_threads = 1;
