@@ -1,0 +1,213 @@
+// E16 — Serve mode: the counting daemon vs per-request recomputation.
+//
+// Serving scenario: many clients ask |L(A_ℓ)| / draw words against the same
+// automaton. The pre-serve policy pays a full FPRAS run per request (fresh
+// EngineSession::Create + the level sweep); the daemon pays it once, then
+// answers every subsequent request from the published LevelState prefix over
+// a loopback socket. Measured on the E3 time-scaling family
+// (RandomNfa(m, 0.3, 0.25), seed 2024) at m = 64 and 128, horizon 12, with
+// ≥ 4 concurrent client connections, every served answer asserted
+// bit-identical to a single-threaded reference session, and one
+// evict-to-checkpoint + revive cycle asserted mid-run.
+//
+// Metrics per m:
+//   cold_rate   requests/sec a recompute-per-request server could sustain
+//               (1 / t(Create + CountAtLength(horizon)))
+//   warm_qps    requests/sec the daemon sustains from 4 concurrent clients
+//               (socket round trip + registry read, tables warm)
+//   speedup     warm_qps / cold_rate — the serve-mode amortization headline
+//   p50/p99_us  client-observed request latency percentiles
+//
+// Emits BENCH_e16.json via --json (the committed copy is refreshed by the
+// command in bench/README.md).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/generators.hpp"
+#include "automata/io.hpp"
+#include "bench_common.hpp"
+#include "fpras/fpras.hpp"
+#include "serve/client.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "util/metrics.hpp"
+
+using namespace nfacount;
+using namespace nfacount::bench;
+
+namespace {
+
+/// The E3 time-scaling automaton at m states (same constructor as
+/// bench_e3_scaling_n.cpp and bench_e14_incremental.cpp).
+Nfa E3Automaton(int m) {
+  Rng rng(2024);
+  return RandomNfa(m, 0.3, 0.25, rng);
+}
+
+constexpr int kHorizon = 12;
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 250;
+constexpr uint64_t kSeed = 2024;
+
+struct E16Row {
+  int m = 0;
+  double t_cold = 0.0;     ///< one recompute-from-scratch request (seconds)
+  double cold_rate = 0.0;  ///< requests/sec under recompute-per-request
+  double warm_qps = 0.0;   ///< daemon requests/sec, 4 concurrent clients
+  double speedup = 0.0;    ///< warm_qps / cold_rate
+  int64_t p50_us = 0;      ///< client-observed median latency
+  int64_t p99_us = 0;      ///< client-observed tail latency
+  bool identical = false;  ///< every served answer equals the reference
+};
+
+E16Row RunOne(int m, const std::string& spill_dir) {
+  E16Row row;
+  row.m = m;
+  const Nfa nfa = E3Automaton(m);
+  const std::string text = NfaToText(nfa);
+  CountOptions opts = DefaultOptions(kSeed);
+
+  // Reference (and the cold-path cost): a fresh session per request.
+  WallTimer cold_timer;
+  Result<EngineSession> reference = EngineSession::Create(nfa, kHorizon, opts);
+  if (!reference.ok()) return row;
+  Result<double> horizon_count = reference->CountAtLength(kHorizon);
+  if (!horizon_count.ok()) return row;
+  row.t_cold = cold_timer.ElapsedSeconds();
+  row.cold_rate = row.t_cold > 0.0 ? 1.0 / row.t_cold : 0.0;
+  std::vector<double> want(kHorizon + 1);
+  for (int length = 0; length <= kHorizon; ++length) {
+    Result<double> w = reference->CountAtLength(length);
+    if (!w.ok()) return row;
+    want[static_cast<size_t>(length)] = *w;
+  }
+
+  // The daemon, warmed through the horizon by one admin client.
+  serve::RegistryOptions registry_options;
+  registry_options.spill_dir = spill_dir;
+  serve::SessionRegistry registry(registry_options);
+  serve::ServeDaemon daemon(&registry, serve::ServerOptions());
+  if (!daemon.Start().ok()) return row;
+  {
+    Result<serve::ServeClient> admin =
+        serve::ServeClient::Connect(daemon.port());
+    if (!admin.ok()) return row;
+    serve::RegisterRequest req;
+    req.name = "e16";
+    req.nfa_text = text;
+    req.horizon = kHorizon;
+    req.seed = kSeed;
+    req.eps = opts.eps;
+    req.delta = opts.delta;
+    if (!admin->Register(req).ok()) return row;
+    Result<int> level = admin->ExtendTo("e16", kHorizon);
+    if (!level.ok() || level.value() != kHorizon) return row;
+    // One demote + transparent-revive cycle before the measurement: the
+    // revived tables must serve the same bits.
+    Result<bool> evicted = admin->Evict("e16");
+    if (!evicted.ok() || !evicted.value()) return row;
+    Result<double> revived = admin->CountAtLength("e16", kHorizon);
+    if (!revived.ok() || *revived != want[kHorizon]) return row;
+  }
+
+  // Warm phase: kClients concurrent connections hammering counts across
+  // the published prefix, each answer checked against the reference.
+  LatencyHistogram latency;
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> clients;
+  WallTimer warm_timer;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Result<serve::ServeClient> client =
+          serve::ServeClient::Connect(daemon.port());
+      if (!client.ok()) {
+        mismatch.store(true);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const int length = (i + c) % (kHorizon + 1);
+        WallTimer request_timer;
+        Result<double> got = client->CountAtLength("e16", length);
+        latency.Record(
+            static_cast<int64_t>(request_timer.ElapsedSeconds() * 1e6));
+        if (!got.ok() || *got != want[static_cast<size_t>(length)]) {
+          mismatch.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double warm_seconds = warm_timer.ElapsedSeconds();
+  daemon.Stop();
+
+  const int64_t total = int64_t{kClients} * kRequestsPerClient;
+  row.warm_qps =
+      warm_seconds > 0.0 ? static_cast<double>(total) / warm_seconds : 0.0;
+  row.speedup = row.cold_rate > 0.0 ? row.warm_qps / row.cold_rate : 0.0;
+  row.p50_us = latency.PercentileMicros(0.50);
+  row.p99_us = latency.PercentileMicros(0.99);
+  row.identical = !mismatch.load();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchReport report("e16_serve");
+  report.config()
+      .Set("family", "E3 RandomNfa(m, 0.3, 0.25) seed 2024")
+      .Set("horizon", int64_t{kHorizon})
+      .Set("clients", int64_t{kClients})
+      .Set("requests_per_client", int64_t{kRequestsPerClient})
+      .Set("eps", 0.3)
+      .Set("delta", 0.2)
+      .Set("seed", static_cast<int64_t>(kSeed));
+
+  const std::string spill_dir = "/tmp/nfacount_e16_spill";
+  std::system(("mkdir -p " + spill_dir).c_str());
+
+  Section("E16: serve-mode daemon vs recompute-per-request (E3 family)");
+  Row({"m", "t_cold_s", "cold_rate", "warm_qps", "speedup", "p50_us",
+       "p99_us", "identical"});
+  double headline_qps = 0.0;
+  int64_t headline_p99 = 0;
+  double headline_speedup = 0.0;
+  for (int m : {64, 128}) {
+    E16Row row = RunOne(m, spill_dir);
+    Row({FmtInt(row.m), Fmt(row.t_cold), Fmt(row.cold_rate),
+         Fmt(row.warm_qps), Fmt(row.speedup), FmtInt(row.p50_us),
+         FmtInt(row.p99_us), row.identical ? "yes" : "NO"});
+    JsonObject json_row;
+    json_row.Set("m", int64_t{row.m})
+        .Set("t_cold_s", row.t_cold)
+        .Set("cold_rate_qps", row.cold_rate)
+        .Set("warm_qps", row.warm_qps)
+        .Set("speedup", row.speedup)
+        .Set("p50_us", row.p50_us)
+        .Set("p99_us", row.p99_us)
+        .Set("identical", row.identical);
+    report.AddRow("serve", std::move(json_row));
+    if (m == 128) {
+      headline_qps = row.warm_qps;
+      headline_p99 = row.p99_us;
+      headline_speedup = row.speedup;
+    }
+    if (!row.identical) {
+      std::fprintf(stderr, "e16: served answers diverged at m=%d\n", row.m);
+      return 1;
+    }
+  }
+  report.metrics()
+      .Set("warm_qps_m128", headline_qps)
+      .Set("p99_us_m128", headline_p99)
+      .Set("speedup_m128", headline_speedup);
+  std::printf("\nheadline (m=128): %.4g qps warm, p99 %lld us, %.4g x over "
+              "recompute-per-request\n",
+              headline_qps, static_cast<long long>(headline_p99),
+              headline_speedup);
+  if (!report.WriteTo(JsonPathArg(argc, argv))) return 1;
+  return 0;
+}

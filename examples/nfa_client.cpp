@@ -1,0 +1,180 @@
+// nfa_client — command-line client for the nfa_serve daemon.
+//
+// Usage (every command takes --port <p>):
+//   nfa_client ping        --port <p>
+//   nfa_client register    --port <p> <name> <file.nfa|-> <horizon>
+//                          [eps] [delta] [seed]
+//   nfa_client count       --port <p> <name> <length>
+//   nfa_client count-state --port <p> <name> <q> <length>
+//   nfa_client sample      --port <p> <name> <length> <count>
+//   nfa_client extend      --port <p> <name> <level>
+//   nfa_client evict       --port <p> <name>
+//   nfa_client stats       --port <p>
+//   nfa_client shutdown    --port <p>
+//
+// `count` prints the estimate as "%.6g\n" — the same format as
+// `nfa_cli count` — so serve-mode answers diff byte-identical against the
+// single-process CLI at the same seed (the CI serve-smoke job relies on
+// this). `sample` prints one word per line in the nfa_cli sample format.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+using nfacount::Result;
+using nfacount::Status;
+using nfacount::Word;
+using nfacount::serve::RegisterRequest;
+using nfacount::serve::SampleResult;
+using nfacount::serve::ServeClient;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: nfa_client <command> --port <p> [args]\n"
+      "  ping\n"
+      "  register    <name> <file.nfa|-> <horizon> [eps] [delta] [seed]\n"
+      "  count       <name> <length>\n"
+      "  count-state <name> <q> <length>\n"
+      "  sample      <name> <length> <count>\n"
+      "  extend      <name> <level>\n"
+      "  evict       <name>\n"
+      "  stats\n"
+      "  shutdown\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Reads an automaton text from a file path, or stdin for "-".
+Result<std::string> ReadNfaText(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open automaton file " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+
+  // Pull --port out; everything else stays positional.
+  uint16_t port = 0;
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0) {
+      if (i + 1 >= argc) return Usage();
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (port == 0) return Usage();
+
+  Result<ServeClient> connected = ServeClient::Connect(port);
+  if (!connected.ok()) return Fail(connected.status());
+  ServeClient client = std::move(connected).value();
+
+  if (command == "ping") {
+    Status st = client.Ping();
+    if (!st.ok()) return Fail(st);
+    std::printf("ok\n");
+    return 0;
+  }
+  if (command == "register") {
+    if (args.size() < 3) return Usage();
+    RegisterRequest req;
+    req.name = args[0];
+    Result<std::string> text = ReadNfaText(args[1]);
+    if (!text.ok()) return Fail(text.status());
+    req.nfa_text = std::move(text).value();
+    req.horizon = std::atoi(args[2].c_str());
+    if (args.size() > 3) req.eps = std::atof(args[3].c_str());
+    if (args.size() > 4) req.delta = std::atof(args[4].c_str());
+    if (args.size() > 5) {
+      req.seed = std::strtoull(args[5].c_str(), nullptr, 10);
+    }
+    Status st = client.Register(req);
+    if (!st.ok()) return Fail(st);
+    std::printf("registered %s\n", req.name.c_str());
+    return 0;
+  }
+  if (command == "count") {
+    if (args.size() != 2) return Usage();
+    Result<double> estimate =
+        client.CountAtLength(args[0], std::atoi(args[1].c_str()));
+    if (!estimate.ok()) return Fail(estimate.status());
+    std::printf("%.6g\n", estimate.value());
+    return 0;
+  }
+  if (command == "count-state") {
+    if (args.size() != 3) return Usage();
+    Result<double> estimate =
+        client.CountFor(args[0], std::atoi(args[1].c_str()),
+                        std::atoi(args[2].c_str()));
+    if (!estimate.ok()) return Fail(estimate.status());
+    std::printf("%.6g\n", estimate.value());
+    return 0;
+  }
+  if (command == "sample") {
+    if (args.size() != 3) return Usage();
+    Result<SampleResult> sampled =
+        client.SampleWords(args[0], std::atoi(args[1].c_str()),
+                           std::atoll(args[2].c_str()));
+    if (!sampled.ok()) return Fail(sampled.status());
+    for (const Word& word : sampled.value().words) {
+      std::printf("%s\n", nfacount::WordToString(word).c_str());
+    }
+    return 0;
+  }
+  if (command == "extend") {
+    if (args.size() != 2) return Usage();
+    Result<int> level = client.ExtendTo(args[0], std::atoi(args[1].c_str()));
+    if (!level.ok()) return Fail(level.status());
+    std::printf("computed %d\n", level.value());
+    return 0;
+  }
+  if (command == "evict") {
+    if (args.size() != 1) return Usage();
+    Result<bool> was_resident = client.Evict(args[0]);
+    if (!was_resident.ok()) return Fail(was_resident.status());
+    std::printf("%s\n", was_resident.value() ? "demoted" : "already-demoted");
+    return 0;
+  }
+  if (command == "stats") {
+    Result<std::string> json = client.Stats();
+    if (!json.ok()) return Fail(json.status());
+    std::printf("%s\n", json.value().c_str());
+    return 0;
+  }
+  if (command == "shutdown") {
+    Status st = client.Shutdown();
+    if (!st.ok()) return Fail(st);
+    std::printf("ok\n");
+    return 0;
+  }
+  return Usage();
+}

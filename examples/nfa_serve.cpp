@@ -1,0 +1,107 @@
+// nfa_serve — the serve-mode counting daemon (docs/ARCHITECTURE.md "Serve
+// mode"). Listens on 127.0.0.1 and answers wire-protocol requests
+// (serve/protocol.hpp) against a registry of named EngineSessions.
+//
+// Usage:
+//   nfa_serve [--port <p>] [--spill-dir <dir>] [--budget-bytes <b>]
+//             [--threads <k>] [--batch-width <w>] [--no-simd]
+//             [--read-timeout-ms <t>]
+//
+//   --port <p>            TCP port; 0 (default) picks an ephemeral port
+//   --spill-dir <dir>     where demoted sessions checkpoint; required for
+//                         eviction (absent = sessions stay resident)
+//   --budget-bytes <b>    resident-table budget driving LRU demotion
+//                         (-1 = unlimited, the default)
+//   --threads/--batch-width/--no-simd
+//                         runtime knobs applied to every session
+//                         (bit-identical results at every setting)
+//   --read-timeout-ms <t> per-connection receive timeout (slow-loris guard)
+//
+// Prints "listening on 127.0.0.1:<port>" once ready; stops on SIGINT /
+// SIGTERM or a kShutdown request.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+nfacount::serve::ServeDaemon* g_daemon = nullptr;
+
+void HandleSignal(int /*signum*/) {
+  if (g_daemon != nullptr) g_daemon->RequestStop();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: nfa_serve [--port <p>] [--spill-dir <dir>]\n"
+               "                 [--budget-bytes <b>] [--threads <k>]\n"
+               "                 [--batch-width <w>] [--no-simd]\n"
+               "                 [--read-timeout-ms <t>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using nfacount::serve::RegistryOptions;
+  using nfacount::serve::ServeDaemon;
+  using nfacount::serve::ServerOptions;
+  using nfacount::serve::SessionRegistry;
+
+  RegistryOptions registry_options;
+  ServerOptions server_options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      server_options.port =
+          static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (arg == "--spill-dir") {
+      registry_options.spill_dir = next("--spill-dir");
+    } else if (arg == "--budget-bytes") {
+      registry_options.memory_budget_bytes = std::atoll(next("--budget-bytes"));
+    } else if (arg == "--threads") {
+      registry_options.knobs.num_threads = std::atoi(next("--threads"));
+    } else if (arg == "--batch-width") {
+      registry_options.knobs.batch_width = std::atoi(next("--batch-width"));
+    } else if (arg == "--no-simd") {
+      registry_options.knobs.simd_kernels = false;
+    } else if (arg == "--read-timeout-ms") {
+      server_options.read_timeout_ms = std::atoi(next("--read-timeout-ms"));
+    } else {
+      return Usage();
+    }
+  }
+
+  SessionRegistry registry(registry_options);
+  ServeDaemon daemon(&registry, server_options);
+  nfacount::Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  g_daemon = &daemon;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::printf("listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(daemon.port()));
+  std::fflush(stdout);
+
+  daemon.WaitUntilStopRequested();
+  g_daemon = nullptr;
+  daemon.Stop();
+  return 0;
+}

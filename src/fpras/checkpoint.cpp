@@ -11,6 +11,7 @@
 #endif
 
 #include "automata/io.hpp"
+#include "util/wire.hpp"
 
 namespace nfacount {
 
@@ -34,124 +35,9 @@ uint64_t Fnv1a64(const char* data, size_t size) {
   return h;
 }
 
-/// Appends fixed-width little-endian primitives to a byte string.
-class ByteWriter {
- public:
-  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void U32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) {
-      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-  }
-  void U64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-  }
-  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
-  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
-  void F64(double v) {
-    uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    U64(bits);
-  }
-  void Bytes(const void* data, size_t size) {
-    buf_.append(static_cast<const char*>(data), size);
-  }
-  void String(const std::string& s) {
-    U64(s.size());
-    buf_.append(s);
-  }
-
-  std::string& buffer() { return buf_; }
-
- private:
-  std::string buf_;
-};
-
-/// Bounds-checked little-endian reader over a byte span; every overrun is a
-/// DataLoss status (a truncated file fails here, before any semantic check).
-class ByteReader {
- public:
-  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
-
-  Status U8(uint8_t* out) {
-    NFA_RETURN_NOT_OK(Need(1));
-    *out = static_cast<uint8_t>(data_[pos_++]);
-    return Status::Ok();
-  }
-  Status U32(uint32_t* out) {
-    NFA_RETURN_NOT_OK(Need(4));
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    *out = v;
-    return Status::Ok();
-  }
-  Status U64(uint64_t* out) {
-    NFA_RETURN_NOT_OK(Need(8));
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    *out = v;
-    return Status::Ok();
-  }
-  Status I32(int32_t* out) {
-    uint32_t v = 0;
-    NFA_RETURN_NOT_OK(U32(&v));
-    *out = static_cast<int32_t>(v);
-    return Status::Ok();
-  }
-  Status I64(int64_t* out) {
-    uint64_t v = 0;
-    NFA_RETURN_NOT_OK(U64(&v));
-    *out = static_cast<int64_t>(v);
-    return Status::Ok();
-  }
-  Status F64(double* out) {
-    uint64_t bits = 0;
-    NFA_RETURN_NOT_OK(U64(&bits));
-    std::memcpy(out, &bits, sizeof(*out));
-    return Status::Ok();
-  }
-  Status Bytes(void* out, size_t size) {
-    NFA_RETURN_NOT_OK(Need(size));
-    std::memcpy(out, data_ + pos_, size);
-    pos_ += size;
-    return Status::Ok();
-  }
-  Status String(std::string* out, size_t max_size) {
-    uint64_t size = 0;
-    NFA_RETURN_NOT_OK(U64(&size));
-    if (size > max_size) {
-      return Status::DataLoss("checkpoint: embedded string length corrupt");
-    }
-    NFA_RETURN_NOT_OK(Need(static_cast<size_t>(size)));
-    out->assign(data_ + pos_, static_cast<size_t>(size));
-    pos_ += static_cast<size_t>(size);
-    return Status::Ok();
-  }
-
-  size_t remaining() const { return size_ - pos_; }
-
- private:
-  Status Need(size_t bytes) {
-    if (size_ - pos_ < bytes) {
-      return Status::DataLoss("checkpoint truncated: field overruns file");
-    }
-    return Status::Ok();
-  }
-
-  const char* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
+// The byte codec lives in util/wire.hpp (ByteWriter/ByteReader), shared with
+// the serve-mode wire protocol — identical byte semantics to the original
+// in-file classes, so existing checkpoints load unchanged.
 
 void WriteParams(const FprasParams& p, ByteWriter* w) {
   w->U32(static_cast<uint32_t>(p.schedule));

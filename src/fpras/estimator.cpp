@@ -250,6 +250,7 @@ FprasEngine::FprasEngine(const Nfa* nfa, FprasParams params, uint64_t seed)
   assert(params.m == nfa->num_states());
   workers_.resize(1);
   workers_[0].pred_scratch = Bitset(static_cast<size_t>(nfa->num_states()));
+  draw_.pred_scratch = Bitset(static_cast<size_t>(nfa->num_states()));
 }
 
 const FprasDiagnostics& FprasEngine::diagnostics() const {
@@ -259,6 +260,11 @@ const FprasDiagnostics& FprasEngine::diagnostics() const {
     diag_.arena_bytes_reserved += ws.arena.bytes_reserved();
     diag_.arena_alloc_events += ws.arena.alloc_events();
   }
+  // The draw path's dedicated scratch: its counters are part of the same
+  // totals (a sequential run would have accumulated them on worker 0).
+  AccumulateDiag(draw_.diag, &diag_);
+  diag_.arena_bytes_reserved += draw_.arena.bytes_reserved();
+  diag_.arena_alloc_events += draw_.arena.alloc_events();
   // The memo's and descent cache's counters are authoritative (shared across
   // workers); they are the only scheduling-dependent diagnostics.
   diag_.memo_hits = memo_.hits();
@@ -661,14 +667,17 @@ Status FprasEngine::AdvanceLevel(ThreadPool& pool) {
         return Status::Ok();
       }));
   levels_[level].level = level;
-  computed_level_ = level;
-  if (computed_level_ == params_.n) {
+  // Release-publish: a serve-mode reader that acquire-loads computed_level()
+  // and sees `level` also sees every write the cell fan-out made above.
+  computed_level_.store(level, std::memory_order_release);
+  if (level == params_.n) {
     // Final answer. Single accepting state: N(q_F^n) (Alg. 3 line 31).
     // Multiple accepting states: |L(A_n)| = |∪_{f∈F} L(f^n)| via one more
     // AppUnion over the accepting states' (S, N) pairs (footnote 1: the
     // single final state assumption is WLOG). Content-keyed, so resumed
     // and uninterrupted runs agree exactly.
-    final_estimate_ = EstimateUnionOfStates(nfa_->accepting(), params_.n);
+    final_estimate_ =
+        EstimateUnionOfStates(nfa_->accepting(), params_.n, workers_[0]);
   }
   return Status::Ok();
 }
@@ -711,6 +720,13 @@ Status FprasEngine::Prepare() {
     ws.arena.PrepareRun(batch_width_, std::max(n, 1),
                         static_cast<size_t>(m), nfa_->alphabet_size());
   }
+  // Draw-path scratch: its own bundle so post-run draws never contend with
+  // (or corrupt) a concurrently extending sweep's worker slots.
+  draw_ = WorkerScratch{};
+  draw_.pred_scratch = Bitset(static_cast<size_t>(m));
+  draw_.target_scratch = Bitset(static_cast<size_t>(m));
+  draw_.arena.PrepareRun(batch_width_, std::max(n, 1), static_cast<size_t>(m),
+                         nfa_->alphabet_size());
   levels_.assign(static_cast<size_t>(n) + 1, LevelState{});
   for (LevelState& state : levels_) {
     state.cells.resize(static_cast<size_t>(m));
@@ -749,7 +765,7 @@ Status FprasEngine::Prepare() {
   prepared_ = true;
   if (params_.n == 0) {
     // Degenerate horizon: the pipeline is already complete.
-    final_estimate_ = EstimateUnionOfStates(nfa_->accepting(), 0);
+    final_estimate_ = EstimateUnionOfStates(nfa_->accepting(), 0, workers_[0]);
   }
   run_wall_seconds_ += timer.ElapsedSeconds();
   return Status::Ok();
@@ -822,15 +838,17 @@ Status FprasEngine::RestoreComputedState(int computed_level,
     levels_[static_cast<size_t>(level)] =
         std::move(levels[static_cast<size_t>(level)]);
   }
-  computed_level_ = computed_level;
+  computed_level_.store(computed_level, std::memory_order_release);
   post_attempt_counter_ = draw_cursor;
-  if (computed_level_ == params_.n) {
-    final_estimate_ = EstimateUnionOfStates(nfa_->accepting(), params_.n);
+  if (computed_level == params_.n) {
+    final_estimate_ =
+        EstimateUnionOfStates(nfa_->accepting(), params_.n, workers_[0]);
   }
   return Status::Ok();
 }
 
-double FprasEngine::EstimateUnionOfStates(const Bitset& targets, int level) {
+double FprasEngine::EstimateUnionOfStates(const Bitset& targets, int level,
+                                          WorkerScratch& ws) {
   NFA_CHECK(prepared_, "EstimateUnionOfStates requires a prepared engine");
   NFA_CHECK(level >= 0 && level <= computed_level_,
             "EstimateUnionOfStates: level not yet computed");
@@ -840,9 +858,6 @@ double FprasEngine::EstimateUnionOfStates(const Bitset& targets, int level) {
   if (count == 0) return 0.0;
   if (count == 1) return levels_[level].cells[alive.FirstSet()].count_estimate;
 
-  // Sequential post-barrier path: workers_[0] is free once the level
-  // barrier joined.
-  WorkerScratch& ws = workers_[0];
   std::vector<PredecessorInput> inputs;
   alive.ForEachSet([&](int q) {
     inputs.push_back(PredecessorInput{&levels_[level].cells[q],
@@ -877,7 +892,32 @@ double FprasEngine::EstimateAtLength(int level) {
   if (level == 0) {
     return nfa_->IsAccepting(nfa_->initial()) ? 1.0 : 0.0;
   }
-  return EstimateUnionOfStates(nfa_->accepting(), level);
+  return EstimateUnionOfStates(nfa_->accepting(), level, workers_[0]);
+}
+
+FprasEngine::CacheCounters FprasEngine::cache_counters() const {
+  CacheCounters c;
+  c.memo_hits = memo_.hits();
+  c.memo_misses = memo_.misses();
+  c.descent_hits = descent_.hits();
+  c.descent_misses = descent_.misses();
+  c.descent_entries = descent_.entries();
+  c.descent_bytes = descent_.bytes();
+  return c;
+}
+
+int64_t FprasEngine::ApproxTableBytes() const {
+  const int published = computed_level();
+  int64_t bytes = 0;
+  for (int level = 0; level <= published; ++level) {
+    const LevelState& state = levels_[static_cast<size_t>(level)];
+    bytes +=
+        static_cast<int64_t>(state.cells.size() * sizeof(StateLevelData));
+    for (const StateLevelData& cell : state.cells) {
+      bytes += cell.samples.bytes_reserved();
+    }
+  }
+  return bytes;
 }
 
 int64_t FprasEngine::SampleAcceptedInto(const Bitset& targets, int level,
@@ -895,13 +935,14 @@ int64_t FprasEngine::SampleAcceptedInto(const Bitset& targets, int level,
 
   // γ0 = 2/(3e) · 1/N where N estimates |∪ L(q^level)| — computed once and
   // amortized over every walk of this call's batches.
-  const double union_estimate = EstimateUnionOfStates(alive, level);
+  const double union_estimate = EstimateUnionOfStates(alive, level, draw_);
   if (!(union_estimate > 0.0)) return 0;
   const double gamma0 = kGammaNumerator / union_estimate;
 
-  // Post-run draws run sequentially on worker slot 0 (the level barrier has
-  // joined).
-  WorkerScratch& ws = workers_[0];
+  // Post-run draws own their dedicated scratch bundle, so they may run
+  // concurrently with an extending sweep on the worker slots (serve mode);
+  // callers serialize draws among themselves (the attempt cursor is plain).
+  WorkerScratch& ws = draw_;
   int64_t appended = 0;
   int64_t attempts_left = max_attempts;
   while (attempts_left > 0 && appended < min_accepts) {

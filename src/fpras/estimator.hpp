@@ -51,6 +51,18 @@
 // knobs, and still produce bit-identical tables, estimates, and post-run
 // draws to one uninterrupted Run(). EngineSession (fpras/session.hpp) is the
 // user-facing wrapper over this contract.
+//
+// Serve-mode seam (docs/ARCHITECTURE.md "Serve mode"): the post-run draw
+// path owns a dedicated scratch bundle (draw_) distinct from the sweep
+// workers, and computed_level_ is an atomic, so ONE extending thread
+// (RunToLevel) may run concurrently with draw/read threads as long as the
+// readers only touch levels the extender has already finished: frozen
+// LevelStates are immutable, the union memo and descent cache are internally
+// locked, and every estimate is content-keyed, so the interleaving is
+// invisible in all results. Callers provide the level-visibility fence (the
+// EngineSession read plane publishes levels with release/acquire ordering)
+// and must serialize draws among themselves (post_attempt_counter_ is a
+// plain cursor); diagnostics() still requires quiescence.
 
 #ifndef NFACOUNT_FPRAS_ESTIMATOR_HPP_
 #define NFACOUNT_FPRAS_ESTIMATOR_HPP_
@@ -337,7 +349,13 @@ class FprasEngine {
   Status RunToLevel(int target);
 
   /// Highest level whose LevelState is computed; -1 before Prepare().
-  int computed_level() const { return computed_level_; }
+  /// Safe to call from reader threads while another thread runs RunToLevel
+  /// (acquire-load; pairs with the release store at the end of each
+  /// AdvanceLevel, so a reader that observes level ℓ also observes every
+  /// byte of levels_[0..ℓ]).
+  int computed_level() const {
+    return computed_level_.load(std::memory_order_acquire);
+  }
 
   /// The maximum level this engine can compute (params().n): parameter
   /// derivation fixed β, ns, xns for this horizon at construction.
@@ -432,6 +450,28 @@ class FprasEngine {
 
   const UnrolledNfa& unrolled() const { return unrolled_; }
 
+  /// Snapshot of the shared caches' atomic counters (union memo + descent
+  /// cache). Unlike diagnostics(), this reads only atomics and is safe to
+  /// call from any thread at any time — it is the serve-mode stats surface.
+  struct CacheCounters {
+    int64_t memo_hits = 0;       ///< UnionSizeMemo hits
+    int64_t memo_misses = 0;     ///< UnionSizeMemo misses
+    int64_t descent_hits = 0;    ///< DescentCache hits (sizes + rows)
+    int64_t descent_misses = 0;  ///< DescentCache misses
+    int64_t descent_entries = 0; ///< admitted DescentCache entries
+    int64_t descent_bytes = 0;   ///< approximate DescentCache footprint
+  };
+
+  /// Thread-safe cache-counter snapshot (see CacheCounters).
+  CacheCounters cache_counters() const;
+
+  /// Approximate bytes held live by the computed LevelStates (the flat
+  /// sample slabs plus the cell array itself). Reads only levels that are
+  /// already published by computed_level(), so it is safe concurrently with
+  /// an extending RunToLevel — the number trails by at most the level in
+  /// flight. Serve-mode eviction budgets are fed from this.
+  int64_t ApproxTableBytes() const;
+
  private:
   /// Per-worker scratch bundle: everything a cell computation mutates other
   /// than its own levels_[ℓ].cells[q] slot. One instance per ThreadPool worker slot
@@ -505,8 +545,10 @@ class FprasEngine {
 
   /// |∪_{q ∈ targets∩reachable(level)} L(q^level)| estimate: N for a
   /// singleton, AppUnion over the members otherwise (drawn from the
-  /// content-keyed final-union substream, so repeated calls agree).
-  double EstimateUnionOfStates(const Bitset& targets, int level);
+  /// content-keyed final-union substream, so repeated calls agree —
+  /// regardless of which scratch bundle `ws` the caller lends).
+  double EstimateUnionOfStates(const Bitset& targets, int level,
+                               WorkerScratch& ws);
 
   const Nfa* nfa_;
   FprasParams params_;
@@ -522,16 +564,27 @@ class FprasEngine {
   const simd::BitsetKernels* kernels_ = nullptr;
   int batch_width_ = FprasParams::kDefaultBatchWidth;  ///< resolved by Run()
   /// Worker slot scratch; workers_[i] is owned by pool worker slot i during
-  /// AdvanceLevel, and workers_[0] serves the sequential post-run API.
+  /// AdvanceLevel, and workers_[0] serves the sequential query accessors
+  /// (EstimateAtLength and friends) between sweeps.
   std::vector<WorkerScratch> workers_;
+  /// Dedicated scratch for the post-run draw path (SampleWord /
+  /// SampleAcceptedInto): draws never share scratch with the sweep workers,
+  /// so serve-mode readers may draw against published levels while one
+  /// writer thread runs AdvanceLevel above them (see the "Serve-mode seam"
+  /// file comment).
+  WorkerScratch draw_;
   /// Lazily-created level-sweep pool, reused across every RunToLevel call of
   /// one prepared run (incremental extensions must not respawn threads per
   /// step). Reset by Prepare(); idle (condition-wait) between sweeps.
   std::unique_ptr<ThreadPool> pool_;
   /// The pipeline: levels_[ℓ] is frozen once computed (ℓ <= computed_level_).
+  /// Pre-sized to horizon()+1 by Prepare(), so extension never reallocates —
+  /// concurrent readers of frozen levels hold stable pointers.
   std::vector<LevelState> levels_;
-  /// Highest computed level; -1 until Prepare() installs level 0.
-  int computed_level_ = -1;
+  /// Highest computed level; -1 until Prepare() installs level 0. Atomic so
+  /// serve-mode readers can poll it against a concurrently extending writer;
+  /// AdvanceLevel stores with release ordering after freezing the level.
+  std::atomic<int> computed_level_{-1};
   UnionSizeMemo memo_;  ///< sample-context union sizes, shared across workers
   /// Cross-batch descent cache (sizes + predecessor rows per (level,
   /// frontier)), shared across workers like the memo. Reset by Prepare()

@@ -16,6 +16,25 @@ constexpr int64_t kAttemptsPerDraw = 4096;
 
 }  // namespace
 
+EngineSession::EngineSession(std::unique_ptr<Nfa> nfa,
+                             std::unique_ptr<FprasEngine> engine,
+                             uint64_t seed)
+    : nfa_(std::move(nfa)),
+      engine_(std::move(engine)),
+      seed_(seed),
+      plane_(std::make_unique<ReadPlane>()) {
+  // Publish whatever the engine already computed (level 0 after Create, the
+  // restored prefix after Restore). The warm-up estimates are content-keyed,
+  // so they equal — bit for bit — what any later query would compute.
+  plane_->estimates.assign(static_cast<size_t>(engine_->horizon()) + 1, 0.0);
+  const int computed = engine_->computed_level();
+  for (int level = 0; level <= computed; ++level) {
+    plane_->estimates[static_cast<size_t>(level)] =
+        engine_->EstimateAtLength(level);
+  }
+  plane_->published.store(computed, std::memory_order_release);
+}
+
 Result<EngineSession> EngineSession::Create(const Nfa& nfa, int horizon,
                                             const CountOptions& options) {
   NFA_RETURN_NOT_OK(nfa.Validate());
@@ -74,7 +93,17 @@ Status EngineSession::CheckLength(int length) const {
 
 Status EngineSession::ExtendTo(int level) {
   NFA_RETURN_NOT_OK(CheckLength(level));
-  return engine_->RunToLevel(level);
+  // Level-by-level so each finished level becomes reader-visible as soon as
+  // the sweep leaves it: cache its estimate first, then release-publish the
+  // fence (a reader that acquire-loads `published >= ℓ` sees both the frozen
+  // LevelState and estimates[ℓ]).
+  for (int next = engine_->computed_level() + 1; next <= level; ++next) {
+    NFA_RETURN_NOT_OK(engine_->RunToLevel(next));
+    plane_->estimates[static_cast<size_t>(next)] =
+        engine_->EstimateAtLength(next);
+    plane_->published.store(next, std::memory_order_release);
+  }
+  return Status::Ok();
 }
 
 Result<double> EngineSession::CountAtLength(int length) {
@@ -120,6 +149,74 @@ Result<std::vector<Word>> EngineSession::SampleWords(int length,
         "sampling attempts exhausted; tables likely inaccurate");
   }
   return out;
+}
+
+int EngineSession::published_level() const {
+  return plane_->published.load(std::memory_order_acquire);
+}
+
+Result<double> EngineSession::SharedCountAtLength(int length) const {
+  NFA_RETURN_NOT_OK(CheckLength(length));
+  if (length > published_level()) {
+    return Status::FailedPrecondition(
+        "length not yet published; extend the session first");
+  }
+  return plane_->estimates[static_cast<size_t>(length)];
+}
+
+Result<double> EngineSession::SharedCountFor(StateId q, int length) const {
+  NFA_RETURN_NOT_OK(CheckLength(length));
+  if (q < 0 || q >= nfa_->num_states()) {
+    return Status::Invalid("SharedCountFor: state out of [0, m)");
+  }
+  if (length > published_level()) {
+    return Status::FailedPrecondition(
+        "length not yet published; extend the session first");
+  }
+  // The acquire above makes level `length` frozen and fully visible.
+  return engine_->CountEstimateFor(q, length);
+}
+
+Result<std::vector<Word>> EngineSession::SharedSampleWords(
+    int length, int64_t count, int64_t* cursor_start) {
+  NFA_RETURN_NOT_OK(CheckLength(length));
+  if (count < 0) {
+    return Status::Invalid("SharedSampleWords: count must be >= 0");
+  }
+  if (length > published_level()) {
+    return Status::FailedPrecondition(
+        "length not yet published; extend the session first");
+  }
+  // One draw chunk at a time: the counter-keyed draw stream is a single
+  // sequential sequence, and each chunk consumes a contiguous attempt range
+  // starting at the cursor we report back to the caller.
+  std::lock_guard<std::mutex> lock(plane_->draw_mu);
+  if (cursor_start != nullptr) *cursor_start = engine_->draw_cursor();
+  std::vector<Word> out;
+  if (count == 0) return out;
+  if (length == 0) {
+    if (!nfa_->IsAccepting(nfa_->initial())) {
+      return Status::NotFound("L(A_0) is empty");
+    }
+    out.assign(static_cast<size_t>(count), Word{});
+    return out;
+  }
+  if (!(plane_->estimates[static_cast<size_t>(length)] > 0.0)) {
+    return Status::NotFound("language estimated empty at this length");
+  }
+  out.reserve(static_cast<size_t>(count));
+  const int64_t appended = engine_->SampleAcceptedInto(
+      nfa_->accepting(), length, kAttemptsPerDraw * count, count, &out,
+      /*consume_exact=*/true);
+  if (appended < count) {
+    return Status::ResourceExhausted(
+        "sampling attempts exhausted; tables likely inaccurate");
+  }
+  return out;
+}
+
+int64_t EngineSession::ApproxResidentBytes() const {
+  return engine_->ApproxTableBytes();
 }
 
 Status EngineSession::Save(const std::string& path) const {

@@ -25,11 +25,26 @@
 // fresh uninterrupted run at the same (nfa, horizon, eps, delta, schedule,
 // calibration, seed) produce bit-identical estimates, per-(q,ℓ) tables, and
 // draw sequences (tests/test_session.cpp, tests/test_checkpoint.cpp).
+//
+// Concurrent-read seam (serve mode, docs/ARCHITECTURE.md "Serve mode"): the
+// Shared* accessors answer queries from the published prefix of computed
+// levels while at most ONE thread extends the session (ExtendTo /
+// CountAtLength / CountFor / SampleWords are writer-side). ExtendTo
+// publishes each level — and its cached |L(A_ℓ)| estimate — with release
+// ordering as soon as the sweep finishes it, so readers see level-complete
+// prefixes mid-extension and never block each other: SharedCountAtLength /
+// SharedCountFor are lock-free, and SharedSampleWords serializes only
+// against other draws (one internal mutex around the shared draw cursor),
+// never against counts. Reader answers are bit-identical to a quiesced
+// session at the same length — the published values ARE the single-threaded
+// values, cached rather than recomputed.
 
 #ifndef NFACOUNT_FPRAS_SESSION_HPP_
 #define NFACOUNT_FPRAS_SESSION_HPP_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -111,6 +126,49 @@ class EngineSession {
                                        std::vector<LevelState> levels,
                                        int64_t draw_cursor);
 
+  // --- Concurrent-read surface (serve mode) -------------------------------
+  //
+  // Safe to call from any number of reader threads while one other thread
+  // extends the session; see the "Concurrent-read seam" file comment. All
+  // other mutating entry points (ExtendTo and the query methods above,
+  // Save) are writer-side: callers must ensure at most one of them runs at
+  // a time, and none runs concurrently with itself.
+
+  /// Highest level whose estimate is published to readers (acquire-load;
+  /// trails computed_level() only inside an ExtendTo step).
+  int published_level() const;
+
+  /// |L(A_length)| from the published estimate cache. Never extends and
+  /// never blocks: FailedPrecondition when `length` is beyond the published
+  /// prefix (the caller decides whether to extend or fail the query).
+  Result<double> SharedCountAtLength(int length) const;
+
+  /// N(q^length) read directly from the frozen published level (lock-free).
+  /// Same visibility rule as SharedCountAtLength.
+  Result<double> SharedCountFor(StateId q, int length) const;
+
+  /// Draws `count` words from L(A_length) against the published prefix,
+  /// serialized against other draws by an internal mutex (counts are never
+  /// blocked). The chunk consumes the same counter-keyed draw stream as
+  /// SampleWords: if `cursor_start` is non-null it receives the draw-cursor
+  /// value at which this chunk began, so concurrent callers can reassemble
+  /// their chunks into the deterministic single-threaded sequence.
+  Result<std::vector<Word>> SharedSampleWords(int length, int64_t count,
+                                              int64_t* cursor_start = nullptr);
+
+  /// Approximate bytes held live by the computed tables (the eviction
+  /// budget's input). Reads only published levels, so it may run while an
+  /// extension is in flight — the number then trails by the level in flight.
+  int64_t ApproxResidentBytes() const;
+
+  /// Thread-safe snapshot of the shared caches' atomic counters — the
+  /// serve-mode stats surface (diagnostics() requires quiescence).
+  FprasEngine::CacheCounters cache_counters() const {
+    return engine_->cache_counters();
+  }
+
+  // ------------------------------------------------------------------------
+
   /// Highest level computed so far (0 right after Create).
   int computed_level() const { return engine_->computed_level(); }
   /// The immutable maximum level of this session.
@@ -130,9 +188,25 @@ class EngineSession {
   const FprasEngine& engine() const { return *engine_; }
 
  private:
-  EngineSession(std::unique_ptr<Nfa> nfa,
-                std::unique_ptr<FprasEngine> engine, uint64_t seed)
-      : nfa_(std::move(nfa)), engine_(std::move(engine)), seed_(seed) {}
+  /// Reader-visible state published by the writer: the level fence and the
+  /// per-level estimate cache behind it. Held by unique_ptr so the session
+  /// stays movable (atomics and mutexes are not) and so reader threads keep
+  /// a stable address across moves of the session object itself.
+  struct ReadPlane {
+    /// Highest level whose estimate (and frozen LevelState) readers may
+    /// touch. Release-stored by the writer after estimates[ℓ] is written.
+    std::atomic<int> published{-1};
+    /// estimates[ℓ] = |L(A_ℓ)| for ℓ <= published; written once, then
+    /// immutable (the engine's content-keyed estimate is deterministic, so
+    /// the cached value equals any recomputation bit for bit).
+    std::vector<double> estimates;
+    /// Serializes SharedSampleWords chunks: the draw cursor is one shared
+    /// sequential stream (that is the determinism contract, not a limit).
+    std::mutex draw_mu;
+  };
+
+  EngineSession(std::unique_ptr<Nfa> nfa, std::unique_ptr<FprasEngine> engine,
+                uint64_t seed);
 
   /// Validates a query length against the horizon as Status (the session
   /// surface reports misuse as errors, not NFA_CHECK aborts).
@@ -141,6 +215,7 @@ class EngineSession {
   std::unique_ptr<Nfa> nfa_;         ///< owned copy; engine_ points into it
   std::unique_ptr<FprasEngine> engine_;
   uint64_t seed_ = 0;
+  std::unique_ptr<ReadPlane> plane_; ///< never null after construction
 };
 
 }  // namespace nfacount

@@ -1,0 +1,72 @@
+// ServeClient — a blocking, single-connection client for the serve-mode
+// wire protocol (serve/protocol.hpp). One request in flight at a time;
+// open several clients for concurrency (the daemon serves each connection
+// on its own thread). Used by tests, bench_e16_serve, and the nfa_client
+// example binary.
+
+#ifndef NFACOUNT_SERVE_CLIENT_HPP_
+#define NFACOUNT_SERVE_CLIENT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/net.hpp"
+
+namespace nfacount {
+namespace serve {
+
+/// One SampleWords reply: the words plus where in the session's
+/// deterministic draw stream this chunk started (for reassembling the
+/// stream across concurrent clients).
+struct SampleResult {
+  int64_t cursor_start = 0;  ///< first attempt cursor of this chunk
+  std::vector<Word> words;   ///< the drawn words, in stream order
+};
+
+/// A connected serve-mode client. Movable, not copyable.
+class ServeClient {
+ public:
+  /// Connects to a daemon on 127.0.0.1:`port`.
+  static Result<ServeClient> Connect(uint16_t port);
+
+  /// Round-trips an empty kPing frame.
+  Status Ping();
+  /// Registers a named session on the daemon.
+  Status Register(const RegisterRequest& req);
+  /// |L(A_length)| of the named session.
+  Result<double> CountAtLength(const std::string& name, int length);
+  /// N(q^length) of the named session.
+  Result<double> CountFor(const std::string& name, int32_t state, int length);
+  /// Draws `count` words from L(A_length) of the named session.
+  Result<SampleResult> SampleWords(const std::string& name, int length,
+                                   int64_t count);
+  /// Extends the named session to `level`; returns the computed level.
+  Result<int> ExtendTo(const std::string& name, int level);
+  /// Demotes the named session to its checkpoint; true iff it was resident.
+  Result<bool> Evict(const std::string& name);
+  /// The daemon's stats JSON document.
+  Result<std::string> Stats();
+  /// Asks the daemon to stop (it replies OK first).
+  Status Shutdown();
+
+  /// The underlying socket — exposed so fault-injection tests can push raw
+  /// malformed bytes at the daemon.
+  SocketFd& socket() { return sock_; }
+
+ private:
+  explicit ServeClient(SocketFd sock) : sock_(std::move(sock)) {}
+
+  /// Sends one request frame and reads the kReply: propagates transport
+  /// errors and non-OK reply statuses; on OK returns the reply body (the
+  /// bytes after the status block).
+  Result<std::string> RoundTrip(MsgType type, const std::string& payload);
+
+  SocketFd sock_;
+};
+
+}  // namespace serve
+}  // namespace nfacount
+
+#endif  // NFACOUNT_SERVE_CLIENT_HPP_

@@ -1,0 +1,168 @@
+// The serve-mode wire protocol: length-prefixed binary frames over TCP (see
+// docs/FILE_FORMATS.md "Serve wire protocol" for the byte-level spec).
+//
+// Every message is one frame:
+//
+//   offset  size  field
+//   0       4     magic 'N' 'F' 'S' 'V'
+//   4       2     protocol version (u16 LE, currently 1)
+//   6       2     message type (u16 LE, MsgType)
+//   8       4     payload length (u32 LE, <= kMaxPayloadBytes)
+//   12      len   payload (op-specific, util/wire.hpp encoding)
+//
+// Requests flow client → server; the server answers every request with one
+// kReply frame whose payload starts with a status block (u16 code + string
+// message) followed by an op-specific body when the status is OK. Framing
+// violations are classified by the reader: a clean close between frames is
+// NotFound ("end of stream"), a close mid-frame is DataLoss, bad magic /
+// version / oversized declared length is InvalidArgument — the daemon turns
+// all of them into clean connection teardown, never a crash.
+
+#ifndef NFACOUNT_SERVE_PROTOCOL_HPP_
+#define NFACOUNT_SERVE_PROTOCOL_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.hpp"
+#include "util/net.hpp"
+#include "util/status.hpp"
+#include "util/wire.hpp"
+
+namespace nfacount {
+namespace serve {
+
+/// Frame magic: 'N' 'F' 'S' 'V'.
+constexpr char kFrameMagic[4] = {'N', 'F', 'S', 'V'};
+/// Current protocol version.
+constexpr uint16_t kProtocolVersion = 1;
+/// Hard cap on a declared payload length; larger declarations are rejected
+/// before any allocation (InvalidArgument).
+constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+/// Frame header size in bytes (magic + version + type + payload length).
+constexpr size_t kFrameHeaderBytes = 12;
+
+/// Message types. Requests are client → server; kReply is the only
+/// server → client type.
+enum class MsgType : uint16_t {
+  kReply = 0,       ///< status block + op-specific body
+  kPing = 1,        ///< empty payload; replies OK
+  kRegister = 2,    ///< RegisterRequest
+  kCount = 3,       ///< CountRequest → F64 estimate
+  kCountState = 4,  ///< CountStateRequest → F64 estimate
+  kSample = 5,      ///< SampleRequest → U64 cursor + words
+  kExtend = 6,      ///< ExtendRequest → I32 computed level
+  kStats = 7,       ///< empty payload → String json
+  kEvict = 8,       ///< EvictRequest → U8 was-resident flag
+  kShutdown = 9,    ///< empty payload; replies OK, then the daemon stops
+};
+
+/// Number of distinct message types (metrics array size).
+constexpr int kNumMsgTypes = 10;
+
+/// One decoded frame: the type tag and the raw payload bytes.
+struct Frame {
+  MsgType type = MsgType::kReply;  ///< message type from the header
+  std::string payload;             ///< payload bytes (possibly empty)
+};
+
+/// Registers a named session built from an automaton in the io.hpp text
+/// format, with parameters derived at `horizon`.
+struct RegisterRequest {
+  std::string name;      ///< session name, [A-Za-z0-9_.-]{1,128}
+  std::string nfa_text;  ///< automaton (automata/io.hpp text format)
+  int32_t horizon = 0;   ///< session horizon (fixes parameter derivation)
+  uint64_t seed = 0;     ///< seed of the randomized run
+  double eps = 0.3;      ///< accuracy ε
+  double delta = 0.2;    ///< failure probability δ
+};
+
+/// |L(A_length)| query against a named session.
+struct CountRequest {
+  std::string name;    ///< session name
+  int32_t length = 0;  ///< word length
+};
+
+/// Per-state N(q^length) query against a named session.
+struct CountStateRequest {
+  std::string name;    ///< session name
+  int32_t state = 0;   ///< state id q
+  int32_t length = 0;  ///< level ℓ
+};
+
+/// Draws `count` words from L(A_length) of a named session.
+struct SampleRequest {
+  std::string name;    ///< session name
+  int32_t length = 0;  ///< word length
+  int64_t count = 0;   ///< number of words to draw
+};
+
+/// Extends a named session's computed prefix to `level`.
+struct ExtendRequest {
+  std::string name;   ///< session name
+  int32_t level = 0;  ///< target level
+};
+
+/// Demotes a named session to its disk checkpoint now.
+struct EvictRequest {
+  std::string name;  ///< session name
+};
+
+/// Writes one frame (header + payload) to `sock`. Payloads larger than
+/// kMaxPayloadBytes are refused (InvalidArgument). Honors the fault-injection
+/// hook internal::g_frame_write_limit.
+Status WriteFrame(const SocketFd& sock, MsgType type,
+                  const std::string& payload);
+
+/// Reads one frame from `sock`, validating magic, version, and declared
+/// payload length before allocating. Error classification: clean close
+/// between frames → NotFound; close mid-frame → DataLoss; bad magic/version/
+/// oversize → InvalidArgument; receive timeout → DeadlineExceeded.
+Result<Frame> ReadFrame(const SocketFd& sock);
+
+/// @name Request payload codecs
+/// Encode builds the payload string; Decode parses one and rejects trailing
+/// bytes (DataLoss), so a malformed request can never be half-read.
+/// @{
+std::string EncodeRegister(const RegisterRequest& req);
+Result<RegisterRequest> DecodeRegister(const std::string& payload);
+std::string EncodeCount(const CountRequest& req);
+Result<CountRequest> DecodeCount(const std::string& payload);
+std::string EncodeCountState(const CountStateRequest& req);
+Result<CountStateRequest> DecodeCountState(const std::string& payload);
+std::string EncodeSample(const SampleRequest& req);
+Result<SampleRequest> DecodeSample(const std::string& payload);
+std::string EncodeExtend(const ExtendRequest& req);
+Result<ExtendRequest> DecodeExtend(const std::string& payload);
+std::string EncodeEvict(const EvictRequest& req);
+Result<EvictRequest> DecodeEvict(const std::string& payload);
+/// @}
+
+/// Appends the reply status block (u16 code + string message) to `w`.
+void WriteReplyStatus(const Status& status, ByteWriter* w);
+
+/// Reads a reply status block from `r` into *out, reconstructing the Status
+/// (OK when the code is 0). Unknown code values and truncation are reported
+/// via the return value (DataLoss); *out is only meaningful on OK return.
+Status ReadReplyStatus(ByteReader* r, Status* out);
+
+/// Appends a word (u32 length + raw symbol bytes) to `w`.
+void WriteWord(const Word& word, ByteWriter* w);
+
+/// Reads a word written by WriteWord; lengths above kMaxPayloadBytes are
+/// DataLoss.
+Status ReadWord(ByteReader* r, Word* out);
+
+namespace internal {
+/// Fault-injection hook (test-only, same pattern as
+/// g_checkpoint_write_limit): when >= 0, WriteFrame sends only the first
+/// `g_frame_write_limit` bytes of the encoded frame and reports Unavailable
+/// — simulating a peer that dies mid-frame. -1 (default) disables.
+extern int64_t g_frame_write_limit;
+}  // namespace internal
+
+}  // namespace serve
+}  // namespace nfacount
+
+#endif  // NFACOUNT_SERVE_PROTOCOL_HPP_

@@ -1,0 +1,330 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "automata/io.hpp"
+
+namespace nfacount {
+namespace serve {
+
+SessionRegistry::SessionRegistry(RegistryOptions options)
+    : options_(std::move(options)) {}
+
+bool SessionRegistry::ValidName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Status SessionRegistry::Register(const std::string& name,
+                                 const std::string& nfa_text, int horizon,
+                                 uint64_t seed, double eps, double delta) {
+  if (!ValidName(name)) {
+    return Status::Invalid("registry: malformed session name '" + name + "'");
+  }
+  Result<Nfa> parsed = ParseNfaText(nfa_text);
+  if (!parsed.ok()) return parsed.status();
+
+  CountOptions co;
+  co.eps = eps;
+  co.delta = delta;
+  co.seed = seed;
+  co.num_threads = options_.knobs.num_threads;
+  co.batch_width = options_.knobs.batch_width;
+  co.simd_kernels = options_.knobs.simd_kernels;
+  co.csr_hot_path = options_.knobs.csr_hot_path;
+  co.descent_cache_capacity = options_.knobs.descent_cache_capacity;
+  Result<EngineSession> created =
+      EngineSession::Create(std::move(parsed).value(), horizon, co);
+  if (!created.ok()) return created.status();
+
+  auto slot = std::make_unique<Slot>();
+  slot->name = name;
+  if (!options_.spill_dir.empty()) {
+    slot->ckpt_path = options_.spill_dir + "/" + name + ".ckpt";
+  }
+  slot->session =
+      std::make_unique<EngineSession>(std::move(created).value());
+  slot->bytes.store(slot->session->ApproxResidentBytes(),
+                    std::memory_order_relaxed);
+  slot->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    auto [it, inserted] = slots_.emplace(name, std::move(slot));
+    (void)it;
+    if (!inserted) {
+      return Status::Invalid("registry: session '" + name +
+                             "' is already registered");
+    }
+  }
+  EnforceBudget();
+  return Status::Ok();
+}
+
+Result<SessionRegistry::Slot*> SessionRegistry::FindSlot(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    return Status::NotFound("registry: no session named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<std::shared_lock<std::shared_mutex>> SessionRegistry::PinResident(
+    Slot* slot) {
+  for (;;) {
+    std::shared_lock<std::shared_mutex> pin(slot->mu);
+    if (slot->session != nullptr) return pin;
+    pin.unlock();
+    // Demoted: upgrade to exclusive and revive from the checkpoint. Another
+    // thread may win the race — re-check under the exclusive lock.
+    std::unique_lock<std::shared_mutex> ex(slot->mu);
+    if (slot->session == nullptr) {
+      if (!slot->spilled) {
+        return Status::Internal("registry: slot '" + slot->name +
+                                "' has no session and no checkpoint");
+      }
+      Result<EngineSession> revived =
+          EngineSession::Load(slot->ckpt_path, &options_.knobs);
+      if (!revived.ok()) {
+        // A corrupted checkpoint fails THIS query only; the slot stays
+        // demoted and the registry (and daemon) keep serving.
+        return revived.status();
+      }
+      slot->session =
+          std::make_unique<EngineSession>(std::move(revived).value());
+      slot->bytes.store(slot->session->ApproxResidentBytes(),
+                        std::memory_order_relaxed);
+      revives_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Loop back to retake the lock in shared mode.
+  }
+}
+
+Result<double> SessionRegistry::CountAtLength(const std::string& name,
+                                              int length) {
+  Slot* slot = nullptr;
+  NFA_ASSIGN_OR_RETURN(slot, FindSlot(name));
+  slot->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  Result<double> out = 0.0;
+  {
+    Result<std::shared_lock<std::shared_mutex>> pin = PinResident(slot);
+    if (!pin.ok()) return pin.status();
+    std::shared_lock<std::shared_mutex> lock = std::move(pin).value();
+    EngineSession* session = slot->session.get();
+    out = session->SharedCountAtLength(length);
+    if (!out.ok() && out.status().code() == StatusCode::kFailedPrecondition) {
+      // Past the published prefix: become the (single) writer and extend.
+      std::lock_guard<std::mutex> writer(slot->writer_mu);
+      NFA_RETURN_NOT_OK(session->ExtendTo(length));
+      slot->bytes.store(session->ApproxResidentBytes(),
+                        std::memory_order_relaxed);
+      out = session->SharedCountAtLength(length);
+    }
+  }
+  EnforceBudget();
+  return out;
+}
+
+Result<double> SessionRegistry::CountFor(const std::string& name, StateId q,
+                                         int length) {
+  Slot* slot = nullptr;
+  NFA_ASSIGN_OR_RETURN(slot, FindSlot(name));
+  slot->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  Result<double> out = 0.0;
+  {
+    Result<std::shared_lock<std::shared_mutex>> pin = PinResident(slot);
+    if (!pin.ok()) return pin.status();
+    std::shared_lock<std::shared_mutex> lock = std::move(pin).value();
+    EngineSession* session = slot->session.get();
+    out = session->SharedCountFor(q, length);
+    if (!out.ok() && out.status().code() == StatusCode::kFailedPrecondition) {
+      std::lock_guard<std::mutex> writer(slot->writer_mu);
+      NFA_RETURN_NOT_OK(session->ExtendTo(length));
+      slot->bytes.store(session->ApproxResidentBytes(),
+                        std::memory_order_relaxed);
+      out = session->SharedCountFor(q, length);
+    }
+  }
+  EnforceBudget();
+  return out;
+}
+
+Result<std::vector<Word>> SessionRegistry::SampleWords(const std::string& name,
+                                                       int length,
+                                                       int64_t count,
+                                                       int64_t* cursor_start) {
+  Slot* slot = nullptr;
+  NFA_ASSIGN_OR_RETURN(slot, FindSlot(name));
+  slot->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  Result<std::vector<Word>> out = std::vector<Word>();
+  {
+    Result<std::shared_lock<std::shared_mutex>> pin = PinResident(slot);
+    if (!pin.ok()) return pin.status();
+    std::shared_lock<std::shared_mutex> lock = std::move(pin).value();
+    EngineSession* session = slot->session.get();
+    out = session->SharedSampleWords(length, count, cursor_start);
+    if (!out.ok() && out.status().code() == StatusCode::kFailedPrecondition) {
+      {
+        std::lock_guard<std::mutex> writer(slot->writer_mu);
+        NFA_RETURN_NOT_OK(session->ExtendTo(length));
+        slot->bytes.store(session->ApproxResidentBytes(),
+                          std::memory_order_relaxed);
+      }
+      out = session->SharedSampleWords(length, count, cursor_start);
+    }
+  }
+  EnforceBudget();
+  return out;
+}
+
+Result<int> SessionRegistry::ExtendTo(const std::string& name, int level) {
+  Slot* slot = nullptr;
+  NFA_ASSIGN_OR_RETURN(slot, FindSlot(name));
+  slot->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  int published = -1;
+  {
+    Result<std::shared_lock<std::shared_mutex>> pin = PinResident(slot);
+    if (!pin.ok()) return pin.status();
+    std::shared_lock<std::shared_mutex> lock = std::move(pin).value();
+    EngineSession* session = slot->session.get();
+    {
+      std::lock_guard<std::mutex> writer(slot->writer_mu);
+      NFA_RETURN_NOT_OK(session->ExtendTo(level));
+      slot->bytes.store(session->ApproxResidentBytes(),
+                        std::memory_order_relaxed);
+    }
+    published = session->published_level();
+  }
+  EnforceBudget();
+  return published;
+}
+
+Result<bool> SessionRegistry::Evict(const std::string& name) {
+  if (options_.spill_dir.empty()) {
+    return Status::FailedPrecondition(
+        "registry: eviction requires a spill directory");
+  }
+  Slot* slot = nullptr;
+  NFA_ASSIGN_OR_RETURN(slot, FindSlot(name));
+  std::unique_lock<std::shared_mutex> ex(slot->mu);
+  if (slot->session == nullptr) return false;
+  NFA_RETURN_NOT_OK(DemoteLocked(slot));
+  return true;
+}
+
+Status SessionRegistry::DemoteLocked(Slot* slot) {
+  Status saved = slot->session->Save(slot->ckpt_path);
+  if (!saved.ok()) {
+    demote_failures_.fetch_add(1, std::memory_order_relaxed);
+    return saved;
+  }
+  slot->session.reset();
+  slot->spilled = true;
+  slot->bytes.store(0, std::memory_order_relaxed);
+  demotions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void SessionRegistry::EnforceBudget() {
+  if (options_.memory_budget_bytes < 0 || options_.spill_dir.empty()) return;
+  for (;;) {
+    if (resident_bytes() <= options_.memory_budget_bytes) return;
+    // Snapshot the slots, oldest stamp first. Residency is only checked
+    // under each slot's lock (try-lock: never wait behind a live query).
+    std::vector<Slot*> candidates;
+    {
+      std::lock_guard<std::mutex> lock(map_mu_);
+      candidates.reserve(slots_.size());
+      for (auto& entry : slots_) candidates.push_back(entry.second.get());
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Slot* a, const Slot* b) {
+                return a->last_used.load(std::memory_order_relaxed) <
+                       b->last_used.load(std::memory_order_relaxed);
+              });
+    bool progressed = false;
+    for (Slot* slot : candidates) {
+      std::unique_lock<std::shared_mutex> ex(slot->mu, std::try_to_lock);
+      if (!ex.owns_lock()) continue;
+      if (slot->session == nullptr) continue;
+      if (!DemoteLocked(slot).ok()) continue;
+      progressed = true;
+      if (resident_bytes() <= options_.memory_budget_bytes) return;
+    }
+    // Everything evictable is evicted (or busy); give up rather than spin.
+    if (!progressed) return;
+  }
+}
+
+int64_t SessionRegistry::resident_bytes() const {
+  int64_t total = 0;
+  std::lock_guard<std::mutex> lock(map_mu_);
+  for (const auto& entry : slots_) {
+    total += entry.second->bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void SessionRegistry::RenderStats(JsonObject* out) const {
+  std::vector<Slot*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    snapshot.reserve(slots_.size());
+    for (const auto& entry : slots_) snapshot.push_back(entry.second.get());
+  }
+  out->Set("sessions", static_cast<int64_t>(snapshot.size()));
+  out->Set("resident_bytes", resident_bytes());
+  out->Set("memory_budget_bytes", options_.memory_budget_bytes);
+  out->Set("demotions", demotions_.load(std::memory_order_relaxed));
+  out->Set("revives", revives_.load(std::memory_order_relaxed));
+  out->Set("demote_failures",
+           demote_failures_.load(std::memory_order_relaxed));
+  std::string sessions_json = "[";
+  bool first = true;
+  for (Slot* slot : snapshot) {
+    JsonObject entry;
+    entry.Set("name", slot->name);
+    entry.Set("bytes", slot->bytes.load(std::memory_order_relaxed));
+    entry.Set("last_used",
+              static_cast<int64_t>(
+                  slot->last_used.load(std::memory_order_relaxed)));
+    // Session-derived fields need the residency pin; skip them (rather
+    // than block stats) when the slot is busy being demoted or revived.
+    std::shared_lock<std::shared_mutex> pin(slot->mu, std::try_to_lock);
+    if (pin.owns_lock()) {
+      const bool resident = slot->session != nullptr;
+      entry.Set("resident", resident);
+      if (resident) {
+        entry.Set("published_level",
+                  static_cast<int64_t>(slot->session->published_level()));
+        const FprasEngine::CacheCounters cc = slot->session->cache_counters();
+        entry.Set("memo_hits", cc.memo_hits);
+        entry.Set("memo_misses", cc.memo_misses);
+        entry.Set("descent_hits", cc.descent_hits);
+        entry.Set("descent_misses", cc.descent_misses);
+        entry.Set("descent_entries", cc.descent_entries);
+        entry.Set("descent_bytes", cc.descent_bytes);
+      }
+    }
+    if (!first) sessions_json += ",";
+    first = false;
+    sessions_json += entry.Render();
+  }
+  sessions_json += "]";
+  out->SetRaw("per_session", sessions_json);
+}
+
+}  // namespace serve
+}  // namespace nfacount

@@ -1,0 +1,159 @@
+// SessionRegistry — the daemon's pool of named EngineSessions, independent
+// of any socket (tests drive it directly with threads; serve/server.cpp
+// fronts it with the wire protocol).
+//
+// Concurrency model (docs/ARCHITECTURE.md "Serve mode"):
+//   - Each named session lives in one Slot. Queries pin the slot's residency
+//     with a shared lock (readers never block each other); demotion and
+//     revival take it exclusively.
+//   - Queries inside the published prefix go through the session's Shared*
+//     surface — lock-free counts, draw-mutex-serialized samples. A query
+//     past the published prefix becomes a writer: it takes the slot's
+//     writer mutex (one extender per session) and runs ExtendTo, which
+//     publishes each level as it completes — concurrent readers keep
+//     answering against the growing prefix throughout.
+//   - Eviction: after each operation, while the sum of resident table bytes
+//     exceeds the budget, the least-recently-used slot whose residency lock
+//     is free is demoted — EngineSession::Save to <spill_dir>/<name>.ckpt
+//     (the PR 6 crash-safe path), then the in-memory session is dropped.
+//     The next query revives it transparently via EngineSession::Load;
+//     counter-keyed draw streams continue exactly where they stopped. A
+//     corrupted checkpoint surfaces as DataLoss to that query only — the
+//     slot stays demoted, the daemon stays up.
+
+#ifndef NFACOUNT_SERVE_REGISTRY_HPP_
+#define NFACOUNT_SERVE_REGISTRY_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "fpras/session.hpp"
+#include "util/json.hpp"
+
+namespace nfacount {
+namespace serve {
+
+/// Registry-wide configuration.
+struct RegistryOptions {
+  /// Directory for demoted sessions' checkpoints. Must exist and be
+  /// writable; "" disables demotion (eviction becomes a no-op).
+  std::string spill_dir;
+  /// Total resident-table budget in bytes; < 0 = unlimited (no eviction).
+  int64_t memory_budget_bytes = -1;
+  /// Runtime knobs applied to every created and revived session (results
+  /// are knob-invariant; this only tunes wall-clock).
+  SessionKnobs knobs;
+};
+
+/// A pool of named EngineSessions with shared-read queries, single-writer
+/// extension, and LRU demotion to disk checkpoints. All public methods are
+/// thread-safe.
+class SessionRegistry {
+ public:
+  /// The options are fixed for the registry's lifetime.
+  explicit SessionRegistry(RegistryOptions options);
+
+  /// Creates and registers a session named `name` for the automaton in
+  /// `nfa_text` (automata/io.hpp format) with parameters derived at
+  /// `horizon`. Invalid when the name is malformed or already registered.
+  Status Register(const std::string& name, const std::string& nfa_text,
+                  int horizon, uint64_t seed, double eps, double delta);
+
+  /// |L(A_length)| for session `name`; extends the session when `length` is
+  /// past the published prefix (writer path), answers lock-free otherwise.
+  Result<double> CountAtLength(const std::string& name, int length);
+
+  /// N(q^length) for session `name`; same extension rule as CountAtLength.
+  Result<double> CountFor(const std::string& name, StateId q, int length);
+
+  /// Draws `count` words from L(A_length) of session `name`. The chunk
+  /// consumes a contiguous range of the session's deterministic draw
+  /// stream; *cursor_start (when non-null) receives the range's first
+  /// attempt cursor so concurrent callers can reassemble the sequence.
+  Result<std::vector<Word>> SampleWords(const std::string& name, int length,
+                                        int64_t count,
+                                        int64_t* cursor_start = nullptr);
+
+  /// Extends session `name` to `level`; returns the resulting computed
+  /// level. The explicit form of the writer path.
+  Result<int> ExtendTo(const std::string& name, int level);
+
+  /// Demotes session `name` to its checkpoint now (regardless of budget).
+  /// Returns true when it was resident and is now demoted, false when it
+  /// was already demoted. FailedPrecondition when no spill dir is set.
+  Result<bool> Evict(const std::string& name);
+
+  /// Renders registry stats (session counts, resident bytes, demotions /
+  /// revives, per-session state) into `out`.
+  void RenderStats(JsonObject* out) const;
+
+  /// Sum of the resident sessions' approximate table bytes.
+  int64_t resident_bytes() const;
+  /// Demotions performed so far (budget-driven + explicit Evict).
+  int64_t demotions() const {
+    return demotions_.load(std::memory_order_relaxed);
+  }
+  /// Transparent revivals performed so far.
+  int64_t revives() const { return revives_.load(std::memory_order_relaxed); }
+
+  /// True iff `name` matches [A-Za-z0-9_.-]{1,128} — the names safe to embed
+  /// in a spill path (no separators, no traversal, no empties).
+  static bool ValidName(const std::string& name);
+
+ private:
+  /// One named session and its coordination state. Slots are created by
+  /// Register and never destroyed while the registry lives, so bare
+  /// Slot pointers handed out under the map lock stay valid.
+  struct Slot {
+    std::string name;          ///< registered name (spill file stem)
+    std::string ckpt_path;     ///< spill path ("" when spilling is disabled)
+    /// Residency pin: shared = a query is using `session`, exclusive =
+    /// demote/revive swapping it.
+    std::shared_mutex mu;
+    /// Single-writer extension fence (held with mu-shared during extension
+    /// and draws that extend).
+    std::mutex writer_mu;
+    /// Resident session; null while demoted to `ckpt_path`.
+    std::unique_ptr<EngineSession> session;
+    /// A checkpoint exists on disk (written by demotion).
+    bool spilled = false;
+    /// LRU clock stamp of the last operation touching this slot.
+    std::atomic<uint64_t> last_used{0};
+    /// Last measured ApproxResidentBytes (0 while demoted).
+    std::atomic<int64_t> bytes{0};
+  };
+
+  /// Looks up a slot by (validated) name; NotFound for unknown names.
+  Result<Slot*> FindSlot(const std::string& name);
+
+  /// Ensures the slot's session is resident, reviving from the checkpoint
+  /// if needed, and returns with slot->mu held shared (caller releases via
+  /// the returned lock). DataLoss propagates from a corrupt checkpoint.
+  Result<std::shared_lock<std::shared_mutex>> PinResident(Slot* slot);
+
+  /// Runs budget-driven LRU demotion until under budget or nothing
+  /// evictable remains. Never blocks on a busy slot (try-lock skip).
+  void EnforceBudget();
+
+  /// Demotes one slot (residency lock already held exclusively).
+  Status DemoteLocked(Slot* slot);
+
+  RegistryOptions options_;
+  mutable std::mutex map_mu_;  ///< guards slots_ (brief lookups only)
+  std::map<std::string, std::unique_ptr<Slot>> slots_;
+  std::atomic<uint64_t> clock_{0};       ///< LRU clock
+  std::atomic<int64_t> demotions_{0};
+  std::atomic<int64_t> revives_{0};
+  std::atomic<int64_t> demote_failures_{0};
+};
+
+}  // namespace serve
+}  // namespace nfacount
+
+#endif  // NFACOUNT_SERVE_REGISTRY_HPP_

@@ -1,0 +1,287 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace nfacount {
+namespace serve {
+
+namespace {
+
+/// Short lowercase op names for the metrics JSON, indexed by MsgType value.
+const char* const kOpNames[kNumMsgTypes] = {
+    "reply",  "ping",   "register", "count", "count_state",
+    "sample", "extend", "stats",    "evict", "shutdown",
+};
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(SessionRegistry* registry, ServerOptions options)
+    : registry_(registry), options_(options) {}
+
+ServeDaemon::~ServeDaemon() { Stop(); }
+
+Status ServeDaemon::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("serve: daemon already started");
+  }
+  Result<SocketFd> listener = ListenLoopback(options_.port, &port_);
+  if (!listener.ok()) {
+    started_.store(false);
+    return listener.status();
+  }
+  listener_ = std::move(listener).value();
+  uptime_.Restart();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void ServeDaemon::RequestStop() {
+  if (stop_requested_.exchange(true)) return;
+  // shutdown(), not close(): on Linux, closing a listener does NOT wake a
+  // thread blocked in accept(), but shutting it down does — and closing a
+  // descriptor another thread is still reading risks the kernel handing the
+  // same number to a new socket. Descriptors are closed in Stop(), after the
+  // threads using them are joined. The connection sockets get the same
+  // treatment so any blocked recv() returns too.
+  listener_.ShutdownBoth();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) conn->sock.ShutdownBoth();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_cv_.notify_all();
+  }
+}
+
+void ServeDaemon::Stop() {
+  if (!started_.load()) return;
+  RequestStop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void ServeDaemon::WaitUntilStopRequested() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_.load(); });
+}
+
+void ServeDaemon::AcceptLoop() {
+  while (!stop_requested_.load()) {
+    Result<SocketFd> accepted = AcceptConnection(listener_);
+    if (!accepted.ok()) {
+      if (stop_requested_.load()) return;
+      // Transient accept failure: keep listening.
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(accepted).value();
+    if (options_.read_timeout_ms > 0) {
+      // Best effort: a connection we cannot arm the timeout on still works,
+      // it is just not slow-loris-protected.
+      (void)SetReadTimeout(conn->sock, options_.read_timeout_ms);
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      // Reap finished connections so a long-lived daemon's table does not
+      // grow with every client that ever connected.
+      for (size_t i = 0; i < conns_.size();) {
+        if (conns_[i]->done.load() && conns_[i]->thread.joinable()) {
+          conns_[i]->thread.join();
+          conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+      if (stop_requested_.load()) return;
+      Connection* raw = conn.get();
+      conns_.push_back(std::move(conn));
+      raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+    }
+  }
+}
+
+void ServeDaemon::ServeConnection(Connection* conn) {
+  while (!stop_requested_.load()) {
+    Result<Frame> frame = ReadFrame(conn->sock);
+    if (!frame.ok()) {
+      // NotFound = the peer closed cleanly between frames: just hang up.
+      // Everything else (bad magic/version/oversize, mid-frame close,
+      // timeout) gets a best-effort error reply before the teardown so a
+      // well-meaning client can see why it was dropped.
+      if (frame.status().code() != StatusCode::kNotFound) {
+        ByteWriter w;
+        WriteReplyStatus(frame.status(), &w);
+        (void)WriteFrame(conn->sock, MsgType::kReply, w.buffer());
+      }
+      break;
+    }
+    if (frame.value().type == MsgType::kReply) {
+      ByteWriter w;
+      WriteReplyStatus(
+          Status::Invalid("serve: kReply is not a valid request type"), &w);
+      (void)WriteFrame(conn->sock, MsgType::kReply, w.buffer());
+      break;
+    }
+    bool stop_after_reply = false;
+    const int op = static_cast<int>(frame.value().type);
+    WallTimer timer;
+    std::string reply = Dispatch(frame.value(), &stop_after_reply);
+    // The reply payload starts with the status block; byte 0 is the status
+    // code's low byte, 0 iff OK (kMaxStatusCode < 256).
+    const bool ok = !reply.empty() && reply[0] == '\0';
+    op_metrics_[static_cast<size_t>(op)].Record(
+        ok, static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
+    Status sent = WriteFrame(conn->sock, MsgType::kReply, reply);
+    if (!sent.ok()) break;
+    if (stop_after_reply) {
+      RequestStop();
+      break;
+    }
+  }
+  // Shutdown only — the descriptor is closed by the Connection destructor
+  // after this thread is joined (reaper or Stop()), so no other thread can
+  // race a close against RequestStop()'s ShutdownBoth().
+  conn->sock.ShutdownBoth();
+  conn->done.store(true);
+}
+
+std::string ServeDaemon::Dispatch(const Frame& frame, bool* stop_after_reply) {
+  ByteWriter w;
+  switch (frame.type) {
+    case MsgType::kPing: {
+      WriteReplyStatus(Status::Ok(), &w);
+      break;
+    }
+    case MsgType::kRegister: {
+      Result<RegisterRequest> req = DecodeRegister(frame.payload);
+      if (!req.ok()) {
+        WriteReplyStatus(req.status(), &w);
+        break;
+      }
+      WriteReplyStatus(
+          registry_->Register(req.value().name, req.value().nfa_text,
+                              req.value().horizon, req.value().seed,
+                              req.value().eps, req.value().delta),
+          &w);
+      break;
+    }
+    case MsgType::kCount: {
+      Result<CountRequest> req = DecodeCount(frame.payload);
+      if (!req.ok()) {
+        WriteReplyStatus(req.status(), &w);
+        break;
+      }
+      Result<double> count =
+          registry_->CountAtLength(req.value().name, req.value().length);
+      WriteReplyStatus(count.status(), &w);
+      if (count.ok()) w.F64(count.value());
+      break;
+    }
+    case MsgType::kCountState: {
+      Result<CountStateRequest> req = DecodeCountState(frame.payload);
+      if (!req.ok()) {
+        WriteReplyStatus(req.status(), &w);
+        break;
+      }
+      Result<double> count = registry_->CountFor(
+          req.value().name, req.value().state, req.value().length);
+      WriteReplyStatus(count.status(), &w);
+      if (count.ok()) w.F64(count.value());
+      break;
+    }
+    case MsgType::kSample: {
+      Result<SampleRequest> req = DecodeSample(frame.payload);
+      if (!req.ok()) {
+        WriteReplyStatus(req.status(), &w);
+        break;
+      }
+      int64_t cursor_start = 0;
+      Result<std::vector<Word>> words = registry_->SampleWords(
+          req.value().name, req.value().length, req.value().count,
+          &cursor_start);
+      WriteReplyStatus(words.status(), &w);
+      if (words.ok()) {
+        w.I64(cursor_start);
+        w.U64(words.value().size());
+        for (const Word& word : words.value()) WriteWord(word, &w);
+      }
+      break;
+    }
+    case MsgType::kExtend: {
+      Result<ExtendRequest> req = DecodeExtend(frame.payload);
+      if (!req.ok()) {
+        WriteReplyStatus(req.status(), &w);
+        break;
+      }
+      Result<int> level =
+          registry_->ExtendTo(req.value().name, req.value().level);
+      WriteReplyStatus(level.status(), &w);
+      if (level.ok()) w.I32(level.value());
+      break;
+    }
+    case MsgType::kStats: {
+      WriteReplyStatus(Status::Ok(), &w);
+      w.String(StatsJson());
+      break;
+    }
+    case MsgType::kEvict: {
+      Result<EvictRequest> req = DecodeEvict(frame.payload);
+      if (!req.ok()) {
+        WriteReplyStatus(req.status(), &w);
+        break;
+      }
+      Result<bool> was_resident = registry_->Evict(req.value().name);
+      WriteReplyStatus(was_resident.status(), &w);
+      if (was_resident.ok()) w.U8(was_resident.value() ? 1 : 0);
+      break;
+    }
+    case MsgType::kShutdown: {
+      WriteReplyStatus(Status::Ok(), &w);
+      *stop_after_reply = true;
+      break;
+    }
+    case MsgType::kReply:
+    default: {
+      WriteReplyStatus(Status::Invalid("serve: unhandled message type"), &w);
+      break;
+    }
+  }
+  return std::move(w.buffer());
+}
+
+std::string ServeDaemon::StatsJson() const {
+  JsonObject out;
+  const double uptime = uptime_.ElapsedSeconds();
+  int64_t total = 0;
+  for (const OpMetrics& op : op_metrics_) {
+    total += op.requests.load(std::memory_order_relaxed);
+  }
+  out.Set("uptime_s", uptime);
+  out.Set("requests", total);
+  out.Set("qps", uptime > 0.0 ? static_cast<double>(total) / uptime : 0.0);
+  for (int i = 1; i < kNumMsgTypes; ++i) {
+    const OpMetrics& op = op_metrics_[static_cast<size_t>(i)];
+    if (op.requests.load(std::memory_order_relaxed) == 0) continue;
+    JsonObject per_op;
+    op.RenderInto(&per_op);
+    out.SetRaw(std::string("op_") + kOpNames[i], per_op.Render());
+  }
+  JsonObject registry_stats;
+  registry_->RenderStats(&registry_stats);
+  out.SetRaw("registry", registry_stats.Render());
+  return out.Render();
+}
+
+}  // namespace serve
+}  // namespace nfacount

@@ -1,0 +1,117 @@
+// ServeDaemon — the socket front of serve mode: accepts loopback TCP
+// connections, reads protocol.hpp frames, and dispatches them against a
+// SessionRegistry. One thread per connection (queries run concurrently;
+// the registry provides all synchronization), plus one accept thread.
+//
+// Fault posture: every protocol violation is classified by ReadFrame
+// (InvalidArgument / DataLoss / DeadlineExceeded) and turns into a
+// best-effort error reply followed by a clean connection teardown — a
+// malformed or malicious peer can never crash or wedge the daemon, only
+// lose its own connection (tests/test_serve_protocol.cpp).
+
+#ifndef NFACOUNT_SERVE_SERVER_HPP_
+#define NFACOUNT_SERVE_SERVER_HPP_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "util/metrics.hpp"
+#include "util/net.hpp"
+#include "util/timer.hpp"
+
+namespace nfacount {
+namespace serve {
+
+/// Daemon configuration.
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// via ServeDaemon::port()).
+  uint16_t port = 0;
+  /// Per-connection receive timeout in ms; a peer that stalls mid-frame
+  /// (slow loris) is cut off after this long. <= 0 disables the timeout.
+  int read_timeout_ms = 10000;
+};
+
+/// The serve-mode daemon. Owns the listener and the connection threads;
+/// the registry is borrowed and must outlive the daemon.
+class ServeDaemon {
+ public:
+  /// The daemon starts stopped; call Start().
+  ServeDaemon(SessionRegistry* registry, ServerOptions options);
+  /// Stops and joins everything still running.
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Binds the listener and starts the accept thread. FailedPrecondition
+  /// when already started.
+  Status Start();
+
+  /// Signals the daemon to stop: closes the listener and shuts down every
+  /// live connection. Safe from any thread, including connection threads
+  /// (it never joins). Idempotent.
+  void RequestStop();
+
+  /// RequestStop() + joins the accept thread and all connection threads.
+  /// Must not be called from a connection thread.
+  void Stop();
+
+  /// Blocks until RequestStop() is called (by Stop, a kShutdown request, or
+  /// a signal handler).
+  void WaitUntilStopRequested();
+
+  /// The bound TCP port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Renders daemon metrics (uptime, qps, per-op latency histograms) and
+  /// the registry's stats into one JSON document.
+  std::string StatsJson() const;
+
+ private:
+  /// Accept loop body (accept thread).
+  void AcceptLoop();
+  /// A live (or finished) connection: its socket and thread. The struct's
+  /// address is stable for the connection's lifetime (held by unique_ptr),
+  /// so the connection thread works on a bare pointer.
+  struct Connection {
+    SocketFd sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  /// Per-connection loop body: frames in, replies out, until the peer
+  /// closes, errors, or the daemon stops.
+  void ServeConnection(Connection* conn);
+  /// Dispatches one decoded request frame; returns the reply payload.
+  std::string Dispatch(const Frame& frame, bool* stop_after_reply);
+
+  SessionRegistry* registry_;
+  ServerOptions options_;
+  SocketFd listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_requested_{false};
+  mutable std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  mutable std::mutex conns_mu_;  ///< guards conns_
+  std::vector<std::unique_ptr<Connection>> conns_;
+  /// Per-message-type request metrics, indexed by MsgType value.
+  mutable std::array<OpMetrics, kNumMsgTypes> op_metrics_;
+  WallTimer uptime_;
+};
+
+}  // namespace serve
+}  // namespace nfacount
+
+#endif  // NFACOUNT_SERVE_SERVER_HPP_

@@ -1,0 +1,59 @@
+#include "util/metrics.hpp"
+
+namespace nfacount {
+
+namespace {
+
+/// floor(log2(us)) clamped into [0, kBuckets): the bucket index.
+int BucketIndex(int64_t micros) {
+  if (micros < 1) return 0;
+  int idx = 0;
+  uint64_t v = static_cast<uint64_t>(micros);
+  while (v >>= 1) ++idx;
+  if (idx >= LatencyHistogram::kBuckets) idx = LatencyHistogram::kBuckets - 1;
+  return idx;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(int64_t micros) {
+  buckets_[static_cast<size_t>(BucketIndex(micros))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::PercentileMicros(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Snapshot the buckets once; the total is the snapshot's own sum so a
+  // concurrent Record between reading count_ and the buckets cannot push the
+  // rank past the last sample.
+  std::array<int64_t, kBuckets> snap;
+  int64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    total += snap[static_cast<size_t>(i)];
+  }
+  if (total == 0) return 0;
+  // 1-based rank of the quantile sample; walk buckets until it is covered.
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(total - 1)) + 1;
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += snap[static_cast<size_t>(i)];
+    if (seen >= rank) {
+      return i >= 62 ? INT64_MAX : (int64_t{1} << (i + 1));
+    }
+  }
+  return int64_t{1} << kBuckets;
+}
+
+void LatencyHistogram::RenderInto(JsonObject* out) const {
+  out->Set("count", count());
+  out->Set("p50_us", PercentileMicros(0.50));
+  out->Set("p90_us", PercentileMicros(0.90));
+  out->Set("p99_us", PercentileMicros(0.99));
+  out->Set("max_us", PercentileMicros(1.0));
+}
+
+}  // namespace nfacount

@@ -1,0 +1,72 @@
+// Lock-free request metrics for the serve-mode daemon: a log2-bucketed
+// latency histogram with percentile readout, and a per-operation counter
+// block, both safe to update from any number of serving threads and to
+// snapshot at any time (relaxed atomics — counts, not synchronization).
+// Rendering goes through the existing JsonObject reporting.
+
+#ifndef NFACOUNT_UTIL_METRICS_HPP_
+#define NFACOUNT_UTIL_METRICS_HPP_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "util/json.hpp"
+
+namespace nfacount {
+
+/// Latency histogram over power-of-two microsecond buckets: bucket i counts
+/// samples with floor(log2(us)) == i (bucket 0 holds 0–1 µs, the last bucket
+/// is open-ended at ~2.3 hours). Recording is one relaxed fetch_add — no
+/// locks, no allocation — and percentile readout walks the 43 buckets,
+/// reporting a bucket's upper bound (an at-most-2x overestimate, the usual
+/// log-bucket tradeoff).
+class LatencyHistogram {
+ public:
+  /// Number of power-of-two buckets (2^42 µs ≈ 51 days, effectively open).
+  static constexpr int kBuckets = 43;
+
+  /// Records one sample of `micros` microseconds (negative clamps to 0).
+  void Record(int64_t micros);
+
+  /// Samples recorded so far.
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Upper bound in microseconds of the bucket containing the q-quantile
+  /// (q in [0, 1]); 0 when the histogram is empty. A concurrent snapshot —
+  /// samples recorded while reading may or may not be included.
+  int64_t PercentileMicros(double q) const;
+
+  /// Renders {"count", "p50_us", "p90_us", "p99_us", "max_us"} into `out`.
+  void RenderInto(JsonObject* out) const;
+
+ private:
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+};
+
+/// One serve operation's counters: requests served, failures, and latency.
+/// Same concurrency contract as LatencyHistogram.
+struct OpMetrics {
+  std::atomic<int64_t> requests{0};  ///< completed requests (ok + error)
+  std::atomic<int64_t> errors{0};    ///< requests answered with an error
+  LatencyHistogram latency;          ///< wall latency per request
+
+  /// Folds one completed request into the counters.
+  void Record(bool ok, int64_t micros) {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    if (!ok) errors.fetch_add(1, std::memory_order_relaxed);
+    latency.Record(micros);
+  }
+
+  /// Renders {"requests", "errors", latency fields} into `out`.
+  void RenderInto(JsonObject* out) const {
+    out->Set("requests", requests.load(std::memory_order_relaxed));
+    out->Set("errors", errors.load(std::memory_order_relaxed));
+    latency.RenderInto(out);
+  }
+};
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_UTIL_METRICS_HPP_

@@ -1,0 +1,182 @@
+#include "util/net.hpp"
+
+#ifdef _WIN32
+
+namespace nfacount {
+
+void SocketFd::Close() { fd_.store(-1); }
+void SocketFd::ShutdownBoth() {}
+
+Result<SocketFd> ListenLoopback(uint16_t, uint16_t*) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+Result<SocketFd> AcceptConnection(const SocketFd&) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+Result<SocketFd> ConnectLoopback(uint16_t) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+Status SetReadTimeout(const SocketFd&, int) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+Status ReadFull(const SocketFd&, void*, size_t) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+Status WriteFull(const SocketFd&, const void*, size_t) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+
+}  // namespace nfacount
+
+#else  // POSIX
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace nfacount {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+void SocketFd::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+void SocketFd::ShutdownBoth() {
+  const int fd = fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+Result<SocketFd> ListenLoopback(uint16_t port, uint16_t* bound_port) {
+  SocketFd sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return Status::Invalid(ErrnoMessage("net: socket"));
+  }
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::Invalid(ErrnoMessage("net: bind"));
+  }
+  if (::listen(sock.fd(), 64) != 0) {
+    return Status::Invalid(ErrnoMessage("net: listen"));
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      return Status::Invalid(ErrnoMessage("net: getsockname"));
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+Result<SocketFd> AcceptConnection(const SocketFd& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return SocketFd(fd);
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL: the listener was closed or shut down underneath us —
+    // the daemon's orderly stop path, not an error worth a loud status.
+    if (errno == EBADF || errno == EINVAL) {
+      return Status::Unavailable("net: listener closed");
+    }
+    return Status::Invalid(ErrnoMessage("net: accept"));
+  }
+}
+
+Result<SocketFd> ConnectLoopback(uint16_t port) {
+  SocketFd sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return Status::Invalid(ErrnoMessage("net: socket"));
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(ErrnoMessage("net: connect"));
+  }
+}
+
+Status SetReadTimeout(const SocketFd& sock, int millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Invalid(ErrnoMessage("net: SO_RCVTIMEO"));
+  }
+  return Status::Ok();
+}
+
+Status ReadFull(const SocketFd& sock, void* out, size_t size) {
+  char* dst = static_cast<char*>(out);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t got = ::recv(sock.fd(), dst + done, size - done, 0);
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      // Peer closed. Before the first byte of a frame this is the normal
+      // end of a connection; mid-buffer it is a truncated frame.
+      if (done == 0) return Status::NotFound("net: end of stream");
+      return Status::DataLoss("net: connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("net: read timed out");
+    }
+    return Status::DataLoss(ErrnoMessage("net: recv"));
+  }
+  return Status::Ok();
+}
+
+Status WriteFull(const SocketFd& sock, const void* data, size_t size) {
+  const char* src = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as EPIPE,
+    // not kill the daemon with SIGPIPE.
+    const ssize_t put =
+        ::send(sock.fd(), src + done, size - done, MSG_NOSIGNAL);
+    if (put >= 0) {
+      done += static_cast<size_t>(put);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(ErrnoMessage("net: send"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace nfacount
+
+#endif  // _WIN32

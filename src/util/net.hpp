@@ -1,0 +1,91 @@
+// Minimal POSIX TCP helpers for the serve-mode daemon (serve/server.cpp)
+// and its client (serve/client.cpp): loopback listeners on ephemeral ports,
+// blocking connect, and EINTR-safe full reads/writes. Everything returns the
+// project's Status model — no exceptions, no errno leaking to callers. On
+// Windows the surface compiles but every call reports Unimplemented (the
+// serve subsystem is POSIX-only for now, matching the CI matrix).
+
+#ifndef NFACOUNT_UTIL_NET_HPP_
+#define NFACOUNT_UTIL_NET_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace nfacount {
+
+/// Owning wrapper for one socket file descriptor. Movable, not copyable;
+/// the destructor closes the descriptor. A default-constructed handle is
+/// empty (fd() < 0).
+///
+/// The descriptor slot is atomic so a stop path may call ShutdownBoth()
+/// while the owning thread is blocked in a read — the one cross-thread
+/// access pattern the daemon relies on. Close() must still be serialized
+/// with all other use of the handle (close + concurrent I/O risks the
+/// kernel reusing the descriptor number): the daemon only closes after
+/// joining the thread that reads from the socket.
+class SocketFd {
+ public:
+  SocketFd() = default;
+  /// Takes ownership of `fd` (-1 = empty).
+  explicit SocketFd(int fd) : fd_(fd) {}
+  ~SocketFd() { Close(); }
+
+  SocketFd(SocketFd&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
+  SocketFd& operator=(SocketFd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_.store(other.fd_.exchange(-1));
+    }
+    return *this;
+  }
+  SocketFd(const SocketFd&) = delete;
+  SocketFd& operator=(const SocketFd&) = delete;
+
+  /// The raw descriptor, or -1 when empty.
+  int fd() const { return fd_.load(std::memory_order_relaxed); }
+  /// True when a descriptor is held.
+  bool valid() const { return fd() >= 0; }
+  /// Closes the descriptor now (idempotent).
+  void Close();
+  /// Shuts down both directions without closing, unblocking any thread
+  /// parked in a read on this socket (used for daemon stop). No-op when
+  /// empty.
+  void ShutdownBoth();
+
+ private:
+  std::atomic<int> fd_{-1};
+};
+
+/// Creates a TCP listener bound to 127.0.0.1:`port` (0 = kernel-assigned
+/// ephemeral port) with SO_REUSEADDR, listening with a backlog of 64. On
+/// success stores the actually bound port into *bound_port.
+Result<SocketFd> ListenLoopback(uint16_t port, uint16_t* bound_port);
+
+/// Accepts one connection from `listener` (blocking). Unavailable when the
+/// listener was shut down / closed underneath the call (the daemon's stop
+/// path), InvalidArgument on other accept failures.
+Result<SocketFd> AcceptConnection(const SocketFd& listener);
+
+/// Opens a blocking TCP connection to 127.0.0.1:`port`.
+Result<SocketFd> ConnectLoopback(uint16_t port);
+
+/// Applies a receive timeout (SO_RCVTIMEO) to `sock`: a ReadFull blocked
+/// longer than `millis` fails with DeadlineExceeded instead of wedging the
+/// serving thread (the slow-loris defense). 0 disables the timeout.
+Status SetReadTimeout(const SocketFd& sock, int millis);
+
+/// Reads exactly `size` bytes into `out`, retrying on EINTR and short reads.
+/// A clean peer close before the first byte is NotFound ("end of stream");
+/// a close mid-buffer is DataLoss; a receive timeout is DeadlineExceeded.
+Status ReadFull(const SocketFd& sock, void* out, size_t size);
+
+/// Writes exactly `size` bytes, retrying on EINTR and short writes.
+/// A failed or broken-pipe write is Unavailable.
+Status WriteFull(const SocketFd& sock, const void* data, size_t size);
+
+}  // namespace nfacount
+
+#endif  // NFACOUNT_UTIL_NET_HPP_

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnimplemented:      return "Unimplemented";
     case StatusCode::kInternal:           return "Internal";
     case StatusCode::kDataLoss:           return "DataLoss";
+    case StatusCode::kUnavailable:        return "Unavailable";
+    case StatusCode::kDeadlineExceeded:   return "DeadlineExceeded";
   }
   return "Unknown";
 }

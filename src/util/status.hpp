@@ -25,6 +25,11 @@ enum class StatusCode {
   /// Stored data is unreadable: truncated, corrupted, or failing its
   /// integrity checksum (checkpoint files, serialized state).
   kDataLoss,
+  /// A transient endpoint failure: connection refused/reset, listener shut
+  /// down, peer gone. Retrying against a live endpoint may succeed.
+  kUnavailable,
+  /// An operation ran out of its time budget (socket read timeouts).
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -65,6 +70,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }
