@@ -20,6 +20,7 @@
 // Prints "listening on 127.0.0.1:<port>" once ready; stops on SIGINT /
 // SIGTERM or a kShutdown request.
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -66,8 +67,21 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--port") {
-      server_options.port =
-          static_cast<uint16_t>(std::atoi(next("--port")));
+      // Strict parse: atoi would silently turn "70000" or "abc" into an
+      // unintended bind port after the uint16_t truncation.
+      const char* value = next("--port");
+      char* end = nullptr;
+      errno = 0;
+      const long parsed = std::strtol(value, &end, 10);
+      if (errno != 0 || end == value || *end != '\0' || parsed < 0 ||
+          parsed > 65535) {
+        std::fprintf(stderr,
+                     "error: --port must be an integer in 0..65535, got "
+                     "'%s'\n",
+                     value);
+        return Usage();
+      }
+      server_options.port = static_cast<uint16_t>(parsed);
     } else if (arg == "--spill-dir") {
       registry_options.spill_dir = next("--spill-dir");
     } else if (arg == "--budget-bytes") {

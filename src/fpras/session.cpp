@@ -1,6 +1,7 @@
 #include "fpras/session.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "fpras/checkpoint.hpp"
@@ -13,6 +14,10 @@ namespace {
 /// well beyond the Theorem 2(2) bound, so exhausting it indicates
 /// inaccurate tables rather than bad luck).
 constexpr int64_t kAttemptsPerDraw = 4096;
+
+static_assert(kAttemptsPerDraw <= std::numeric_limits<int64_t>::max() /
+                                      EngineSession::kMaxDrawsPerCall,
+              "kAttemptsPerDraw * count must not overflow for capped counts");
 
 }  // namespace
 
@@ -123,6 +128,11 @@ Result<std::vector<Word>> EngineSession::SampleWords(int length,
                                                      int64_t count) {
   NFA_RETURN_NOT_OK(ExtendTo(length));
   if (count < 0) return Status::Invalid("SampleWords: count must be >= 0");
+  if (count > kMaxDrawsPerCall) {
+    return Status::Invalid(
+        "SampleWords: count exceeds kMaxDrawsPerCall; split the request "
+        "into chunks (the draw stream concatenates seamlessly)");
+  }
   std::vector<Word> out;
   if (count == 0) return out;
   if (length == 0) {
@@ -182,6 +192,11 @@ Result<std::vector<Word>> EngineSession::SharedSampleWords(
   NFA_RETURN_NOT_OK(CheckLength(length));
   if (count < 0) {
     return Status::Invalid("SharedSampleWords: count must be >= 0");
+  }
+  if (count > kMaxDrawsPerCall) {
+    return Status::Invalid(
+        "SharedSampleWords: count exceeds kMaxDrawsPerCall; split the "
+        "request into chunks (the draw stream concatenates seamlessly)");
   }
   if (length > published_level()) {
     return Status::FailedPrecondition(

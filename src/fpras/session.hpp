@@ -79,6 +79,13 @@ Result<EngineSession> LoadSessionCheckpoint(const std::string& path,
 /// (and its checkpoints) are self-contained. Movable, not copyable.
 class EngineSession {
  public:
+  /// Hard cap on `count` per SampleWords / SharedSampleWords call. Bounds
+  /// the result-vector allocation and keeps the per-call rejection budget
+  /// (kAttemptsPerDraw * count) far from int64 overflow, so an absurd count
+  /// is a clean InvalidArgument instead of a bad_alloc. Larger requests
+  /// chunk into multiple calls — the draw stream concatenates seamlessly.
+  static constexpr int64_t kMaxDrawsPerCall = int64_t{1} << 20;
+
   /// Builds a session for `nfa` with parameters derived at `horizon` and
   /// computes level 0 only — level sweeps run lazily on the first query or
   /// ExtendTo. All CountOptions fields apply (eps, delta, schedule,
@@ -105,7 +112,8 @@ class EngineSession {
   /// the concatenation of all SampleWords results is one deterministic
   /// sequence — checkpoint save/restore continues it seamlessly. NotFound
   /// when the language at this length is estimated empty; ResourceExhausted
-  /// when the per-draw rejection budget is exceeded (inaccurate tables).
+  /// when the per-draw rejection budget is exceeded (inaccurate tables);
+  /// Invalid when `count` is negative or exceeds kMaxDrawsPerCall.
   Result<std::vector<Word>> SampleWords(int length, int64_t count);
 
   /// Writes the full session state to `path` as a versioned binary

@@ -7,7 +7,7 @@ namespace serve {
 
 namespace internal {
 
-int64_t g_frame_write_limit = -1;
+std::atomic<int64_t> g_frame_write_limit{-1};
 
 }  // namespace internal
 
@@ -44,13 +44,13 @@ Status WriteFrame(const SocketFd& sock, MsgType type,
   w.Bytes(payload.data(), payload.size());
   const std::string& bytes = w.buffer();
   size_t to_write = bytes.size();
-  if (internal::g_frame_write_limit >= 0 &&
-      static_cast<size_t>(internal::g_frame_write_limit) < to_write) {
+  const int64_t limit =
+      internal::g_frame_write_limit.load(std::memory_order_relaxed);
+  if (limit >= 0 && static_cast<size_t>(limit) < to_write) {
     // Injected mid-frame death: send the truncated prefix so the peer
     // exercises its DataLoss path, then report the failure to the caller.
-    NFA_RETURN_NOT_OK(WriteFull(
-        sock, bytes.data(),
-        static_cast<size_t>(internal::g_frame_write_limit)));
+    NFA_RETURN_NOT_OK(
+        WriteFull(sock, bytes.data(), static_cast<size_t>(limit)));
     return Status::Unavailable("frame write truncated (injected fault)");
   }
   return WriteFull(sock, bytes.data(), to_write);

@@ -21,6 +21,7 @@
 #ifndef NFACOUNT_SERVE_PROTOCOL_HPP_
 #define NFACOUNT_SERVE_PROTOCOL_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -158,8 +159,11 @@ namespace internal {
 /// Fault-injection hook (test-only, same pattern as
 /// g_checkpoint_write_limit): when >= 0, WriteFrame sends only the first
 /// `g_frame_write_limit` bytes of the encoded frame and reports Unavailable
-/// — simulating a peer that dies mid-frame. -1 (default) disables.
-extern int64_t g_frame_write_limit;
+/// — simulating a peer that dies mid-frame. -1 (default) disables. Atomic
+/// because the test thread toggles it while daemon connection threads read
+/// it in WriteFrame (relaxed ordering is enough: it is a fault switch, not
+/// a synchronization point).
+extern std::atomic<int64_t> g_frame_write_limit;
 }  // namespace internal
 
 }  // namespace serve

@@ -123,11 +123,15 @@ Result<double> SessionRegistry::CountAtLength(const std::string& name,
     out = session->SharedCountAtLength(length);
     if (!out.ok() && out.status().code() == StatusCode::kFailedPrecondition) {
       // Past the published prefix: become the (single) writer and extend.
+      // A failed extension flows into `out` (no early return) so the
+      // trailing EnforceBudget() still runs — a partial extension may have
+      // grown the tables past the budget.
       std::lock_guard<std::mutex> writer(slot->writer_mu);
-      NFA_RETURN_NOT_OK(session->ExtendTo(length));
+      const Status extended = session->ExtendTo(length);
       slot->bytes.store(session->ApproxResidentBytes(),
                         std::memory_order_relaxed);
-      out = session->SharedCountAtLength(length);
+      out = extended.ok() ? session->SharedCountAtLength(length)
+                          : Result<double>(extended);
     }
   }
   EnforceBudget();
@@ -149,10 +153,11 @@ Result<double> SessionRegistry::CountFor(const std::string& name, StateId q,
     out = session->SharedCountFor(q, length);
     if (!out.ok() && out.status().code() == StatusCode::kFailedPrecondition) {
       std::lock_guard<std::mutex> writer(slot->writer_mu);
-      NFA_RETURN_NOT_OK(session->ExtendTo(length));
+      const Status extended = session->ExtendTo(length);
       slot->bytes.store(session->ApproxResidentBytes(),
                         std::memory_order_relaxed);
-      out = session->SharedCountFor(q, length);
+      out = extended.ok() ? session->SharedCountFor(q, length)
+                          : Result<double>(extended);
     }
   }
   EnforceBudget();
@@ -175,13 +180,16 @@ Result<std::vector<Word>> SessionRegistry::SampleWords(const std::string& name,
     EngineSession* session = slot->session.get();
     out = session->SharedSampleWords(length, count, cursor_start);
     if (!out.ok() && out.status().code() == StatusCode::kFailedPrecondition) {
+      Status extended;
       {
         std::lock_guard<std::mutex> writer(slot->writer_mu);
-        NFA_RETURN_NOT_OK(session->ExtendTo(length));
+        extended = session->ExtendTo(length);
         slot->bytes.store(session->ApproxResidentBytes(),
                           std::memory_order_relaxed);
       }
-      out = session->SharedSampleWords(length, count, cursor_start);
+      out = extended.ok()
+                ? session->SharedSampleWords(length, count, cursor_start)
+                : Result<std::vector<Word>>(extended);
     }
   }
   EnforceBudget();
@@ -193,22 +201,24 @@ Result<int> SessionRegistry::ExtendTo(const std::string& name, int level) {
   NFA_ASSIGN_OR_RETURN(slot, FindSlot(name));
   slot->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                         std::memory_order_relaxed);
-  int published = -1;
+  Result<int> out = -1;
   {
     Result<std::shared_lock<std::shared_mutex>> pin = PinResident(slot);
     if (!pin.ok()) return pin.status();
     std::shared_lock<std::shared_mutex> lock = std::move(pin).value();
     EngineSession* session = slot->session.get();
+    Status extended;
     {
       std::lock_guard<std::mutex> writer(slot->writer_mu);
-      NFA_RETURN_NOT_OK(session->ExtendTo(level));
+      extended = session->ExtendTo(level);
       slot->bytes.store(session->ApproxResidentBytes(),
                         std::memory_order_relaxed);
     }
-    published = session->published_level();
+    out = extended.ok() ? Result<int>(session->published_level())
+                        : Result<int>(extended);
   }
   EnforceBudget();
-  return published;
+  return out;
 }
 
 Result<bool> SessionRegistry::Evict(const std::string& name) {

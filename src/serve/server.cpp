@@ -137,6 +137,16 @@ void ServeDaemon::ServeConnection(Connection* conn) {
     const int op = static_cast<int>(frame.value().type);
     WallTimer timer;
     std::string reply = Dispatch(frame.value(), &stop_after_reply);
+    if (reply.size() > kMaxPayloadBytes) {
+      // WriteFrame would refuse an oversize payload and the client would
+      // see only a dropped connection; send a status-only explanation
+      // instead. (kSample pre-screens its counts, so this is a backstop.)
+      ByteWriter oversize;
+      WriteReplyStatus(Status::ResourceExhausted(
+                           "serve: reply exceeds the frame payload limit"),
+                       &oversize);
+      reply = std::move(oversize.buffer());
+    }
     // The reply payload starts with the status block; byte 0 is the status
     // code's low byte, 0 iff OK (kMaxStatusCode < 256).
     const bool ok = !reply.empty() && reply[0] == '\0';
@@ -204,6 +214,23 @@ std::string ServeDaemon::Dispatch(const Frame& frame, bool* stop_after_reply) {
       Result<SampleRequest> req = DecodeSample(frame.payload);
       if (!req.ok()) {
         WriteReplyStatus(req.status(), &w);
+        break;
+      }
+      // Reject up front any count whose reply could not fit one frame: each
+      // word costs 4 + length bytes (u32 size + one byte per symbol) after
+      // the fixed status/cursor/count prefix. Without this gate the daemon
+      // would do the full sampling work only to drop the oversize reply —
+      // or, for absurd counts, die allocating the result vector.
+      const int64_t length = req.value().length;
+      const int64_t per_word_bytes = 4 + (length > 0 ? length : 0);
+      const int64_t reply_budget =
+          static_cast<int64_t>(kMaxPayloadBytes) - 64;
+      if (req.value().count > reply_budget / per_word_bytes) {
+        WriteReplyStatus(
+            Status::ResourceExhausted(
+                "serve: sample reply would exceed the frame payload limit; "
+                "request fewer words per call"),
+            &w);
         break;
       }
       int64_t cursor_start = 0;

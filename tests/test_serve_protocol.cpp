@@ -187,9 +187,9 @@ TEST_F(ServeProtocolTest, ClientDeathMidFrameViaInjectedFault) {
     req.length = 3;
     // The injection hook truncates our request frame partway, simulating a
     // peer process dying mid-send.
-    serve::internal::g_frame_write_limit = 15;
+    serve::internal::g_frame_write_limit.store(15, std::memory_order_relaxed);
     Status sent = WriteFrame(sock, MsgType::kCount, serve::EncodeCount(req));
-    serve::internal::g_frame_write_limit = -1;
+    serve::internal::g_frame_write_limit.store(-1, std::memory_order_relaxed);
     EXPECT_EQ(StatusCode::kUnavailable, sent.code());
   }  // close with the daemon mid-read of our frame
   ExpectDaemonAlive();
@@ -207,6 +207,31 @@ TEST_F(ServeProtocolTest, ReplyTypeFromClientIsRejected) {
   SocketFd sock = RawConnect();
   ASSERT_TRUE(WriteFrame(sock, MsgType::kReply, "").ok());
   EXPECT_EQ(StatusCode::kInvalidArgument, ReadErrorReplyCode(sock));
+  ExpectDaemonAlive();
+}
+
+TEST_F(ServeProtocolTest, AbsurdSampleCountsAreCleanErrors) {
+  Result<ServeClient> client = ServeClient::Connect(daemon_->port());
+  ASSERT_TRUE(client.ok());
+  // 2^60 words can neither be allocated nor fit one reply frame: the
+  // daemon must refuse at the dispatch boundary, not die in the sampler's
+  // reserve (bad_alloc) or overflow the rejection-attempt budget.
+  EXPECT_EQ(
+      StatusCode::kResourceExhausted,
+      client->SampleWords("s", 3, int64_t{1} << 60).status().code());
+  // A count that fits the frame but exceeds the session's per-call draw
+  // cap is rejected by the session layer instead.
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            client->SampleWords("s", 3, EngineSession::kMaxDrawsPerCall + 1)
+                .status()
+                .code());
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            client->SampleWords("s", 3, -5).status().code());
+  // Application-level rejections keep the connection usable.
+  Result<serve::SampleResult> small = client->SampleWords("s", 3, 2);
+  EXPECT_TRUE(small.ok() ||
+              small.status().code() == StatusCode::kNotFound);
+  EXPECT_TRUE(client->Ping().ok());
   ExpectDaemonAlive();
 }
 
