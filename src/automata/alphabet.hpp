@@ -13,22 +13,44 @@
 
 namespace nfacount {
 
-/// A symbol is a dense index in [0, alphabet_size).
-using Symbol = uint8_t;
+/// A symbol is a dense index in [0, alphabet_size). 16 bits cover
+/// tokenizer-vocab alphabets (up to 2^16) while keeping words compact.
+using Symbol = uint16_t;
 
 /// A word is a sequence of symbols; words compare lexicographically.
 using Word = std::vector<Symbol>;
 
 /// Maximum supported alphabet size ("arbitrary but fixed constant size").
-inline constexpr int kMaxAlphabetSize = 36;
+inline constexpr int kMaxAlphabetSize = 1 << 16;
 
-/// Renders symbol `s` as a character: 0-9 then a-z.
+/// Largest alphabet whose symbols all render as single characters (0-9 then
+/// a-z). Symbols at or above this bound use bracketed decimal notation in
+/// text formats; the regex compiler, whose syntax is character-based, is
+/// capped here.
+inline constexpr int kMaxCharAlphabetSize = 36;
+
+/// Renders symbol `s` as a character: 0-9 then a-z. Valid only for
+/// s < kMaxCharAlphabetSize.
 char SymbolToChar(Symbol s);
 
 /// Parses a character into a symbol index; returns -1 if not a valid symbol.
 int CharToSymbol(char c);
 
-/// Renders a word, e.g. {0,1,1} -> "011". The empty word renders as "".
+/// Renders a symbol as a text-format token: its single character below
+/// kMaxCharAlphabetSize, its decimal digits otherwise. Tokens are
+/// whitespace-separated in the text formats, so the two forms coexist
+/// unambiguously (a one-character digit token names the same symbol either
+/// way).
+std::string SymbolToken(Symbol s);
+
+/// Parses a token written by SymbolToken: single characters via CharToSymbol,
+/// multi-character all-digit tokens as decimal. Returns -1 on malformed
+/// tokens; callers bound the value against their alphabet size.
+int ParseSymbolToken(const std::string& token);
+
+/// Renders a word, e.g. {0,1,1} -> "011". Symbols >= kMaxCharAlphabetSize
+/// render as bracketed decimals, e.g. {0,517} -> "0[517]". The empty word
+/// renders as "".
 std::string WordToString(const Word& word);
 
 /// Parses a word; every character must be a valid symbol strictly below

@@ -205,6 +205,36 @@ Nfa KthFromEndNfa(int k, int alphabet_size) {
   return out;
 }
 
+Nfa CorpusTokenNfa(int pattern_len, int alphabet_size, int num_categories) {
+  assert(pattern_len >= 1);
+  assert(alphabet_size >= 2);
+  assert(num_categories >= 1);
+  // Zipf-like doubling buckets: category c covers [2^c - 1, 2^(c+1) - 1),
+  // with the last category absorbing the long tail. Every bucket below the
+  // last must be nonempty, which needs 2^(num_categories-1) - 1 < |Σ|.
+  assert((int64_t{1} << (num_categories - 1)) - 1 < alphabet_size);
+  auto category_of = [&](int a) {
+    int c = 0;
+    while (c + 1 < num_categories && a + 1 >= (1 << (c + 1))) ++c;
+    return c;
+  };
+
+  Nfa out(alphabet_size);
+  out.AddStates(pattern_len + 1);
+  out.SetInitial(0);
+  out.AddAccepting(pattern_len);
+  for (int a = 0; a < alphabet_size; ++a) {
+    const Symbol s = static_cast<Symbol>(a);
+    out.AddTransition(0, s, 0);                        // guess the start
+    out.AddTransition(pattern_len, s, pattern_len);    // absorbing accept
+    const int cat = category_of(a);
+    for (int i = 0; i < pattern_len; ++i) {
+      if (cat == i % num_categories) out.AddTransition(i, s, i + 1);
+    }
+  }
+  return out;
+}
+
 std::vector<FamilyInstance> StandardFamilies(int size_knob, int n, uint64_t seed) {
   assert(size_knob >= 2);
   Rng rng(seed);

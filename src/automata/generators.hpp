@@ -60,6 +60,19 @@ Nfa SparseNeedle(const Word& needle, int alphabet_size = 2);
 /// blow-up family (the minimal DFA has 2^k states; the NFA has k+1).
 Nfa KthFromEndNfa(int k, int alphabet_size = 2);
 
+/// Corpus-style token matcher on a tokenizer-scale alphabet: a substring
+/// automaton over token *categories*. Symbol a belongs to category
+/// min(floor(log2(a+1)), num_categories-1) — doubling, Zipf-like buckets
+/// (category 0 = {0}, 1 = {1,2}, 2 = {3..6}, ..., last = the long tail) —
+/// and every transition depends only on the category: state 0 loops on all
+/// symbols and advances on category i%num_categories at pattern position i,
+/// the final state is absorbing-accepting. The automaton therefore has a
+/// handful of distinct transition rows no matter how large |Σ| grows — the
+/// regime symbol-class compression targets (C << |Σ|); categories absent
+/// from the pattern collapse into one class. Requires pattern_len >= 1,
+/// alphabet_size >= 2, 1 <= num_categories <= log2(alphabet_size)+1.
+Nfa CorpusTokenNfa(int pattern_len, int alphabet_size, int num_categories);
+
 /// Named accessor used by parameterized tests/benches: families keyed by
 /// name with a size knob; returns a family instance suited to length n.
 struct FamilyInstance {

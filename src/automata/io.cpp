@@ -77,9 +77,12 @@ Result<Nfa> ParseNfaText(const std::string& text) {
       if (from < 0 || from >= num_states || to < 0 || to >= num_states) {
         return ParseError(line_no, "transition state out of range");
       }
-      if (symbol.size() != 1) return ParseError(line_no, "symbol must be one char");
-      int s = CharToSymbol(symbol[0]);
-      if (s < 0 || s >= alphabet_size) {
+      int s = ParseSymbolToken(symbol);
+      if (s < 0) {
+        return ParseError(line_no,
+                          "symbol must be one char or a decimal index");
+      }
+      if (s >= alphabet_size) {
         return ParseError(line_no, "symbol outside the alphabet");
       }
       nfa.AddTransition(from, static_cast<Symbol>(s), to);
@@ -106,7 +109,7 @@ std::string NfaToText(const Nfa& nfa) {
   for (StateId q = 0; q < nfa.num_states(); ++q) {
     for (int a = 0; a < nfa.alphabet_size(); ++a) {
       for (StateId r : nfa.Successors(q, static_cast<Symbol>(a))) {
-        out << "trans " << q << " " << SymbolToChar(static_cast<Symbol>(a))
+        out << "trans " << q << " " << SymbolToken(static_cast<Symbol>(a))
             << " " << r << "\n";
       }
     }
@@ -143,7 +146,7 @@ std::string NfaToDot(const Nfa& nfa, const std::string& name) {
     for (int a = 0; a < nfa.alphabet_size(); ++a) {
       for (StateId r : nfa.Successors(q, static_cast<Symbol>(a))) {
         out << "  q" << q << " -> q" << r << " [label=\""
-            << SymbolToChar(static_cast<Symbol>(a)) << "\"];\n";
+            << SymbolToken(static_cast<Symbol>(a)) << "\"];\n";
       }
     }
   }

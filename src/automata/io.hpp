@@ -6,7 +6,12 @@
 //   nfa <num_states> <alphabet_size>
 //   initial <state>
 //   accepting <state> [<state> ...]
-//   trans <from> <symbol-char> <to>      # one per line
+//   trans <from> <symbol> <to>           # one per line
+//
+// A <symbol> token is either the single character form (0-9 then a-z, for
+// symbols below kMaxCharAlphabetSize) or the symbol's decimal index (the
+// only form for large alphabets). NfaToText writes the character form when
+// it exists, so files for alphabets <= 36 are unchanged.
 //
 // Example:
 //   nfa 2 2

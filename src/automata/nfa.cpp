@@ -13,6 +13,7 @@ namespace nfacount {
 // ---------------------------------------------------------------------------
 
 char SymbolToChar(Symbol s) {
+  assert(s < kMaxCharAlphabetSize);
   if (s < 10) return static_cast<char>('0' + s);
   return static_cast<char>('a' + (s - 10));
 }
@@ -23,10 +24,32 @@ int CharToSymbol(char c) {
   return -1;
 }
 
+std::string SymbolToken(Symbol s) {
+  if (s < kMaxCharAlphabetSize) return std::string(1, SymbolToChar(s));
+  return std::to_string(s);
+}
+
+int ParseSymbolToken(const std::string& token) {
+  if (token.size() == 1) return CharToSymbol(token[0]);
+  if (token.empty() || token.size() > 5) return -1;  // 65535 has 5 digits
+  int value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value < kMaxAlphabetSize ? value : -1;
+}
+
 std::string WordToString(const Word& word) {
   std::string out;
   out.reserve(word.size());
-  for (Symbol s : word) out.push_back(SymbolToChar(s));
+  for (Symbol s : word) {
+    if (s < kMaxCharAlphabetSize) {
+      out.push_back(SymbolToChar(s));
+    } else {
+      out += "[" + std::to_string(s) + "]";
+    }
+  }
   return out;
 }
 
@@ -218,8 +241,9 @@ std::string Nfa::ToString() const {
   for (StateId q = 0; q < num_states(); ++q) {
     for (int a = 0; a < alphabet_size_; ++a) {
       for (StateId r : succ_[q][a]) {
-        out += "  " + std::to_string(q) + " --" + SymbolToChar(static_cast<Symbol>(a)) +
-               "--> " + std::to_string(r) + "\n";
+        out += "  " + std::to_string(q) + " --" +
+               SymbolToken(static_cast<Symbol>(a)) + "--> " +
+               std::to_string(r) + "\n";
       }
     }
   }

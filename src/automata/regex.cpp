@@ -236,7 +236,9 @@ class Parser {
 
 Result<std::unique_ptr<RegexNode>> ParseRegex(const std::string& pattern,
                                               int alphabet_size) {
-  if (alphabet_size < 1 || alphabet_size > kMaxAlphabetSize) {
+  // Regex syntax is character-based: every symbol must render as a single
+  // character, so the cap is the char-alphabet bound, not kMaxAlphabetSize.
+  if (alphabet_size < 1 || alphabet_size > kMaxCharAlphabetSize) {
     return Status::Invalid("alphabet size out of range");
   }
   return Parser(pattern, alphabet_size).Parse();

@@ -111,10 +111,13 @@ void CsrTransitions::StepInto(const Bitset& from, Symbol symbol,
   }
 }
 
-UnrolledNfa::UnrolledNfa(const Nfa* nfa, int n) : nfa_(nfa), n_(n) {
+UnrolledNfa::UnrolledNfa(const Nfa* nfa, int n, bool symbol_classes)
+    : nfa_(nfa), n_(n) {
   assert(nfa != nullptr);
   assert(nfa->Validate().ok());
   assert(n >= 0);
+  classes_ = symbol_classes ? SymbolClassIndex::Compute(*nfa)
+                            : SymbolClassIndex::Trivial(nfa->alphabet_size());
   forward_ = CsrTransitions::FromSuccessors(*nfa);
   reverse_ = CsrTransitions::FromPredecessors(*nfa);
   reachable_.reserve(n + 1);
@@ -125,8 +128,10 @@ UnrolledNfa::UnrolledNfa(const Nfa* nfa, int n) : nfa_(nfa), n_(n) {
   Bitset step(nfa->num_states());
   for (int level = 1; level <= n; ++level) {
     next.Clear();
-    for (int a = 0; a < nfa->alphabet_size(); ++a) {
-      forward_.StepInto(cur, static_cast<Symbol>(a), &step);
+    // Class members step identically, so one representative per class covers
+    // the union — bit-identical to stepping every symbol.
+    for (int c = 0; c < classes_.num_classes(); ++c) {
+      forward_.StepInto(cur, classes_.Representative(c), &step);
       next |= step;
     }
     reachable_.push_back(next);
@@ -255,11 +260,16 @@ std::optional<Word> UnrolledNfa::WitnessWord(StateId q, int level) const {
   cur.Set(q);
   for (int i = level; i >= 1; --i) {
     bool found = false;
-    for (int a = 0; a < nfa_->alphabet_size() && !found; ++a) {
-      PredSetInto(cur, static_cast<Symbol>(a), i, &preds);
+    // Per-class scan, bit-identical to scanning every symbol: predecessor
+    // emptiness is uniform within a class, and representatives are each
+    // class's smallest member in ascending order — so the first nonempty
+    // representative IS the smallest nonempty symbol.
+    for (int c = 0; c < classes_.num_classes() && !found; ++c) {
+      const Symbol a = classes_.Representative(c);
+      PredSetInto(cur, a, i, &preds);
       int p = preds.FirstSet();
       if (p >= 0) {
-        word[i - 1] = static_cast<Symbol>(a);
+        word[i - 1] = a;
         cur.Clear();
         cur.Set(p);
         found = true;

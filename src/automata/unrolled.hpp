@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "automata/nfa.hpp"
+#include "automata/symbol_classes.hpp"
 #include "util/simd.hpp"
 #include "util/status.hpp"
 
@@ -215,10 +216,19 @@ struct CsrTransitions {
 class UnrolledNfa {
  public:
   /// Builds level reachability for lengths 0..n. The NFA must validate.
-  UnrolledNfa(const Nfa* nfa, int n);
+  /// With `symbol_classes` on (the default), the symbol partition
+  /// (automata/symbol_classes.hpp) is computed and the construction-time
+  /// symbol loops run per class representative; off installs the trivial
+  /// partition so downstream per-class loops degenerate to per-symbol.
+  /// Either setting yields bit-identical reachability and witnesses.
+  UnrolledNfa(const Nfa* nfa, int n, bool symbol_classes = true);
 
   const Nfa& nfa() const { return *nfa_; }
   int n() const { return n_; }
+
+  /// The alphabet's symbol partition (trivial when disabled at
+  /// construction).
+  const SymbolClassIndex& symbol_classes() const { return classes_; }
 
   /// Forward CSR (successor rows) — membership recomputation, reach profiles.
   const CsrTransitions& forward_csr() const { return forward_; }
@@ -283,6 +293,7 @@ class UnrolledNfa {
  private:
   const Nfa* nfa_;
   int n_;
+  SymbolClassIndex classes_;
   CsrTransitions forward_;
   CsrTransitions reverse_;
   std::vector<Bitset> reachable_;  // [0..n]

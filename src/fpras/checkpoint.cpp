@@ -66,9 +66,12 @@ void WriteParams(const FprasParams& p, ByteWriter* w) {
   w->I32(p.num_threads);
   w->I32(p.batch_width);
   w->I64(p.memo_capacity);
+  // v2 extension: the symbol-class knob changes which RNG substreams a run
+  // consumes, so a resumed session must keep the saved setting by default.
+  w->U8(p.symbol_classes ? 1 : 0);
 }
 
-Status ReadParams(ByteReader* r, FprasParams* p) {
+Status ReadParams(ByteReader* r, uint32_t version, FprasParams* p) {
   uint32_t schedule = 0;
   NFA_RETURN_NOT_OK(r->U32(&schedule));
   if (schedule > static_cast<uint32_t>(Schedule::kAcjr)) {
@@ -105,6 +108,12 @@ Status ReadParams(ByteReader* r, FprasParams* p) {
   NFA_RETURN_NOT_OK(r->I32(&p->num_threads));
   NFA_RETURN_NOT_OK(r->I32(&p->batch_width));
   NFA_RETURN_NOT_OK(r->I64(&p->memo_capacity));
+  if (version >= 2) {
+    NFA_RETURN_NOT_OK(r->U8(&flag));
+    p->symbol_classes = flag != 0;
+  } else {
+    p->symbol_classes = true;  // v1 predates the knob
+  }
   if (p->m < 1 || p->n < 0 || !(p->eps > 0.0) ||
       !(p->delta > 0.0 && p->delta < 1.0) || p->ns < 1 || p->xns < p->ns) {
     return Status::Invalid("checkpoint: parameter block fails validation");
@@ -147,10 +156,9 @@ std::string SerializeSessionCheckpoint(const EngineSession& session) {
       const StateLevelData& cell = state.cells[static_cast<size_t>(q)];
       w.F64(cell.count_estimate);
       w.I64(cell.samples.count());
-      const std::vector<Symbol>& symbols = cell.samples.symbols_slab();
-      if (!symbols.empty()) {
-        w.Bytes(symbols.data(), symbols.size() * sizeof(Symbol));
-      }
+      // One u16 LE per symbol (canonical byte order on any host; v1 files
+      // stored one byte per symbol).
+      for (Symbol s : cell.samples.symbols_slab()) w.U16(s);
       const std::vector<uint64_t>& profiles = cell.samples.profiles_slab();
       for (uint64_t word : profiles) w.U64(word);
     }
@@ -173,9 +181,9 @@ Result<EngineSession> DeserializeSessionCheckpoint(const std::string& bytes,
   uint32_t endian = 0;
   NFA_RETURN_NOT_OK(preamble.U32(&version));
   NFA_RETURN_NOT_OK(preamble.U32(&endian));
-  if (version != kCheckpointVersion) {
+  if (version < 1 || version > kCheckpointVersion) {
     return Status::Invalid("unsupported checkpoint version " +
-                           std::to_string(version) + " (expected " +
+                           std::to_string(version) + " (expected <= " +
                            std::to_string(kCheckpointVersion) + ")");
   }
   if (endian != kEndianMarker) {
@@ -196,7 +204,7 @@ Result<EngineSession> DeserializeSessionCheckpoint(const std::string& bytes,
   uint64_t seed = 0;
   NFA_RETURN_NOT_OK(r.U64(&seed));
   FprasParams params;
-  NFA_RETURN_NOT_OK(ReadParams(&r, &params));
+  NFA_RETURN_NOT_OK(ReadParams(&r, version, &params));
   int32_t computed = 0;
   NFA_RETURN_NOT_OK(r.I32(&computed));
   int64_t draw_cursor = 0;
@@ -239,9 +247,11 @@ Result<EngineSession> DeserializeSessionCheckpoint(const std::string& bytes,
       NFA_RETURN_NOT_OK(r.I64(&count));
       // Bound the claimed sample count by the bytes remaining for this
       // cell's slabs (level symbols + profile words per sample) before
-      // sizing any vector by it.
+      // sizing any vector by it. v1 files store one byte per symbol, v2
+      // files two (u16 LE).
+      const uint64_t symbol_bytes = version >= 2 ? 2 : 1;
       const uint64_t per_sample =
-          static_cast<uint64_t>(level) * sizeof(Symbol) +
+          static_cast<uint64_t>(level) * symbol_bytes +
           profile_words * sizeof(uint64_t);
       if (count < 0 ||
           static_cast<uint64_t>(count) > r.remaining() / per_sample) {
@@ -249,9 +259,14 @@ Result<EngineSession> DeserializeSessionCheckpoint(const std::string& bytes,
       }
       std::vector<Symbol> symbols(static_cast<size_t>(count) *
                                   static_cast<size_t>(level));
-      if (!symbols.empty()) {
-        NFA_RETURN_NOT_OK(r.Bytes(symbols.data(),
-                                  symbols.size() * sizeof(Symbol)));
+      if (version >= 2) {
+        for (Symbol& s : symbols) NFA_RETURN_NOT_OK(r.U16(&s));
+      } else {
+        for (Symbol& s : symbols) {
+          uint8_t narrow = 0;
+          NFA_RETURN_NOT_OK(r.U8(&narrow));
+          s = narrow;
+        }
       }
       std::vector<uint64_t> profiles(static_cast<size_t>(count) *
                                      profile_words);
@@ -274,6 +289,12 @@ Result<EngineSession> DeserializeSessionCheckpoint(const std::string& bytes,
     params.csr_hot_path = knobs->csr_hot_path;
     if (knobs->descent_cache_capacity >= 0) {
       params.descent_cache_capacity = knobs->descent_cache_capacity;
+    }
+    // Unlike the knobs above, flipping symbol classes changes which RNG
+    // substreams future work consumes (envelope-preserving, not
+    // bit-preserving) — the tri-state default keeps the saved setting.
+    if (knobs->symbol_classes >= 0) {
+      params.symbol_classes = knobs->symbol_classes != 0;
     }
   }
   return EngineSession::Restore(std::move(nfa), params, seed, computed,

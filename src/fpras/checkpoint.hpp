@@ -31,8 +31,11 @@
 namespace nfacount {
 
 /// Current checkpoint format version (bumped on any layout change; readers
-/// reject other versions rather than guessing).
-inline constexpr uint32_t kCheckpointVersion = 1;
+/// reject unknown versions rather than guessing). v2 widened stored-word
+/// symbols from one byte to u16 LE and appended the `symbol_classes` flag to
+/// the parameter block; v1 files still load (1-byte symbols, flag defaults
+/// to on).
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// Serializes `session` to `path` crash-safely: the checkpoint is written to
 /// `<path>.tmp`, flushed and fsynced, then atomically renamed over `path`.

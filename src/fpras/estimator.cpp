@@ -25,28 +25,19 @@ constexpr uint64_t kFinalUnionTag = 0xF1F1F1F1F1F1F1F1ULL;
 constexpr uint64_t kDrawStreamTag = 0xD12AD12AD12AD12AULL;
 constexpr uint64_t kRefillWalkTag = 0xB47CB47CB47CB47CULL;
 
-/// AppUnion input adapter over one predecessor's (S, N) pair. Samples come
-/// out of the cell's flat SampleBlock as SampleRef spans; membership of a
-/// stored word σ in L(p^{|σ|}) is a bit probe on its reach-profile span, or
-/// a full re-simulation when oracle amortization is ablated.
-/// owner()/universe() additionally satisfy the AppUnionBatched concept
-/// (prefix-mask coverage over the state-id universe).
-struct PredecessorInput {
-  const StateLevelData* data;
-  StateId state;
-  const Nfa* nfa;
-  bool amortized;
-
-  double size_estimate() const { return data->count_estimate; }
-  int64_t num_samples() const { return data->samples.count(); }
-  SampleRef Sample(int64_t idx) const { return data->samples.At(idx); }
-  bool Contains(const SampleRef& sample) const {
-    if (amortized) return sample.ProfileTest(state);
-    return nfa->Reach(sample.ToWord()).Test(state);
+/// Process-wide engine-parameter overrides, applied once at construction
+/// because symbol_classes shapes the UnrolledNfa itself (the class index is
+/// built with the automaton). NFACOUNT_SYMBOL_CLASSES=0 disables the class
+/// layer for a whole test run (the CI fallback sweep, same idiom as
+/// NFACOUNT_DESCENT_CACHE); any other integer enables it.
+FprasParams ResolveEngineParams(FprasParams params) {
+  if (const char* env = std::getenv("NFACOUNT_SYMBOL_CLASSES")) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0') params.symbol_classes = parsed != 0;
   }
-  int owner() const { return static_cast<int>(state); }
-  size_t universe() const { return static_cast<size_t>(nfa->num_states()); }
-};
+  return params;
+}
 
 /// Shared AppUnion parameterization for a given level and δ.
 AppUnionParams MakeUnionParams(const FprasParams& p, double delta_param,
@@ -135,14 +126,14 @@ void UnionSizeMemo::Insert(int level, const Bitset& set,
 // ---------------------------------------------------------------------------
 
 void DescentCache::Reset(int64_t capacity, size_t row_words,
-                         int alphabet_size) {
+                         int symbol_rows) {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
   }
   capacity_ = capacity;
   row_words_ = row_words;
-  alphabet_size_ = alphabet_size;
+  symbol_rows_ = symbol_rows;
   entries_.store(0, std::memory_order_relaxed);
   bytes_.store(0, std::memory_order_relaxed);
   hits_.store(0, std::memory_order_relaxed);
@@ -193,7 +184,7 @@ void DescentCache::InsertSizes(int level, const Bitset& set,
   shard.map.emplace(Key{level, set}, std::move(entry));
 }
 
-bool DescentCache::LookupRow(int level, const Bitset& set, int symbol,
+bool DescentCache::LookupRow(int level, const Bitset& set, int symbol_class,
                              uint64_t* out_row) {
   thread_local Key probe;
   probe.level = level;
@@ -203,9 +194,9 @@ bool DescentCache::LookupRow(int level, const Bitset& set, int symbol,
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(probe);
     if (it != shard.map.end() && !it->second.row_filled.empty() &&
-        it->second.row_filled[static_cast<size_t>(symbol)]) {
-      const uint64_t* src =
-          it->second.rows.data() + static_cast<size_t>(symbol) * row_words_;
+        it->second.row_filled[static_cast<size_t>(symbol_class)]) {
+      const uint64_t* src = it->second.rows.data() +
+                            static_cast<size_t>(symbol_class) * row_words_;
       std::copy(src, src + row_words_, out_row);
       hits_.fetch_add(1, std::memory_order_relaxed);
       return true;
@@ -215,7 +206,7 @@ bool DescentCache::LookupRow(int level, const Bitset& set, int symbol,
   return false;
 }
 
-void DescentCache::InsertRow(int level, const Bitset& set, int symbol,
+void DescentCache::InsertRow(int level, const Bitset& set, int symbol_class,
                              const uint64_t* row) {
   if (!enabled()) return;
   Shard& shard = ShardFor(level, set);
@@ -224,17 +215,18 @@ void DescentCache::InsertRow(int level, const Bitset& set, int symbol,
   if (it == shard.map.end()) return;  // entry never admitted (budget spent)
   Entry& entry = it->second;
   if (entry.rows.empty()) {
-    entry.rows.assign(static_cast<size_t>(alphabet_size_) * row_words_, 0);
-    entry.row_filled.assign(static_cast<size_t>(alphabet_size_), 0);
+    entry.rows.assign(static_cast<size_t>(symbol_rows_) * row_words_, 0);
+    entry.row_filled.assign(static_cast<size_t>(symbol_rows_), 0);
     bytes_.fetch_add(
         static_cast<int64_t>(entry.rows.size() * sizeof(uint64_t) +
                              entry.row_filled.size()),
         std::memory_order_relaxed);
   }
-  if (entry.row_filled[static_cast<size_t>(symbol)]) return;
+  if (entry.row_filled[static_cast<size_t>(symbol_class)]) return;
   std::copy(row, row + row_words_,
-            entry.rows.data() + static_cast<size_t>(symbol) * row_words_);
-  entry.row_filled[static_cast<size_t>(symbol)] = 1;
+            entry.rows.data() +
+                static_cast<size_t>(symbol_class) * row_words_);
+  entry.row_filled[static_cast<size_t>(symbol_class)] = 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -243,11 +235,11 @@ void DescentCache::InsertRow(int level, const Bitset& set, int symbol,
 
 FprasEngine::FprasEngine(const Nfa* nfa, FprasParams params, uint64_t seed)
     : nfa_(nfa),
-      params_(params),
-      unrolled_(nfa, params.n),
+      params_(ResolveEngineParams(std::move(params))),
+      unrolled_(nfa, params_.n, params_.symbol_classes),
       seed_(seed) {
   assert(nfa != nullptr && nfa->Validate().ok());
-  assert(params.m == nfa->num_states());
+  assert(params_.m == nfa->num_states());
   workers_.resize(1);
   workers_[0].pred_scratch = Bitset(static_cast<size_t>(nfa->num_states()));
   draw_.pred_scratch = Bitset(static_cast<size_t>(nfa->num_states()));
@@ -329,40 +321,47 @@ void FprasEngine::UnionSizesInto(int level, const Bitset& state_set,
   std::vector<double>& sizes = *out;
   if (use_memo && memo_.Lookup(level, state_set, &sizes)) return;
 
-  // Content-keyed substream: the draws depend only on (seed, purpose, level,
-  // P) — never on the calling cell, the worker thread, or the memo state.
-  // Recomputing an uncached entry therefore reproduces byte-for-byte what a
-  // cache hit would have returned, which is what makes the shared memo (and
-  // the parallel sweep) result-invariant.
   const uint64_t family =
       purpose == UnionPurpose::kCount ? kCountUnionTag : kSampleUnionTag;
-  Rng rng = Rng::ForSubstream(seed_, HashCombine(family, state_set.Hash()),
-                              static_cast<uint64_t>(level));
-
-  const int k = nfa_->alphabet_size();
-  sizes.assign(static_cast<size_t>(k), 0.0);
+  const SymbolClassIndex& classes = unrolled_.symbol_classes();
+  const int num_classes = classes.num_classes();
+  sizes.assign(static_cast<size_t>(num_classes), 0.0);
   AppUnionParams au = MakeUnionParams(params_, delta_param, level);
 
-  for (int b = 0; b < k; ++b) {
-    // Predecessor expansion on the flat layout (or the legacy pointer walk
-    // when ablated); `ws.pred_scratch` avoids a per-(symbol, call) allocation.
+  for (int c = 0; c < num_classes; ++c) {
+    // One predecessor expansion per class: every member of a class has
+    // identical reverse rows, so Pred(P, b) is the same set for all of them.
+    // The flat layout (or the legacy pointer walk when ablated) expands the
+    // representative; `ws.pred_scratch` avoids a per-(class, call) allocation.
+    const Symbol rep = classes.Representative(c);
     Bitset& preds = ws.pred_scratch;
     if (params_.csr_hot_path) {
-      unrolled_.PredSetInto(state_set, static_cast<Symbol>(b), level, &preds);
+      unrolled_.PredSetInto(state_set, rep, level, &preds);
     } else {
-      preds = unrolled_.PredSetLegacy(state_set, static_cast<Symbol>(b), level);
+      preds = unrolled_.PredSetLegacy(state_set, rep, level);
     }
     if (preds.None()) continue;
-    std::vector<PredecessorInput> inputs;
-    inputs.reserve(preds.Count());
+    std::vector<PredecessorInput>& inputs = ws.union_inputs;
+    inputs.clear();
     preds.ForEachSet([&](int p) {
       inputs.push_back(PredecessorInput{&levels_[level - 1].cells[p],
                                         static_cast<StateId>(p), nfa_,
                                         params_.amortize_oracle});
     });
-    std::vector<const PredecessorInput*> ptrs;
-    ptrs.reserve(inputs.size());
+    std::vector<const PredecessorInput*>& ptrs = ws.union_ptrs;
+    ptrs.clear();
     for (const auto& in : inputs) ptrs.push_back(&in);
+
+    // Content-keyed substream: the draws depend only on (seed, purpose,
+    // level, predecessor-set content) — never on the calling cell, the
+    // worker thread, the memo state, or which class produced the set.
+    // Recomputing an uncached entry therefore reproduces byte-for-byte what
+    // a cache hit would have returned (the shared memo and the parallel
+    // sweep stay result-invariant), and classes whose predecessor sets
+    // coincide reuse the exact same draw stream — a duplicate class costs
+    // AppUnion work but no fresh randomness.
+    Rng rng = Rng::ForSubstream(seed_, HashCombine(family, preds.Hash()),
+                                static_cast<uint64_t>(level));
 
     // Batched membership needs reach profiles, which only exist when the
     // oracle is amortized; the E9 ablation path keeps the per-probe loop.
@@ -374,7 +373,12 @@ void FprasEngine::UnionSizesInto(int level, const Bitset& state_set,
     ws.diag.appunion_trials += outcome.completed_trials;
     ws.diag.membership_checks += outcome.membership_checks;
     if (outcome.starved) ++ws.diag.starvations;
-    sizes[static_cast<size_t>(b)] = outcome.estimate;
+    // The stored slice is WEIGHTED: out[c] = weight_c · sz_c, so the vector
+    // still sums to the full per-symbol total N = Σ_b sz_b and a discrete
+    // draw over it picks a class with the probability mass of all its
+    // members combined.
+    sizes[static_cast<size_t>(c)] =
+        static_cast<double>(classes.Weight(c)) * outcome.estimate;
   }
 
   if (use_memo) memo_.Insert(level, state_set, sizes);
@@ -386,8 +390,9 @@ void FprasEngine::RunWalkBatch(int level, const Bitset& state_set, double phi0,
   SampleArena& ar = ws.arena;
   const size_t m_bits = static_cast<size_t>(nfa_->num_states());
   const size_t row_words = (m_bits + 63) / 64;
-  const int k = nfa_->alphabet_size();
-  ar.BeginBatch(count, level, m_bits, k);
+  const SymbolClassIndex& classes = unrolled_.symbol_classes();
+  const int num_classes = classes.num_classes();
+  ar.BeginBatch(count, level, m_bits, num_classes);
   ++ws.diag.walk_batches;
 
   // All walks start in one group whose frontier is the target set.
@@ -413,7 +418,9 @@ void FprasEngine::RunWalkBatch(int level, const Bitset& state_set, double phi0,
   for (int i = level; i >= 1; --i) {
     std::fill(ar.group_ready.begin(), ar.group_ready.begin() + group_count, 0);
     std::fill(ar.child_of.begin(),
-              ar.child_of.begin() + static_cast<size_t>(group_count) * k, -1);
+              ar.child_of.begin() +
+                  static_cast<size_t>(group_count) * num_classes,
+              -1);
     int next_group_count = 0;
     bool any_alive = false;
     for (int w = 0; w < count; ++w) {
@@ -445,46 +452,59 @@ void FprasEngine::RunWalkBatch(int level, const Bitset& state_set, double phi0,
         ar.state_of[w] = SampleArena::kDead;
         continue;
       }
-      const int b = ar.rng[w].DiscreteIndex(sizes);
-      assert(b >= 0);
-      const double pr_b = sizes[static_cast<size_t>(b)] / total;
-      int32_t& child = ar.child_of[static_cast<size_t>(g) * k + b];
+      // Two-stage symbol draw over the partition: a class with probability
+      // weight_c·sz_c / N (the sizes vector stores the weighted slices),
+      // then a uniform member of the class — so a specific symbol b of
+      // class c lands with probability sz_c / N, exactly the per-symbol
+      // distribution of the uncompressed loop.
+      const int c = ar.rng[w].DiscreteIndex(sizes);
+      assert(c >= 0);
+      const int weight = classes.Weight(c);
+      const Symbol b =
+          weight == 1 ? classes.Representative(c)
+                      : classes.Member(c, static_cast<int>(ar.rng[w].UniformU64(
+                                             static_cast<uint64_t>(weight))));
+      const double pr_b = sizes[static_cast<size_t>(c)] /
+                          (static_cast<double>(weight) * total);
+      int32_t& child = ar.child_of[static_cast<size_t>(g) * num_classes + c];
       if (child < 0) {
-        // First member to draw b: expand (frontier, b) once into the next
-        // plane's row for the child group.
+        // First member to draw class c: expand (frontier, c) once into the
+        // next plane's row for the child group. All members of the class
+        // share the row (identical reverse rows), so walks that drew
+        // different symbols of one class still share the child group.
         child = next_group_count++;
         uint64_t* out_row = ar.next.Row(child);
         // Descent-cache row probe before expanding. ar.cur rows are stable
         // for the whole level pass, but ar.frontier_scratch is overwritten by
         // later groups' size estimations, so the probe key is re-materialized
         // into its own scratch.
+        const Symbol rep = classes.Representative(c);
         bool row_cached = false;
         if (use_descent) {
           ar.descent_scratch.AssignWords(ar.cur.Row(g), row_words);
-          row_cached = descent_.LookupRow(i, ar.descent_scratch, b, out_row);
+          row_cached = descent_.LookupRow(i, ar.descent_scratch, c, out_row);
         }
         if (!row_cached) {
           if (params_.csr_hot_path) {
-            unrolled_.PredSetWordsInto(ar.cur.Row(g), static_cast<Symbol>(b),
-                                       i, out_row, *kernels_);
+            unrolled_.PredSetWordsInto(ar.cur.Row(g), rep, i, out_row,
+                                       *kernels_);
           } else {
             ar.expand_scratch.AssignWords(ar.cur.Row(g), row_words);
-            Bitset preds = unrolled_.PredSetLegacy(ar.expand_scratch,
-                                                   static_cast<Symbol>(b), i);
+            Bitset preds = unrolled_.PredSetLegacy(ar.expand_scratch, rep, i);
             std::copy(preds.words().data(), preds.words().data() + row_words,
                       out_row);
           }
           if (use_descent) {
-            descent_.InsertRow(i, ar.descent_scratch, b, out_row);
+            descent_.InsertRow(i, ar.descent_scratch, c, out_row);
           }
         }
         // Invariant carried over from the sequential walk's assert(cur.Any()):
-        // sizes[b] > 0 implies the b-predecessor slice is non-empty.
+        // sizes[c] > 0 implies the class's predecessor slice is non-empty.
         assert(std::any_of(out_row, out_row + row_words,
                            [](uint64_t word) { return word != 0; }) &&
-               "drawn symbol expanded to an empty frontier");
+               "drawn class expanded to an empty frontier");
       }
-      ar.WordOf(w)[i - 1] = static_cast<Symbol>(b);
+      ar.WordOf(w)[i - 1] = b;
       ar.phi[w] /= pr_b;
       ar.next_group_of[w] = child;
       any_alive = true;
@@ -707,6 +727,10 @@ Status FprasEngine::Prepare() {
 
   const int n = params_.n;
   const int m = nfa_->num_states();
+  // Hot-loop stride: the walk plane and the descent cache are sized by the
+  // symbol partition, not the raw alphabet (identical under the trivial
+  // partition; C << |Σ| on corpus-style alphabets).
+  const int num_classes = unrolled_.symbol_classes().num_classes();
   const int threads = ThreadPool::ResolveThreadCount(params_.num_threads);
   batch_width_ = params_.ResolvedBatchWidth();
   kernels_ =
@@ -718,7 +742,7 @@ Status FprasEngine::Prepare() {
     ws.pred_scratch = Bitset(static_cast<size_t>(m));
     ws.target_scratch = Bitset(static_cast<size_t>(m));
     ws.arena.PrepareRun(batch_width_, std::max(n, 1),
-                        static_cast<size_t>(m), nfa_->alphabet_size());
+                        static_cast<size_t>(m), num_classes);
   }
   // Draw-path scratch: its own bundle so post-run draws never contend with
   // (or corrupt) a concurrently extending sweep's worker slots.
@@ -726,7 +750,7 @@ Status FprasEngine::Prepare() {
   draw_.pred_scratch = Bitset(static_cast<size_t>(m));
   draw_.target_scratch = Bitset(static_cast<size_t>(m));
   draw_.arena.PrepareRun(batch_width_, std::max(n, 1), static_cast<size_t>(m),
-                         nfa_->alphabet_size());
+                         num_classes);
   levels_.assign(static_cast<size_t>(n) + 1, LevelState{});
   for (LevelState& state : levels_) {
     state.cells.resize(static_cast<size_t>(m));
@@ -744,7 +768,7 @@ Status FprasEngine::Prepare() {
     if (end != env && *end == '\0' && parsed >= 0) descent_capacity = parsed;
   }
   descent_.Reset(descent_capacity, (static_cast<size_t>(m) + 63) / 64,
-                 nfa_->alphabet_size());
+                 num_classes);
 
   // Level 0 (Alg. 3 lines 6-10): L(I⁰) = {λ}, everything else empty. The
   // sample list holds ns copies of λ — "uniform with replacement" from a
@@ -858,14 +882,15 @@ double FprasEngine::EstimateUnionOfStates(const Bitset& targets, int level,
   if (count == 0) return 0.0;
   if (count == 1) return levels_[level].cells[alive.FirstSet()].count_estimate;
 
-  std::vector<PredecessorInput> inputs;
+  std::vector<PredecessorInput>& inputs = ws.union_inputs;
+  inputs.clear();
   alive.ForEachSet([&](int q) {
     inputs.push_back(PredecessorInput{&levels_[level].cells[q],
                                       static_cast<StateId>(q), nfa_,
                                       params_.amortize_oracle});
   });
-  std::vector<const PredecessorInput*> ptrs;
-  ptrs.reserve(inputs.size());
+  std::vector<const PredecessorInput*>& ptrs = ws.union_ptrs;
+  ptrs.clear();
   for (const auto& in : inputs) ptrs.push_back(&in);
   AppUnionParams au = MakeUnionParams(params_, params_.eta, level + 1);
   // Content-keyed stream: repeated estimates of the same (targets, level)
@@ -1020,6 +1045,7 @@ void ApplyOptionFlags(const CountOptions& options, FprasParams* params) {
   if (options.descent_cache_capacity >= 0) {
     params->descent_cache_capacity = options.descent_cache_capacity;
   }
+  params->symbol_classes = options.symbol_classes;
 }
 
 }  // namespace

@@ -145,6 +145,30 @@ struct StateLevelData {
   SampleBlock samples;         ///< S(q^ℓ), count() == ns once filled
 };
 
+/// AppUnion input adapter over one predecessor's (S, N) pair. Samples come
+/// out of the cell's flat SampleBlock as SampleRef spans; membership of a
+/// stored word σ in L(p^{|σ|}) is a bit probe on its reach-profile span, or
+/// a full re-simulation when oracle amortization is ablated.
+/// owner()/universe() additionally satisfy the AppUnionBatched concept
+/// (prefix-mask coverage over the state-id universe). Engine-internal; lives
+/// here only so WorkerScratch can hold reusable vectors of it.
+struct PredecessorInput {
+  const StateLevelData* data;
+  StateId state;
+  const Nfa* nfa;
+  bool amortized;
+
+  double size_estimate() const { return data->count_estimate; }
+  int64_t num_samples() const { return data->samples.count(); }
+  SampleRef Sample(int64_t idx) const { return data->samples.At(idx); }
+  bool Contains(const SampleRef& sample) const {
+    if (amortized) return sample.ProfileTest(state);
+    return nfa->Reach(sample.ToWord()).Test(state);
+  }
+  int owner() const { return static_cast<int>(state); }
+  size_t universe() const { return static_cast<size_t>(nfa->num_states()); }
+};
+
 /// Everything one level of the unrolled DP contributes: the Inv-1 count
 /// estimates and Inv-2 sample multisets of every state copy q^ℓ. A
 /// LevelState is written exactly once (by the AdvanceLevel step that computes
@@ -219,14 +243,15 @@ class UnionSizeMemo {
 
 /// Sharded, capacity-bounded cache of the per-(level, frontier-set) descent
 /// work the lockstep sampling plane repeats across refill batches, cells, and
-/// post-run draws: the per-symbol union-size vector (what Alg. 2 lines 8-11
-/// recompute for every group that reaches the same frontier) and the expanded
-/// predecessor rows Pred(P, b) (the PredSetInto result per chosen symbol).
+/// post-run draws: the per-symbol-class union-size vector (what Alg. 2 lines
+/// 8-11 recompute for every group that reaches the same frontier) and the
+/// expanded predecessor rows Pred(P, c) (the PredSetInto result per chosen
+/// symbol class — one row covers every member of the class).
 ///
 /// Purity argument (why this never changes a result): UnionSizes draws from a
 /// substream keyed by (purpose, level, P-set content) — never from caller
 /// state — so recomputation reproduces the cached vector bit for bit; and the
-/// predecessor expansion is a pure function of (level, frontier, symbol) over
+/// predecessor expansion is a pure function of (level, frontier, class) over
 /// the fixed unrolled automaton. Estimates, tables, and draw streams are
 /// therefore bit-identical with the cache on, off, or at any capacity; only
 /// the atomic hit/miss counters are scheduling-dependent.
@@ -239,13 +264,14 @@ class UnionSizeMemo {
 class DescentCache {
  public:
   /// Clears all shards and counters and fixes the geometry: row_words words
-  /// per predecessor row, alphabet_size rows per entry. Capacity caps the
-  /// number of (level, frontier) entries; 0 disables the cache entirely.
-  void Reset(int64_t capacity, size_t row_words, int alphabet_size);
+  /// per predecessor row, symbol_rows rows per entry (one per symbol class —
+  /// |Σ| under the trivial partition). Capacity caps the number of
+  /// (level, frontier) entries; 0 disables the cache entirely.
+  void Reset(int64_t capacity, size_t row_words, int symbol_rows);
 
   bool enabled() const { return capacity_ > 0; }
 
-  /// If (level, set) is cached, copies its per-symbol sizes into *out and
+  /// If (level, set) is cached, copies its per-class sizes into *out and
   /// returns true. Counts one hit or miss.
   bool LookupSizes(int level, const Bitset& set, std::vector<double>* out);
 
@@ -255,14 +281,16 @@ class DescentCache {
   void InsertSizes(int level, const Bitset& set,
                    const std::vector<double>& sizes);
 
-  /// If the expanded row Pred(set, symbol) at `level` is cached, copies its
-  /// row_words words into out_row and returns true. Counts one hit or miss.
-  bool LookupRow(int level, const Bitset& set, int symbol, uint64_t* out_row);
+  /// If the expanded row of symbol class `symbol_class` at `level` is
+  /// cached, copies its row_words words into out_row and returns true.
+  /// Counts one hit or miss.
+  bool LookupRow(int level, const Bitset& set, int symbol_class,
+                 uint64_t* out_row);
 
   /// Stores the expanded row for an already-admitted (level, set) entry;
   /// no-op when the entry was never admitted (budget exhausted). Concurrent
   /// fills write identical bits (pure function of the key).
-  void InsertRow(int level, const Bitset& set, int symbol,
+  void InsertRow(int level, const Bitset& set, int symbol_class,
                  const uint64_t* row);
 
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -285,8 +313,8 @@ class DescentCache {
     }
   };
   /// One admitted (level, frontier) entry. `rows` is allocated lazily on the
-  /// first InsertRow (alphabet_size × row_words flat words); row_filled[b]
-  /// marks which symbols have been expanded.
+  /// first InsertRow (symbol_rows × row_words flat words); row_filled[c]
+  /// marks which symbol classes have been expanded.
   struct Entry {
     std::vector<double> sizes;
     std::vector<uint64_t> rows;
@@ -308,7 +336,7 @@ class DescentCache {
   std::array<Shard, kNumShards> shards_;
   int64_t capacity_ = 0;
   size_t row_words_ = 0;
-  int alphabet_size_ = 0;
+  int symbol_rows_ = 0;
   std::atomic<int64_t> entries_{0};
   std::atomic<int64_t> bytes_{0};
   std::atomic<int64_t> hits_{0};
@@ -480,6 +508,10 @@ class FprasEngine {
     Bitset pred_scratch;          ///< PredSetInto target (UnionSizes)
     Bitset target_scratch;        ///< singleton {q} for RefillSamples
     AppUnionScratch union_scratch;///< batched-membership + draw-table scratch
+    /// AppUnion input adapters, rebuilt per estimation but never reallocated
+    /// once warm (capacity persists across UnionSizesInto calls).
+    std::vector<PredecessorInput> union_inputs;
+    std::vector<const PredecessorInput*> union_ptrs;
     SampleArena arena;            ///< lockstep walk batch slab (plane.hpp)
     FprasDiagnostics diag;        ///< merged into diagnostics() on demand
   };
@@ -490,12 +522,18 @@ class FprasEngine {
   /// path is memo-shared.
   enum class UnionPurpose { kCount, kSample };
 
-  /// sz_b for every symbol b of the decomposition of ∪_{q∈P} L(q^level)
-  /// (Alg. 2 lines 8-11), via AppUnion with parameters (β, delta_param),
-  /// written into *out (capacity reused across calls). Draws from the
-  /// content-keyed substream (purpose, level, P), so the result is a
+  /// The per-symbol-class decomposition of ∪_{q∈P} L(q^level) (Alg. 2 lines
+  /// 8-11 compressed over the symbol partition): out[c] = weight_c · sz_c,
+  /// where sz_c is one AppUnion estimate of the class's shared predecessor
+  /// slice — every member of a class has the same Pred(P, b), so one PredSet
+  /// expansion and one AppUnion cover weight_c symbols and Σ_c out[c] is the
+  /// full per-symbol total. Runs with parameters (β, delta_param); capacity
+  /// of *out is reused across calls. Each class draws from a substream keyed
+  /// by (purpose, level, predecessor-set content), so the result is a
   /// deterministic function of the engine seed and the arguments —
-  /// independent of caller, thread, and memo state.
+  /// independent of caller, thread, and memo state — and classes that share
+  /// a predecessor set share the draws (duplicate content costs no fresh
+  /// randomness).
   void UnionSizesInto(int level, const Bitset& state_set, double delta_param,
                       UnionPurpose purpose, WorkerScratch& ws,
                       std::vector<double>* out);
@@ -627,6 +665,12 @@ struct CountOptions {
   /// the built-in default). Bit-identical results at every value; see
   /// FprasParams::descent_cache_capacity.
   int64_t descent_cache_capacity = -1;
+  /// Symbol-class alphabet compression: collapse symbols with identical
+  /// transition rows and run the per-symbol hot loops per class. Same (ε, δ)
+  /// envelope either way, but the two settings draw from different RNG
+  /// substreams (results at a fixed setting stay bit-identical across every
+  /// other knob); see FprasParams::symbol_classes.
+  bool symbol_classes = true;
 };
 
 /// Result of ApproxCount.

@@ -123,6 +123,7 @@ std::string FprasParams::ToString() const {
      << ", memoize=" << (memoize_unions ? 1 : 0)
      << ", amortize=" << (amortize_oracle ? 1 : 0)
      << ", csr=" << (csr_hot_path ? 1 : 0)
+     << ", classes=" << (symbol_classes ? 1 : 0)
      << ", threads=" << num_threads
      << ", batch=" << ResolvedBatchWidth()
      << ", simd=" << (simd_kernels ? 1 : 0) << "}";

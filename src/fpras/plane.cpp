@@ -4,8 +4,23 @@
 
 namespace nfacount {
 
+void SampleArena::EnsureGroupSizes(int rows, int num_classes) {
+  if (static_cast<size_t>(rows) > group_sizes.capacity()) {
+    ++vector_alloc_events_;
+  }
+  if (group_sizes.size() < static_cast<size_t>(rows)) {
+    group_sizes.resize(static_cast<size_t>(rows));
+  }
+  for (auto& sizes : group_sizes) {
+    if (static_cast<size_t>(num_classes) > sizes.capacity()) {
+      ++vector_alloc_events_;
+      sizes.reserve(static_cast<size_t>(num_classes));
+    }
+  }
+}
+
 void SampleArena::PrepareRun(int max_batch, int max_word_len, size_t bits,
-                             int alphabet_size) {
+                             int num_classes) {
   const int b = std::max(max_batch, 1);
   const int len = std::max(max_word_len, 1);
   cur.Reshape(b, bits);
@@ -20,17 +35,8 @@ void SampleArena::PrepareRun(int max_batch, int max_word_len, size_t bits,
   Ensure(outcome_of, static_cast<size_t>(b));
   Ensure(group_total, static_cast<size_t>(b));
   Ensure(group_ready, static_cast<size_t>(b));
-  Ensure(child_of, static_cast<size_t>(b) * alphabet_size);
-  if (static_cast<size_t>(b) > group_sizes.capacity()) ++vector_alloc_events_;
-  if (group_sizes.size() < static_cast<size_t>(b)) {
-    group_sizes.resize(static_cast<size_t>(b));
-  }
-  for (auto& sizes : group_sizes) {
-    if (static_cast<size_t>(alphabet_size) > sizes.capacity()) {
-      ++vector_alloc_events_;
-      sizes.reserve(static_cast<size_t>(alphabet_size));
-    }
-  }
+  Ensure(child_of, static_cast<size_t>(b) * num_classes);
+  EnsureGroupSizes(b, num_classes);
   accepted.reserve(static_cast<size_t>(b));
   if (frontier_scratch.size() != bits) {
     frontier_scratch = Bitset(bits);
@@ -42,7 +48,7 @@ void SampleArena::PrepareRun(int max_batch, int max_word_len, size_t bits,
 }
 
 void SampleArena::BeginBatch(int batch, int word_len, size_t bits,
-                             int alphabet_size) {
+                             int num_classes) {
   // PrepareRun reserved for the widest batch; reshaping within that capacity
   // never allocates.
   cur.Reshape(batch, bits);
@@ -57,7 +63,8 @@ void SampleArena::BeginBatch(int batch, int word_len, size_t bits,
   Ensure(outcome_of, static_cast<size_t>(batch));
   Ensure(group_total, static_cast<size_t>(batch));
   Ensure(group_ready, static_cast<size_t>(batch));
-  Ensure(child_of, static_cast<size_t>(batch) * alphabet_size);
+  Ensure(child_of, static_cast<size_t>(batch) * num_classes);
+  EnsureGroupSizes(batch, num_classes);
   accepted.clear();
 }
 

@@ -87,12 +87,15 @@ class SampleArena {
 
   /// One-time (per Run) sizing for batches of up to `max_batch` walks over
   /// words of length up to `max_word_len` and frontiers of `bits` bits.
+  /// `num_classes` is the per-group symbol stride — the number of symbol
+  /// classes (|Σ| under the trivial partition): child_of rows and sz
+  /// vectors hold one slot per class.
   void PrepareRun(int max_batch, int max_word_len, size_t bits,
-                  int alphabet_size);
+                  int num_classes);
 
   /// Rewinds the arena for one batch of `batch` walks of word length
   /// `word_len` (≥ 0). Does not touch plane row contents.
-  void BeginBatch(int batch, int word_len, size_t bits, int alphabet_size);
+  void BeginBatch(int batch, int word_len, size_t bits, int num_classes);
 
   /// Walk w's staged symbol buffer (stride = the batch's word length).
   Symbol* WordOf(int w) {
@@ -124,10 +127,10 @@ class SampleArena {
   std::vector<int32_t> accepted;    ///< accepted walk ids, attempt order
 
   // Per-group state at the current level, indexed by group id.
-  std::vector<std::vector<double>> group_sizes;  ///< sz_b vector per group
-  std::vector<double> group_total;               ///< Σ_b sz_b
+  std::vector<std::vector<double>> group_sizes;  ///< weighted sz_c per group
+  std::vector<double> group_total;               ///< Σ_c weight_c·sz_c
   std::vector<uint8_t> group_ready;              ///< sizes computed yet?
-  std::vector<int32_t> child_of;  ///< group × |Σ| → next-level group id
+  std::vector<int32_t> child_of;  ///< group × C → next-level group id
 
   // Scratch bitsets bridging plane rows into Bitset-taking APIs.
   Bitset frontier_scratch;  ///< group frontier view (UnionSizes, memo key)
@@ -145,6 +148,12 @@ class SampleArena {
     if (n > v.capacity()) ++vector_alloc_events_;
     if (v.size() < n) v.resize(n);
   }
+
+  /// Single up-front sizing of the per-group sz vectors: `rows` group slots,
+  /// each holding capacity for `num_classes` entries. Shared by PrepareRun
+  /// and BeginBatch so a batch wider than the PrepareRun reservation can
+  /// never index past group_sizes (the old BeginBatch skipped this slab).
+  void EnsureGroupSizes(int rows, int num_classes);
 
   size_t word_stride_ = 0;
   int64_t vector_alloc_events_ = 0;

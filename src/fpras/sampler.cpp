@@ -20,6 +20,7 @@ Result<WordSampler> WordSampler::Build(const Nfa& nfa, int n,
   if (options.descent_cache_capacity >= 0) {
     params.descent_cache_capacity = options.descent_cache_capacity;
   }
+  params.symbol_classes = options.symbol_classes;
   auto engine = std::make_unique<FprasEngine>(&nfa, params, options.seed);
   NFA_RETURN_NOT_OK(engine->Run());
   return WordSampler(&nfa, std::move(engine), options);

@@ -52,6 +52,10 @@ struct SamplerOptions {
   /// only removes repeated per-(level, frontier) descent work. See
   /// FprasParams::descent_cache_capacity.
   int64_t descent_cache_capacity = -1;
+  /// Symbol-class alphabet compression (same envelope either way; the two
+  /// settings draw from different substreams). See
+  /// FprasParams::symbol_classes.
+  bool symbol_classes = true;
 };
 
 /// Draws words almost-uniformly from L(A_n).

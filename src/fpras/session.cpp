@@ -61,6 +61,7 @@ Result<EngineSession> EngineSession::Create(const Nfa& nfa, int horizon,
   if (options.descent_cache_capacity >= 0) {
     params.descent_cache_capacity = options.descent_cache_capacity;
   }
+  params.symbol_classes = options.symbol_classes;
 
   auto owned = std::make_unique<Nfa>(nfa);
   auto engine =

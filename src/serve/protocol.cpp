@@ -233,18 +233,18 @@ Status ReadReplyStatus(ByteReader* r, Status* out) {
 
 void WriteWord(const Word& word, ByteWriter* w) {
   w->U32(static_cast<uint32_t>(word.size()));
-  if (!word.empty()) w->Bytes(word.data(), word.size());
+  for (Symbol s : word) w->U16(s);
 }
 
 Status ReadWord(ByteReader* r, Word* out) {
   uint32_t len = 0;
   NFA_RETURN_NOT_OK(r->U32(&len));
-  if (len > kMaxPayloadBytes) {
+  if (len > kMaxPayloadBytes / sizeof(uint16_t)) {
     return Status::DataLoss("reply: word length corrupt");
   }
   out->resize(len);
-  if (len > 0) {
-    NFA_RETURN_NOT_OK(r->Bytes(out->data(), len));
+  for (uint32_t i = 0; i < len; ++i) {
+    NFA_RETURN_NOT_OK(r->U16(&(*out)[i]));
   }
   return Status::Ok();
 }

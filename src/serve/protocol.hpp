@@ -5,7 +5,7 @@
 //
 //   offset  size  field
 //   0       4     magic 'N' 'F' 'S' 'V'
-//   4       2     protocol version (u16 LE, currently 1)
+//   4       2     protocol version (u16 LE, currently 2)
 //   6       2     message type (u16 LE, MsgType)
 //   8       4     payload length (u32 LE, <= kMaxPayloadBytes)
 //   12      len   payload (op-specific, util/wire.hpp encoding)
@@ -36,8 +36,10 @@ namespace serve {
 
 /// Frame magic: 'N' 'F' 'S' 'V'.
 constexpr char kFrameMagic[4] = {'N', 'F', 'S', 'V'};
-/// Current protocol version.
-constexpr uint16_t kProtocolVersion = 1;
+/// Current protocol version. v2 widened sampled-word symbols from one byte
+/// to u16 LE (16-bit alphabet support); the version check is strict, so v1
+/// peers are rejected cleanly rather than mis-decoding words.
+constexpr uint16_t kProtocolVersion = 2;
 /// Hard cap on a declared payload length; larger declarations are rejected
 /// before any allocation (InvalidArgument).
 constexpr uint32_t kMaxPayloadBytes = 64u << 20;
@@ -148,7 +150,7 @@ void WriteReplyStatus(const Status& status, ByteWriter* w);
 /// via the return value (DataLoss); *out is only meaningful on OK return.
 Status ReadReplyStatus(ByteReader* r, Status* out);
 
-/// Appends a word (u32 length + raw symbol bytes) to `w`.
+/// Appends a word (u32 symbol count + one u16 LE per symbol) to `w`.
 void WriteWord(const Word& word, ByteWriter* w);
 
 /// Reads a word written by WriteWord; lengths above kMaxPayloadBytes are

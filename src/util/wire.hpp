@@ -23,6 +23,11 @@ class ByteWriter {
  public:
   /// Appends one byte.
   void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  /// Appends a 16-bit value, least-significant byte first.
+  void U16(uint16_t v) {
+    buf_.push_back(static_cast<char>(v & 0xff));
+    buf_.push_back(static_cast<char>((v >> 8) & 0xff));
+  }
   /// Appends a 32-bit value, least-significant byte first.
   void U32(uint32_t v) {
     for (int i = 0; i < 4; ++i) {
@@ -74,6 +79,15 @@ class ByteReader {
   Status U8(uint8_t* out) {
     NFA_RETURN_NOT_OK(Need(1));
     *out = static_cast<uint8_t>(data_[pos_++]);
+    return Status::Ok();
+  }
+  /// Reads a little-endian 16-bit value into *out.
+  Status U16(uint16_t* out) {
+    NFA_RETURN_NOT_OK(Need(2));
+    const uint16_t lo = static_cast<unsigned char>(data_[pos_]);
+    const uint16_t hi = static_cast<unsigned char>(data_[pos_ + 1]);
+    pos_ += 2;
+    *out = static_cast<uint16_t>(lo | (hi << 8));
     return Status::Ok();
   }
   /// Reads a little-endian 32-bit value into *out.

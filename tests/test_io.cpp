@@ -54,12 +54,13 @@ TEST(ParseNfaText, ErrorsCarryLineNumbers) {
   const Case cases[] = {
       {"initial 0\n", "header must come first"},
       {"nfa 0 2\n", "need >= 1 state"},
-      {"nfa 2 99\n", "alphabet size out of range"},
+      {"nfa 2 99999\n", "alphabet size out of range"},
       {"nfa 2 2\nnfa 2 2\n", "duplicate header"},
       {"nfa 2 2\ninitial 5\n", "bad initial"},
       {"nfa 2 2\ninitial 0\naccepting 7\n", "out of range"},
       {"nfa 2 2\ninitial 0\naccepting\n", "at least one state"},
       {"nfa 2 2\ninitial 0\ntrans 0 2 1\n", "outside the alphabet"},
+      {"nfa 2 100\ninitial 0\ntrans 0 517 1\n", "outside the alphabet"},
       {"nfa 2 2\ninitial 0\ntrans 0 1\n", "expected 'trans"},
       {"nfa 2 2\ninitial 0\nfrobnicate\n", "unknown keyword"},
       {"nfa 2 2\n", "missing initial"},

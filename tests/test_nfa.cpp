@@ -40,11 +40,25 @@ Nfa Contains101() {
 }
 
 TEST(Alphabet, SymbolCharRoundTrip) {
-  for (int s = 0; s < kMaxAlphabetSize; ++s) {
+  for (int s = 0; s < kMaxCharAlphabetSize; ++s) {
     EXPECT_EQ(CharToSymbol(SymbolToChar(static_cast<Symbol>(s))), s);
   }
   EXPECT_EQ(CharToSymbol('#'), -1);
   EXPECT_EQ(CharToSymbol('Z'), -1);
+}
+
+TEST(Alphabet, SymbolTokenRoundTrip) {
+  // Char-renderable symbols keep their single-character token; large symbols
+  // round-trip through the decimal form.
+  for (int s : {0, 9, 10, 35, 36, 517, kMaxAlphabetSize - 1}) {
+    EXPECT_EQ(ParseSymbolToken(SymbolToken(static_cast<Symbol>(s))), s)
+        << "s=" << s;
+  }
+  EXPECT_EQ(ParseSymbolToken(""), -1);
+  EXPECT_EQ(ParseSymbolToken("1x"), -1);
+  EXPECT_EQ(ParseSymbolToken("999999"), -1);
+  EXPECT_EQ(ParseSymbolToken(std::to_string(kMaxAlphabetSize)), -1);
+  EXPECT_EQ(WordToString(Word{0, 517, 1}), "0[517]1");
 }
 
 TEST(Alphabet, WordStringRoundTrip) {

@@ -112,7 +112,7 @@ TEST_F(ServeProtocolTest, WrongVersionIsInvalid) {
 
 TEST_F(ServeProtocolTest, UnknownMessageTypeIsInvalid) {
   SocketFd sock = RawConnect();
-  const char frame[12] = {'N', 'F', 'S', 'V', 1, 0, 99, 0, 0, 0, 0, 0};
+  const char frame[12] = {'N', 'F', 'S', 'V', 2, 0, 99, 0, 0, 0, 0, 0};
   ASSERT_TRUE(WriteFull(sock, frame, sizeof(frame)).ok());
   EXPECT_EQ(StatusCode::kInvalidArgument, ReadErrorReplyCode(sock));
   ExpectDaemonAlive();
@@ -121,7 +121,7 @@ TEST_F(ServeProtocolTest, UnknownMessageTypeIsInvalid) {
 TEST_F(ServeProtocolTest, OversizedDeclaredLengthIsRejectedBeforeAllocation) {
   SocketFd sock = RawConnect();
   // Declares a 4 GiB payload: must be refused from the header alone.
-  unsigned char frame[12] = {'N', 'F', 'S', 'V', 1,    0,
+  unsigned char frame[12] = {'N', 'F', 'S', 'V', 2,    0,
                              1,   0,   0xff, 0xff, 0xff, 0xff};
   ASSERT_TRUE(WriteFull(sock, frame, sizeof(frame)).ok());
   EXPECT_EQ(StatusCode::kInvalidArgument, ReadErrorReplyCode(sock));

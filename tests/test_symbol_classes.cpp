@@ -1,0 +1,356 @@
+// Symbol-class alphabet compression: partition correctness against a brute-
+// force row comparison, bit-identical predecessor/successor expansion for
+// every class member, the degenerate all-distinct-rows case (classes on vs
+// off must be bit-identical because the trivial partition leaves every
+// content-keyed substream unchanged), the identity grid at a fixed class
+// setting, the accuracy envelope on the corpus-scale family, and the
+// checkpoint knob flip (envelope-preserving, prefix untouched).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "automata/generators.hpp"
+#include "automata/symbol_classes.hpp"
+#include "automata/unrolled.hpp"
+#include "counting/exact.hpp"
+#include "fpras/checkpoint.hpp"
+#include "fpras/fpras.hpp"
+#include "test_seed.hpp"
+#include "test_tables.hpp"
+#include "util/rng.hpp"
+
+namespace nfacount {
+namespace {
+
+using testing_support::ExpectTablesIdentical;
+using testing_support::SessionTestOptions;
+using testing_support::TestSeed;
+
+/// True when symbols a and b have identical successor rows in `nfa` — the
+/// definition the partition must reproduce, computed the slow way.
+bool RowsEqual(const Nfa& nfa, Symbol a, Symbol b) {
+  for (StateId q = 0; q < nfa.num_states(); ++q) {
+    Bitset ra(static_cast<size_t>(nfa.num_states()));
+    Bitset rb(static_cast<size_t>(nfa.num_states()));
+    for (StateId r : nfa.Successors(q, a)) ra.Set(static_cast<size_t>(r));
+    for (StateId r : nfa.Successors(q, b)) rb.Set(static_cast<size_t>(r));
+    if (!(ra == rb)) return false;
+  }
+  return true;
+}
+
+/// Checks every structural invariant of a computed partition against the
+/// brute-force equivalence: same-class iff equal rows, representatives are
+/// the strictly increasing smallest members, weights/members consistent.
+void ExpectPartitionMatchesBruteForce(const Nfa& nfa) {
+  const SymbolClassIndex classes = SymbolClassIndex::Compute(nfa);
+  const int sigma = nfa.alphabet_size();
+  ASSERT_EQ(classes.alphabet_size(), sigma);
+  ASSERT_GE(classes.num_classes(), 1);
+  ASSERT_LE(classes.num_classes(), sigma);
+
+  // Equivalence agreement for every symbol pair.
+  for (int a = 0; a < sigma; ++a) {
+    for (int b = a; b < sigma; ++b) {
+      const bool same_class = classes.ClassOf(static_cast<Symbol>(a)) ==
+                              classes.ClassOf(static_cast<Symbol>(b));
+      EXPECT_EQ(same_class,
+                RowsEqual(nfa, static_cast<Symbol>(a), static_cast<Symbol>(b)))
+          << "a=" << a << " b=" << b;
+    }
+  }
+
+  // Representative = smallest member, strictly increasing across classes;
+  // members enumerate the whole alphabet exactly once, ascending per class.
+  int total_weight = 0;
+  Symbol prev_rep = 0;
+  for (int c = 0; c < classes.num_classes(); ++c) {
+    const Symbol rep = classes.Representative(c);
+    if (c > 0) {
+      EXPECT_GT(rep, prev_rep) << "c=" << c;
+    }
+    prev_rep = rep;
+    const int weight = classes.Weight(c);
+    ASSERT_GE(weight, 1);
+    total_weight += weight;
+    EXPECT_EQ(classes.Member(c, 0), rep) << "c=" << c;
+    for (int i = 0; i < weight; ++i) {
+      const Symbol member = classes.Member(c, i);
+      if (i > 0) {
+        EXPECT_GT(member, classes.Member(c, i - 1)) << "c=" << c;
+      }
+      EXPECT_EQ(classes.ClassOf(member), c) << "member=" << member;
+    }
+  }
+  EXPECT_EQ(total_weight, sigma);
+}
+
+TEST(SymbolClassPartition, MatchesBruteForceAcrossFamilies) {
+  ExpectPartitionMatchesBruteForce(CorpusTokenNfa(4, 96, 4));
+  ExpectPartitionMatchesBruteForce(SubstringNfa(Word{1, 0, 1}, 8));
+  ExpectPartitionMatchesBruteForce(ParityNfa(3, 0, 12));
+  ExpectPartitionMatchesBruteForce(DivisibilityNfa(7, 4));
+  Rng rng(TestSeed(1601));
+  ExpectPartitionMatchesBruteForce(RandomNfa(6, 0.3, 0.3, rng));
+}
+
+TEST(SymbolClassPartition, CorpusFamilyCollapsesToCategoryCount) {
+  // Every category appears in the pattern: one class per category.
+  EXPECT_EQ(SymbolClassIndex::Compute(CorpusTokenNfa(4, 512, 4)).num_classes(),
+            4);
+  // pattern_len=2 uses only categories 0 and 1; categories 2 and 3 share the
+  // loop-only row and must merge into one class: 3 classes total.
+  EXPECT_EQ(SymbolClassIndex::Compute(CorpusTokenNfa(2, 64, 4)).num_classes(),
+            3);
+  // The compression the tentpole targets: C stays put as |Σ| grows.
+  EXPECT_EQ(
+      SymbolClassIndex::Compute(CorpusTokenNfa(4, 1 << 14, 4)).num_classes(),
+      4);
+}
+
+TEST(SymbolClassPartition, TrivialPartitionAndDegenerateFamily) {
+  const SymbolClassIndex trivial = SymbolClassIndex::Trivial(5);
+  EXPECT_TRUE(trivial.trivial());
+  EXPECT_EQ(trivial.num_classes(), 5);
+  for (int a = 0; a < 5; ++a) {
+    EXPECT_EQ(trivial.ClassOf(static_cast<Symbol>(a)), a);
+    EXPECT_EQ(trivial.Representative(a), static_cast<Symbol>(a));
+    EXPECT_EQ(trivial.Weight(a), 1);
+  }
+  // DivisibilityNfa(7, 4): row (q, a) targets (4q+a) mod 7, distinct per
+  // symbol — the computed partition must degenerate to C == |Σ|.
+  const SymbolClassIndex computed =
+      SymbolClassIndex::Compute(DivisibilityNfa(7, 4));
+  EXPECT_TRUE(computed.trivial());
+  EXPECT_EQ(computed.num_classes(), 4);
+}
+
+// Bit-identical expansion for every class member: Pred(P, member) must equal
+// Pred(P, representative) for every frontier P the engine could pass, at
+// every level — the invariant that makes the per-class rewrite exact rather
+// than approximate.
+TEST(SymbolClassPartition, MemberExpansionBitIdenticalAtEveryLevel) {
+  const Nfa nfa = CorpusTokenNfa(3, 48, 3);
+  const int n = 5;
+  const UnrolledNfa unrolled(&nfa, n, /*symbol_classes=*/true);
+  const SymbolClassIndex& classes = unrolled.symbol_classes();
+  ASSERT_LT(classes.num_classes(), nfa.alphabet_size());
+
+  const size_t m = static_cast<size_t>(nfa.num_states());
+  Rng rng(TestSeed(1611));
+  for (int level = 1; level <= n; ++level) {
+    // Frontiers: the full reachable set plus a few random subsets of it.
+    std::vector<Bitset> frontiers;
+    frontiers.push_back(unrolled.ReachableAt(level));
+    for (int trial = 0; trial < 4; ++trial) {
+      Bitset subset(m);
+      for (size_t q = 0; q < m; ++q) {
+        if (unrolled.ReachableAt(level).Test(q) && rng.Bernoulli(0.6)) {
+          subset.Set(q);
+        }
+      }
+      frontiers.push_back(std::move(subset));
+    }
+    for (const Bitset& frontier : frontiers) {
+      for (int c = 0; c < classes.num_classes(); ++c) {
+        const Symbol rep = classes.Representative(c);
+        const Bitset rep_pred = unrolled.PredSet(frontier, rep, level);
+        Bitset rep_succ(m);
+        unrolled.SuccSetInto(frontier, rep, &rep_succ);
+        for (int i = 1; i < classes.Weight(c); ++i) {
+          const Symbol member = classes.Member(c, i);
+          EXPECT_TRUE(rep_pred == unrolled.PredSet(frontier, member, level))
+              << "level=" << level << " class=" << c << " member=" << member;
+          Bitset member_succ(m);
+          unrolled.SuccSetInto(frontier, member, &member_succ);
+          EXPECT_TRUE(rep_succ == member_succ)
+              << "level=" << level << " class=" << c << " member=" << member;
+        }
+      }
+    }
+  }
+}
+
+// Degenerate all-distinct-rows automaton: the computed partition is trivial,
+// so classes on and off key every RNG substream identically — the two
+// settings must agree bit for bit (the only regime where the flip is
+// bit-preserving rather than merely envelope-preserving).
+TEST(SymbolClasses, TrivialPartitionMakesOnOffBitIdentical) {
+  const Nfa nfa = DivisibilityNfa(7, 4);
+  const int n = 6;
+  CountOptions on = SessionTestOptions(TestSeed(1621));
+  on.symbol_classes = true;
+  on.num_threads = 1;
+  on.batch_width = 1;
+  Result<EngineSession> base = EngineSession::Create(nfa, n, on);
+  ASSERT_TRUE(base.ok());
+  std::vector<double> base_counts;
+  for (int level = 0; level <= n; ++level) {
+    Result<double> c = base->CountAtLength(level);
+    ASSERT_TRUE(c.ok());
+    base_counts.push_back(*c);
+  }
+  Result<std::vector<Word>> base_draws = base->SampleWords(n, 12);
+  ASSERT_TRUE(base_draws.ok());
+
+  for (bool enabled : {true, false}) {
+    for (int threads : {1, 4}) {
+      for (int width : {1, 32}) {
+        CountOptions opts = SessionTestOptions(TestSeed(1621));
+        opts.symbol_classes = enabled;
+        opts.num_threads = threads;
+        opts.batch_width = width;
+        Result<EngineSession> session = EngineSession::Create(nfa, n, opts);
+        ASSERT_TRUE(session.ok());
+        for (int level = 0; level <= n; ++level) {
+          Result<double> c = session->CountAtLength(level);
+          ASSERT_TRUE(c.ok());
+          EXPECT_EQ(*c, base_counts[static_cast<size_t>(level)])
+              << "classes=" << enabled << " threads=" << threads
+              << " width=" << width << " level=" << level;
+        }
+        ExpectTablesIdentical(session->engine(), base->engine(), nfa, n);
+        Result<std::vector<Word>> draws = session->SampleWords(n, 12);
+        ASSERT_TRUE(draws.ok());
+        ASSERT_EQ(draws->size(), base_draws->size());
+        for (size_t i = 0; i < draws->size(); ++i) {
+          EXPECT_EQ((*draws)[i], (*base_draws)[i])
+              << "classes=" << enabled << " threads=" << threads
+              << " width=" << width << " draw=" << i;
+        }
+      }
+    }
+  }
+}
+
+// Identity grid at a fixed class setting on a genuinely compressed family:
+// estimates, per-(q,ℓ) tables, and draw streams must not move across
+// num_threads × batch_width × descent-cache capacity.
+TEST(SymbolClasses, GridBitIdenticalAtFixedClassSetting) {
+  const Nfa nfa = CorpusTokenNfa(3, 64, 3);
+  const int n = 6;
+  CountOptions base = SessionTestOptions(TestSeed(1631));
+  base.descent_cache_capacity = 0;
+  base.num_threads = 1;
+  base.batch_width = 1;
+  Result<EngineSession> baseline = EngineSession::Create(nfa, n, base);
+  ASSERT_TRUE(baseline.ok());
+  std::vector<double> base_counts;
+  for (int level = 0; level <= n; ++level) {
+    Result<double> c = baseline->CountAtLength(level);
+    ASSERT_TRUE(c.ok());
+    base_counts.push_back(*c);
+  }
+  Result<std::vector<Word>> base_draws = baseline->SampleWords(n, 12);
+  ASSERT_TRUE(base_draws.ok());
+
+  const int64_t capacities[] = {0, int64_t{1} << 20};
+  for (int64_t capacity : capacities) {
+    for (int threads : {1, 4}) {
+      for (int width : {1, 32}) {
+        CountOptions opts = SessionTestOptions(TestSeed(1631));
+        opts.descent_cache_capacity = capacity;
+        opts.num_threads = threads;
+        opts.batch_width = width;
+        Result<EngineSession> session = EngineSession::Create(nfa, n, opts);
+        ASSERT_TRUE(session.ok());
+        for (int level = 0; level <= n; ++level) {
+          Result<double> c = session->CountAtLength(level);
+          ASSERT_TRUE(c.ok());
+          EXPECT_EQ(*c, base_counts[static_cast<size_t>(level)])
+              << "capacity=" << capacity << " threads=" << threads
+              << " width=" << width << " level=" << level;
+        }
+        ExpectTablesIdentical(session->engine(), baseline->engine(), nfa, n);
+        Result<std::vector<Word>> draws = session->SampleWords(n, 12);
+        ASSERT_TRUE(draws.ok());
+        ASSERT_EQ(draws->size(), base_draws->size());
+        for (size_t i = 0; i < draws->size(); ++i) {
+          EXPECT_EQ((*draws)[i], (*base_draws)[i])
+              << "capacity=" << capacity << " threads=" << threads
+              << " width=" << width << " draw=" << i;
+        }
+      }
+    }
+  }
+}
+
+// Accuracy on the corpus-scale family: both class settings must land inside
+// the envelope of the exact count at an alphabet far past what the
+// uncompressed per-symbol loops were tested on. Sampled words must be
+// accepted and of the right length.
+TEST(SymbolClasses, EnvelopeVsExactOnCorpusFamily) {
+  const Nfa nfa = CorpusTokenNfa(4, 512, 4);
+  const int n = 8;
+  Result<BigUint> exact = ExactCountViaDfa(nfa, n);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  const double truth = exact->ToDouble();
+  ASSERT_GT(truth, 0.0);
+
+  for (bool enabled : {true, false}) {
+    CountOptions opts = SessionTestOptions(TestSeed(1641));
+    opts.symbol_classes = enabled;
+    Result<EngineSession> session = EngineSession::Create(nfa, n, opts);
+    ASSERT_TRUE(session.ok());
+    Result<double> estimate = session->CountAtLength(n);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_NEAR(*estimate / truth, 1.0, 0.35) << "classes=" << enabled;
+    Result<std::vector<Word>> draws = session->SampleWords(n, 8);
+    ASSERT_TRUE(draws.ok()) << draws.status().ToString();
+    for (const Word& w : *draws) {
+      ASSERT_EQ(static_cast<int>(w.size()), n);
+      EXPECT_TRUE(nfa.Accepts(w));
+    }
+  }
+}
+
+// Flipping the symbol_classes knob on resume: the already-computed prefix is
+// bit-identical (it is data, not a function of the knob), and levels computed
+// after the flip stay inside the accuracy envelope — the contract documented
+// on SessionKnobs::symbol_classes.
+TEST(SymbolClasses, CheckpointKnobFlipKeepsPrefixAndEnvelope) {
+  const Nfa nfa = CorpusTokenNfa(3, 64, 3);
+  const int n = 6;
+  const int mid = 3;
+  Result<BigUint> exact = ExactCountViaDfa(nfa, n);
+  ASSERT_TRUE(exact.ok());
+  const double truth = exact->ToDouble();
+
+  CountOptions opts = SessionTestOptions(TestSeed(1651));
+  Result<EngineSession> original = EngineSession::Create(nfa, n, opts);
+  ASSERT_TRUE(original.ok());
+  Result<double> mid_count = original->CountAtLength(mid);
+  ASSERT_TRUE(mid_count.ok());
+  const std::string bytes = SerializeSessionCheckpoint(*original);
+
+  // Resume with the layer flipped off and extend past the save point.
+  SessionKnobs flipped;
+  flipped.symbol_classes = 0;
+  Result<EngineSession> resumed = DeserializeSessionCheckpoint(bytes, &flipped);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(resumed->params().symbol_classes &&
+               std::getenv("NFACOUNT_SYMBOL_CLASSES") == nullptr);
+  Result<double> mid_again = resumed->CountAtLength(mid);
+  ASSERT_TRUE(mid_again.ok());
+  EXPECT_EQ(*mid_again, *mid_count);  // computed prefix is knob-independent
+  Result<double> extended = resumed->CountAtLength(n);
+  ASSERT_TRUE(extended.ok());
+  EXPECT_NEAR(*extended / truth, 1.0, 0.35);
+
+  // Resume with -1 (keep): the run must continue bit-identically to an
+  // uninterrupted session at the same options.
+  Result<EngineSession> kept = DeserializeSessionCheckpoint(bytes, nullptr);
+  ASSERT_TRUE(kept.ok());
+  Result<EngineSession> straight = EngineSession::Create(nfa, n, opts);
+  ASSERT_TRUE(straight.ok());
+  Result<double> kept_count = kept->CountAtLength(n);
+  Result<double> straight_count = straight->CountAtLength(n);
+  ASSERT_TRUE(kept_count.ok() && straight_count.ok());
+  EXPECT_EQ(*kept_count, *straight_count);
+  ExpectTablesIdentical(kept->engine(), straight->engine(), nfa, n);
+}
+
+}  // namespace
+}  // namespace nfacount
