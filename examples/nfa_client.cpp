@@ -1,6 +1,7 @@
 // nfa_client — command-line client for the nfa_serve daemon.
 //
-// Usage (every command takes --port <p>):
+// Usage (every command takes --port <p>; --retries <n> bounds the
+// connect/shed retry loop, default 5, 1 = no retry):
 //   nfa_client ping        --port <p>
 //   nfa_client register    --port <p> <name> <file.nfa|-> <horizon>
 //                          [eps] [delta] [seed]
@@ -9,8 +10,17 @@
 //   nfa_client sample      --port <p> <name> <length> <count>
 //   nfa_client extend      --port <p> <name> <level>
 //   nfa_client evict       --port <p> <name>
+//   nfa_client unregister  --port <p> <name>
 //   nfa_client stats       --port <p>
 //   nfa_client shutdown    --port <p>
+//
+// Exit codes distinguish failure classes for scripting:
+//   0  success
+//   1  the daemon answered with an error (or the connection died mid-op)
+//   2  usage error
+//   3  could not reach the daemon (connect refused / shed until retries
+//      were exhausted)
+// Errors print the status as "CODE: message" on stderr.
 //
 // `count` prints the estimate as "%.6g\n" — the same format as
 // `nfa_cli count` — so serve-mode answers diff byte-identical against the
@@ -35,13 +45,14 @@ using nfacount::Result;
 using nfacount::Status;
 using nfacount::Word;
 using nfacount::serve::RegisterRequest;
+using nfacount::serve::RetryPolicy;
 using nfacount::serve::SampleResult;
 using nfacount::serve::ServeClient;
 
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: nfa_client <command> --port <p> [args]\n"
+      "usage: nfa_client <command> --port <p> [--retries <n>] [args]\n"
       "  ping\n"
       "  register    <name> <file.nfa|-> <horizon> [eps] [delta] [seed]\n"
       "  count       <name> <length>\n"
@@ -49,6 +60,7 @@ int Usage() {
       "  sample      <name> <length> <count>\n"
       "  extend      <name> <level>\n"
       "  evict       <name>\n"
+      "  unregister  <name>\n"
       "  stats\n"
       "  shutdown\n");
   return 2;
@@ -57,6 +69,11 @@ int Usage() {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+int FailConnect(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 3;
 }
 
 /// Reads an automaton text from a file path, or stdin for "-".
@@ -81,21 +98,26 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
 
-  // Pull --port out; everything else stays positional.
+  // Pull --port / --retries out; everything else stays positional.
   uint16_t port = 0;
+  RetryPolicy retry;
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0) {
       if (i + 1 >= argc) return Usage();
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      if (i + 1 >= argc) return Usage();
+      retry.max_attempts = std::atoi(argv[++i]);
+      if (retry.max_attempts < 1) return Usage();
     } else {
       args.push_back(argv[i]);
     }
   }
   if (port == 0) return Usage();
 
-  Result<ServeClient> connected = ServeClient::Connect(port);
-  if (!connected.ok()) return Fail(connected.status());
+  Result<ServeClient> connected = ServeClient::ConnectWithRetry(port, retry);
+  if (!connected.ok()) return FailConnect(connected.status());
   ServeClient client = std::move(connected).value();
 
   if (command == "ping") {
@@ -162,6 +184,13 @@ int main(int argc, char** argv) {
     Result<bool> was_resident = client.Evict(args[0]);
     if (!was_resident.ok()) return Fail(was_resident.status());
     std::printf("%s\n", was_resident.value() ? "demoted" : "already-demoted");
+    return 0;
+  }
+  if (command == "unregister") {
+    if (args.size() != 1) return Usage();
+    Status st = client.Unregister(args[0]);
+    if (!st.ok()) return Fail(st);
+    std::printf("unregistered %s\n", args[0].c_str());
     return 0;
   }
   if (command == "stats") {

@@ -5,20 +5,34 @@
 // Usage:
 //   nfa_serve [--port <p>] [--spill-dir <dir>] [--budget-bytes <b>]
 //             [--threads <k>] [--batch-width <w>] [--no-simd]
-//             [--read-timeout-ms <t>]
+//             [--read-timeout-ms <t>] [--drain-timeout-ms <t>]
+//             [--max-connections <n>]
 //
 //   --port <p>            TCP port; 0 (default) picks an ephemeral port
 //   --spill-dir <dir>     where demoted sessions checkpoint; required for
-//                         eviction (absent = sessions stay resident)
+//                         eviction and durability (absent = sessions stay
+//                         resident and nothing survives a restart)
 //   --budget-bytes <b>    resident-table budget driving LRU demotion
 //                         (-1 = unlimited, the default)
 //   --threads/--batch-width/--no-simd
 //                         runtime knobs applied to every session
 //                         (bit-identical results at every setting)
 //   --read-timeout-ms <t> per-connection receive timeout (slow-loris guard)
+//   --drain-timeout-ms <t>
+//                         how long graceful shutdown lets in-flight
+//                         requests finish (<= 0 hard-stops immediately)
+//   --max-connections <n> load-shed cap; excess connections get a
+//                         status-only Unavailable reply (0 = unlimited)
+//
+// With --spill-dir the daemon replays the directory's MANIFEST journal at
+// startup and revives every surviving session (crash recovery; see
+// docs/ARCHITECTURE.md "Durability & crash recovery").
 //
 // Prints "listening on 127.0.0.1:<port>" once ready; stops on SIGINT /
-// SIGTERM or a kShutdown request.
+// SIGTERM or a kShutdown request. Both signals trigger a graceful drain:
+// in-flight requests finish (up to the drain timeout), then every session
+// is checkpointed. The handler itself only sets a flag — the main thread
+// polls it, so no async-signal-unsafe call runs in signal context.
 
 #include <cerrno>
 #include <csignal>
@@ -32,18 +46,20 @@
 
 namespace {
 
-nfacount::serve::ServeDaemon* g_daemon = nullptr;
+// Signal handlers may only touch lock-free sig_atomic_t state; the main
+// thread polls this flag between bounded waits.
+volatile std::sig_atomic_t g_stop_signal = 0;
 
-void HandleSignal(int /*signum*/) {
-  if (g_daemon != nullptr) g_daemon->RequestStop();
-}
+void HandleSignal(int /*signum*/) { g_stop_signal = 1; }
 
 int Usage() {
   std::fprintf(stderr,
                "usage: nfa_serve [--port <p>] [--spill-dir <dir>]\n"
                "                 [--budget-bytes <b>] [--threads <k>]\n"
                "                 [--batch-width <w>] [--no-simd]\n"
-               "                 [--read-timeout-ms <t>]\n");
+               "                 [--read-timeout-ms <t>]\n"
+               "                 [--drain-timeout-ms <t>]\n"
+               "                 [--max-connections <n>]\n");
   return 2;
 }
 
@@ -94,19 +110,37 @@ int main(int argc, char** argv) {
       registry_options.knobs.simd_kernels = false;
     } else if (arg == "--read-timeout-ms") {
       server_options.read_timeout_ms = std::atoi(next("--read-timeout-ms"));
+    } else if (arg == "--drain-timeout-ms") {
+      server_options.drain_timeout_ms = std::atoi(next("--drain-timeout-ms"));
+    } else if (arg == "--max-connections") {
+      server_options.max_connections = std::atoi(next("--max-connections"));
     } else {
       return Usage();
     }
   }
 
   SessionRegistry registry(registry_options);
+  if (!registry_options.spill_dir.empty()) {
+    nfacount::Status recovered = registry.Recover();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "error: recovery failed: %s\n",
+                   recovered.ToString().c_str());
+      return 1;
+    }
+    std::printf("recovered %lld session(s)",
+                static_cast<long long>(registry.sessions_recovered()));
+    if (registry.checkpoints_quarantined() > 0) {
+      std::printf(" (%lld checkpoint(s) quarantined)",
+                  static_cast<long long>(registry.checkpoints_quarantined()));
+    }
+    std::printf("\n");
+  }
   ServeDaemon daemon(&registry, server_options);
   nfacount::Status started = daemon.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
     return 1;
   }
-  g_daemon = &daemon;
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
@@ -114,8 +148,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned>(daemon.port()));
   std::fflush(stdout);
 
-  daemon.WaitUntilStopRequested();
-  g_daemon = nullptr;
+  // Poll the signal flag between bounded waits; a kShutdown request trips
+  // the wait directly. Either way Stop() runs the graceful drain +
+  // SaveAll on the main thread.
+  while (g_stop_signal == 0 && !daemon.WaitUntilStopRequestedFor(50)) {
+  }
   daemon.Stop();
   return 0;
 }

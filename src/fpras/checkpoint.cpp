@@ -11,6 +11,7 @@
 #endif
 
 #include "automata/io.hpp"
+#include "util/failpoint.hpp"
 #include "util/wire.hpp"
 
 namespace nfacount {
@@ -301,12 +302,6 @@ Result<EngineSession> DeserializeSessionCheckpoint(const std::string& bytes,
                                 std::move(levels), draw_cursor);
 }
 
-namespace internal {
-
-int64_t g_checkpoint_write_limit = -1;
-
-}  // namespace internal
-
 Status SaveSessionCheckpoint(const EngineSession& session,
                              const std::string& path) {
   const std::string bytes = SerializeSessionCheckpoint(session);
@@ -317,15 +312,20 @@ Status SaveSessionCheckpoint(const EngineSession& session,
   // failed save never removes a pre-existing checkpoint (the old in-place
   // writer clobbered it mid-fwrite and std::remove'd it on short writes).
   const std::string tmp_path = path + ".tmp";
+  const failpoint::Eval fault = failpoint::Check("checkpoint.write");
+  if (fault.action == failpoint::Action::kError) {
+    return Status::DataLoss("failpoint checkpoint.write: injected failure: " +
+                            tmp_path);
+  }
   std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) {
     return Status::Invalid("cannot open checkpoint temp file for writing: " +
                            tmp_path);
   }
   size_t to_write = bytes.size();
-  if (internal::g_checkpoint_write_limit >= 0 &&
-      static_cast<size_t>(internal::g_checkpoint_write_limit) < to_write) {
-    to_write = static_cast<size_t>(internal::g_checkpoint_write_limit);
+  if (fault.action == failpoint::Action::kShortWrite &&
+      static_cast<size_t>(fault.arg) < to_write) {
+    to_write = static_cast<size_t>(fault.arg);
   }
   bool ok = std::fwrite(bytes.data(), 1, to_write, f) == bytes.size();
   if (ok && std::fflush(f) != 0) ok = false;
@@ -347,24 +347,67 @@ Status SaveSessionCheckpoint(const EngineSession& session,
   return Status::Ok();
 }
 
-Result<EngineSession> LoadSessionCheckpoint(const std::string& path,
-                                            const SessionKnobs* knobs) {
+namespace {
+
+Status ReadCheckpointBytes(const std::string& path, std::string* bytes) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("cannot open checkpoint file: " + path);
   }
-  std::string bytes;
+  bytes->clear();
   char buf[1 << 16];
   size_t got = 0;
   while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    bytes.append(buf, got);
+    bytes->append(buf, got);
   }
   const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
   if (read_error) {
     return Status::DataLoss("read error while loading checkpoint: " + path);
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<EngineSession> LoadSessionCheckpoint(const std::string& path,
+                                            const SessionKnobs* knobs) {
+  std::string bytes;
+  NFA_RETURN_NOT_OK(ReadCheckpointBytes(path, &bytes));
   return DeserializeSessionCheckpoint(bytes, knobs);
+}
+
+Status ValidateSessionCheckpoint(const std::string& path) {
+  std::string bytes;
+  NFA_RETURN_NOT_OK(ReadCheckpointBytes(path, &bytes));
+  if (bytes.size() < kPreambleBytes + kChecksumBytes) {
+    return Status::DataLoss("checkpoint truncated: shorter than preamble: " +
+                            path);
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Invalid("not a session checkpoint (bad magic): " + path);
+  }
+  ByteReader preamble(bytes.data() + sizeof(kMagic), 8);
+  uint32_t version = 0;
+  uint32_t endian = 0;
+  NFA_RETURN_NOT_OK(preamble.U32(&version));
+  NFA_RETURN_NOT_OK(preamble.U32(&endian));
+  if (version < 1 || version > kCheckpointVersion) {
+    return Status::Invalid("unsupported checkpoint version " +
+                           std::to_string(version) + ": " + path);
+  }
+  if (endian != kEndianMarker) {
+    return Status::Invalid(
+        "checkpoint byte order is not canonical little-endian: " + path);
+  }
+  const size_t body_size = bytes.size() - kChecksumBytes;
+  ByteReader tail(bytes.data() + body_size, kChecksumBytes);
+  uint64_t stored_sum = 0;
+  NFA_RETURN_NOT_OK(tail.U64(&stored_sum));
+  if (Fnv1a64(bytes.data(), body_size) != stored_sum) {
+    return Status::DataLoss("checkpoint integrity checksum mismatch: " + path);
+  }
+  return Status::Ok();
 }
 
 }  // namespace nfacount

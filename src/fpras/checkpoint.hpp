@@ -46,14 +46,19 @@ inline constexpr uint32_t kCheckpointVersion = 2;
 Status SaveSessionCheckpoint(const EngineSession& session,
                              const std::string& path);
 
-namespace internal {
-/// Test-only fault injection for SaveSessionCheckpoint: when >= 0, the save
-/// writes at most this many bytes of the temp file before failing exactly
-/// like a short write (crash / disk-full simulation for the crash-safety
-/// tests). -1 (the default) disables the limit. Set only from
-/// single-threaded test setup.
-extern int64_t g_checkpoint_write_limit;
-}  // namespace internal
+/// Integrity probe without the cost (or side effects) of a full restore:
+/// reads `path`, verifies the preamble (magic, supported version, canonical
+/// byte order) and the trailing FNV-1a checksum over the body. Ok means the
+/// bytes are exactly what a writer produced; registry recovery uses this to
+/// decide revive-vs-quarantine before any session state is built. Errors
+/// match LoadSessionCheckpoint's taxonomy (NotFound / InvalidArgument /
+/// DataLoss).
+///
+/// Fault injection: SaveSessionCheckpoint honors the `checkpoint.write`
+/// failpoint (util/failpoint.hpp) — error and short-write actions on the
+/// temp-file write, replacing the old internal::g_checkpoint_write_limit
+/// hook.
+Status ValidateSessionCheckpoint(const std::string& path);
 
 /// Restores a session saved by SaveSessionCheckpoint. `knobs`, when given,
 /// replaces the saved runtime knobs (threads, batch width, SIMD, layout) —

@@ -1,6 +1,11 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "util/rng.hpp"
 
 namespace nfacount {
 namespace serve {
@@ -21,6 +26,48 @@ Result<ServeClient> ServeClient::Connect(uint16_t port) {
   Result<SocketFd> sock = ConnectLoopback(port);
   if (!sock.ok()) return sock.status();
   return ServeClient(std::move(sock).value());
+}
+
+Result<ServeClient> ServeClient::ConnectWithRetry(uint16_t port,
+                                                  const RetryPolicy& policy) {
+  const int attempts = std::max(1, policy.max_attempts);
+  const int64_t base = std::max(1, policy.base_delay_ms);
+  const int64_t cap = std::max<int64_t>(base, policy.max_delay_ms);
+  Rng rng(policy.seed != 0 ? policy.seed : 0x7e7291e5u);
+  int64_t prev_delay = base;
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Decorrelated jitter: uniform in [base, 3×previous], capped — grows
+      // roughly exponentially, never synchronizes across clients.
+      const int64_t hi = std::min(cap, prev_delay * 3);
+      const int64_t delay = base + static_cast<int64_t>(rng.UniformU64(
+                                       static_cast<uint64_t>(
+                                           std::max<int64_t>(1, hi - base + 1))));
+      prev_delay = delay;
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    Result<ServeClient> connected = Connect(port);
+    if (!connected.ok()) {
+      last = connected.status();  // daemon down or restarting: retryable
+      continue;
+    }
+    ServeClient client = std::move(connected).value();
+    // Probe: a shed connection answers the ping with the daemon's queued
+    // Unavailable greeting (or dies before it). Only a live, accepted
+    // connection pings OK.
+    Status probe = client.Ping();
+    if (probe.ok()) return client;
+    if (probe.code() == StatusCode::kUnavailable ||
+        probe.code() == StatusCode::kNotFound ||
+        probe.code() == StatusCode::kDataLoss) {
+      last = probe;  // shed (or its connection-reset shadow): retryable
+      continue;
+    }
+    return probe;  // a real error — retrying would just repeat it
+  }
+  return last.ok() ? Status::Unavailable("client: retry attempts exhausted")
+                   : last;
 }
 
 Result<std::string> ServeClient::RoundTrip(MsgType type,
@@ -132,6 +179,12 @@ Result<bool> ServeClient::Evict(const std::string& name) {
   NFA_RETURN_NOT_OK(r.U8(&flag));
   NFA_RETURN_NOT_OK(RejectTrailing(r));
   return flag != 0;
+}
+
+Status ServeClient::Unregister(const std::string& name) {
+  UnregisterRequest req;
+  req.name = name;
+  return RoundTrip(MsgType::kUnregister, EncodeUnregister(req)).status();
 }
 
 Result<std::string> ServeClient::Stats() {

@@ -25,11 +25,31 @@ struct SampleResult {
   std::vector<Word> words;   ///< the drawn words, in stream order
 };
 
+/// Client-side retry policy: bounded attempts with exponential backoff and
+/// decorrelated jitter (each delay is drawn uniformly from [base, 3×previous
+/// delay], capped), so a fleet of shed clients spreads out instead of
+/// re-stampeding the daemon in lockstep.
+struct RetryPolicy {
+  int max_attempts = 5;     ///< total attempts (1 = no retry)
+  int base_delay_ms = 10;   ///< first delay / jitter floor
+  int max_delay_ms = 2000;  ///< delay cap
+  uint64_t seed = 0;        ///< jitter RNG seed (0 = a fixed default)
+};
+
 /// A connected serve-mode client. Movable, not copyable.
 class ServeClient {
  public:
   /// Connects to a daemon on 127.0.0.1:`port`.
   static Result<ServeClient> Connect(uint16_t port);
+
+  /// Connects under `policy`, retrying two retryable outcomes: the TCP
+  /// connect failing (daemon not up yet / restarting) and the daemon
+  /// shedding the connection under load (its status-only Unavailable
+  /// greeting, observed by a Ping probe — so a returned client is proven
+  /// live, not shed). Non-retryable errors and attempt exhaustion return
+  /// the last status.
+  static Result<ServeClient> ConnectWithRetry(uint16_t port,
+                                              const RetryPolicy& policy);
 
   /// Round-trips an empty kPing frame.
   Status Ping();
@@ -46,6 +66,9 @@ class ServeClient {
   Result<int> ExtendTo(const std::string& name, int level);
   /// Demotes the named session to its checkpoint; true iff it was resident.
   Result<bool> Evict(const std::string& name);
+  /// Removes the named session durably (journal tombstone + checkpoint
+  /// deletion); the name is free for re-registration afterwards.
+  Status Unregister(const std::string& name);
   /// The daemon's stats JSON document.
   Result<std::string> Stats();
   /// Asks the daemon to stop (it replies OK first).

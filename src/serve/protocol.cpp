@@ -2,14 +2,10 @@
 
 #include <cstring>
 
+#include "util/failpoint.hpp"
+
 namespace nfacount {
 namespace serve {
-
-namespace internal {
-
-std::atomic<int64_t> g_frame_write_limit{-1};
-
-}  // namespace internal
 
 namespace {
 
@@ -43,17 +39,19 @@ Status WriteFrame(const SocketFd& sock, MsgType type,
   w.U32(static_cast<uint32_t>(payload.size()));
   w.Bytes(payload.data(), payload.size());
   const std::string& bytes = w.buffer();
-  size_t to_write = bytes.size();
-  const int64_t limit =
-      internal::g_frame_write_limit.load(std::memory_order_relaxed);
-  if (limit >= 0 && static_cast<size_t>(limit) < to_write) {
+  const failpoint::Eval fault = failpoint::Check("net.write");
+  if (fault.action == failpoint::Action::kError) {
+    return Status::Unavailable("failpoint net.write: injected failure");
+  }
+  if (fault.action == failpoint::Action::kShortWrite &&
+      static_cast<size_t>(fault.arg) < bytes.size()) {
     // Injected mid-frame death: send the truncated prefix so the peer
     // exercises its DataLoss path, then report the failure to the caller.
     NFA_RETURN_NOT_OK(
-        WriteFull(sock, bytes.data(), static_cast<size_t>(limit)));
+        WriteFull(sock, bytes.data(), static_cast<size_t>(fault.arg)));
     return Status::Unavailable("frame write truncated (injected fault)");
   }
-  return WriteFull(sock, bytes.data(), to_write);
+  return WriteFull(sock, bytes.data(), bytes.size());
 }
 
 Result<Frame> ReadFrame(const SocketFd& sock) {
@@ -202,6 +200,20 @@ std::string EncodeEvict(const EvictRequest& req) {
 Result<EvictRequest> DecodeEvict(const std::string& payload) {
   ByteReader r(payload.data(), payload.size());
   EvictRequest req;
+  NFA_RETURN_NOT_OK(r.String(&req.name, payload.size()));
+  NFA_RETURN_NOT_OK(RejectTrailing(r));
+  return req;
+}
+
+std::string EncodeUnregister(const UnregisterRequest& req) {
+  ByteWriter w;
+  w.String(req.name);
+  return std::move(w.buffer());
+}
+
+Result<UnregisterRequest> DecodeUnregister(const std::string& payload) {
+  ByteReader r(payload.data(), payload.size());
+  UnregisterRequest req;
   NFA_RETURN_NOT_OK(r.String(&req.name, payload.size()));
   NFA_RETURN_NOT_OK(RejectTrailing(r));
   return req;

@@ -21,7 +21,6 @@
 #ifndef NFACOUNT_SERVE_PROTOCOL_HPP_
 #define NFACOUNT_SERVE_PROTOCOL_HPP_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -59,10 +58,11 @@ enum class MsgType : uint16_t {
   kStats = 7,       ///< empty payload → String json
   kEvict = 8,       ///< EvictRequest → U8 was-resident flag
   kShutdown = 9,    ///< empty payload; replies OK, then the daemon stops
+  kUnregister = 10, ///< UnregisterRequest; removes a session durably
 };
 
 /// Number of distinct message types (metrics array size).
-constexpr int kNumMsgTypes = 10;
+constexpr int kNumMsgTypes = 11;
 
 /// One decoded frame: the type tag and the raw payload bytes.
 struct Frame {
@@ -112,9 +112,17 @@ struct EvictRequest {
   std::string name;  ///< session name
 };
 
+/// Removes a named session entirely: drops it from memory, deletes its
+/// checkpoint, and journals the removal so recovery will not resurrect it.
+struct UnregisterRequest {
+  std::string name;  ///< session name
+};
+
 /// Writes one frame (header + payload) to `sock`. Payloads larger than
-/// kMaxPayloadBytes are refused (InvalidArgument). Honors the fault-injection
-/// hook internal::g_frame_write_limit.
+/// kMaxPayloadBytes are refused (InvalidArgument). Honors the `net.write`
+/// failpoint (util/failpoint.hpp): the short-write action sends only a
+/// prefix of the encoded frame and reports Unavailable — simulating a peer
+/// that dies mid-frame.
 Status WriteFrame(const SocketFd& sock, MsgType type,
                   const std::string& payload);
 
@@ -140,6 +148,8 @@ std::string EncodeExtend(const ExtendRequest& req);
 Result<ExtendRequest> DecodeExtend(const std::string& payload);
 std::string EncodeEvict(const EvictRequest& req);
 Result<EvictRequest> DecodeEvict(const std::string& payload);
+std::string EncodeUnregister(const UnregisterRequest& req);
+Result<UnregisterRequest> DecodeUnregister(const std::string& payload);
 /// @}
 
 /// Appends the reply status block (u16 code + string message) to `w`.
@@ -156,17 +166,6 @@ void WriteWord(const Word& word, ByteWriter* w);
 /// Reads a word written by WriteWord; lengths above kMaxPayloadBytes are
 /// DataLoss.
 Status ReadWord(ByteReader* r, Word* out);
-
-namespace internal {
-/// Fault-injection hook (test-only, same pattern as
-/// g_checkpoint_write_limit): when >= 0, WriteFrame sends only the first
-/// `g_frame_write_limit` bytes of the encoded frame and reports Unavailable
-/// — simulating a peer that dies mid-frame. -1 (default) disables. Atomic
-/// because the test thread toggles it while daemon connection threads read
-/// it in WriteFrame (relaxed ordering is enough: it is a fault switch, not
-/// a synchronization point).
-extern std::atomic<int64_t> g_frame_write_limit;
-}  // namespace internal
 
 }  // namespace serve
 }  // namespace nfacount

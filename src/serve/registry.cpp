@@ -1,15 +1,49 @@
 #include "serve/registry.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <utility>
 
 #include "automata/io.hpp"
+#include "fpras/checkpoint.hpp"
+#include "util/failpoint.hpp"
 
 namespace nfacount {
 namespace serve {
 
 SessionRegistry::SessionRegistry(RegistryOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  SweepOrphanedTmps();
+}
+
+void SessionRegistry::SweepOrphanedTmps() {
+  if (options_.spill_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(options_.spill_dir, ec);
+  if (ec) return;  // missing/unreadable spill dir surfaces at first save
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    const std::string suffix = ".ckpt.tmp";
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    std::error_code rm_ec;
+    if (std::filesystem::remove(entry.path(), rm_ec) && !rm_ec) {
+      tmp_swept_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Status SessionRegistry::EnsureManifestLocked() {
+  if (manifest_.has_value()) return Status::Ok();
+  Result<ManifestJournal> opened = ManifestJournal::Open(options_.spill_dir);
+  if (!opened.ok()) return opened.status();
+  manifest_.emplace(std::move(opened).value());
+  return Status::Ok();
+}
 
 bool SessionRegistry::ValidName(const std::string& name) {
   if (name.empty() || name.size() > 128) return false;
@@ -30,6 +64,19 @@ Status SessionRegistry::Register(const std::string& name,
   Result<Nfa> parsed = ParseNfaText(nfa_text);
   if (!parsed.ok()) return parsed.status();
 
+  // register_mu_ serializes registration state changes so the manifest's
+  // record order always matches the registry's visible transitions (a
+  // duplicate-name check, then the journal append, then the map insert
+  // must not interleave with another Register/Unregister of the name).
+  std::lock_guard<std::mutex> reg(register_mu_);
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    if (slots_.count(name) != 0) {
+      return Status::Invalid("registry: session '" + name +
+                             "' is already registered");
+    }
+  }
+
   CountOptions co;
   co.eps = eps;
   co.delta = delta;
@@ -39,14 +86,37 @@ Status SessionRegistry::Register(const std::string& name,
   co.simd_kernels = options_.knobs.simd_kernels;
   co.csr_hot_path = options_.knobs.csr_hot_path;
   co.descent_cache_capacity = options_.knobs.descent_cache_capacity;
+  if (options_.knobs.symbol_classes >= 0) {
+    co.symbol_classes = options_.knobs.symbol_classes != 0;
+  }
   Result<EngineSession> created =
       EngineSession::Create(std::move(parsed).value(), horizon, co);
   if (!created.ok()) return created.status();
 
   auto slot = std::make_unique<Slot>();
   slot->name = name;
+  slot->nfa_text = nfa_text;
+  slot->horizon = horizon;
+  slot->seed = seed;
+  slot->eps = eps;
+  slot->delta = delta;
+  // Record the RESOLVED setting (env overrides included): the rebuild
+  // recipe must reproduce the exact RNG substreams the original consumed.
+  slot->symbol_classes = created->params().symbol_classes;
   if (!options_.spill_dir.empty()) {
     slot->ckpt_path = options_.spill_dir + "/" + name + ".ckpt";
+    // Journal before acknowledging: once Register returns OK the session
+    // must survive a crash, so the append failure fails the registration.
+    NFA_RETURN_NOT_OK(EnsureManifestLocked());
+    ManifestRecord record;
+    record.name = name;
+    record.nfa_text = nfa_text;
+    record.horizon = horizon;
+    record.seed = seed;
+    record.eps = eps;
+    record.delta = delta;
+    record.flags = slot->symbol_classes ? kManifestFlagSymbolClasses : 0;
+    NFA_RETURN_NOT_OK(manifest_->AppendRegister(record));
   }
   slot->session =
       std::make_unique<EngineSession>(std::move(created).value());
@@ -56,15 +126,147 @@ Status SessionRegistry::Register(const std::string& name,
                         std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(map_mu_);
-    auto [it, inserted] = slots_.emplace(name, std::move(slot));
-    (void)it;
-    if (!inserted) {
-      return Status::Invalid("registry: session '" + name +
-                             "' is already registered");
-    }
+    slots_.emplace(name, std::move(slot));
   }
   EnforceBudget();
   return Status::Ok();
+}
+
+Status SessionRegistry::Unregister(const std::string& name) {
+  if (!ValidName(name)) {
+    return Status::Invalid("registry: malformed session name '" + name + "'");
+  }
+  std::lock_guard<std::mutex> reg(register_mu_);
+  Slot* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    auto it = slots_.find(name);
+    if (it == slots_.end()) {
+      return Status::NotFound("registry: no session named '" + name + "'");
+    }
+    slot = it->second.get();
+  }
+  // Journal first: if the tombstone cannot be made durable the session must
+  // stay — otherwise a crash would resurrect what the caller saw removed.
+  if (!options_.spill_dir.empty()) {
+    NFA_RETURN_NOT_OK(EnsureManifestLocked());
+    NFA_RETURN_NOT_OK(manifest_->AppendUnregister(name));
+  }
+  {
+    // Waits for in-flight queries (shared pins) to finish, then tears the
+    // session down. dead flips before the map erase, so a racer holding a
+    // stale Slot* fails its next pin with NotFound.
+    std::unique_lock<std::shared_mutex> ex(slot->mu);
+    slot->dead.store(true, std::memory_order_release);
+    slot->session.reset();
+    slot->spilled = false;
+    slot->bytes.store(0, std::memory_order_relaxed);
+    if (!slot->ckpt_path.empty()) {
+      std::remove(slot->ckpt_path.c_str());
+      std::remove((slot->ckpt_path + ".corrupt").c_str());
+    }
+  }
+  {
+    // Retire rather than destroy: in-flight operations may still hold the
+    // bare Slot pointer (the lifetime invariant slots have always had).
+    std::lock_guard<std::mutex> lock(map_mu_);
+    auto it = slots_.find(name);
+    retired_.push_back(std::move(it->second));
+    slots_.erase(it);
+  }
+  return Status::Ok();
+}
+
+Status SessionRegistry::Recover() {
+  if (options_.spill_dir.empty()) {
+    return Status::FailedPrecondition(
+        "registry: recovery requires a spill directory");
+  }
+  std::lock_guard<std::mutex> reg(register_mu_);
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    if (!slots_.empty()) {
+      return Status::FailedPrecondition(
+          "registry: Recover() requires an empty registry");
+    }
+  }
+  SweepOrphanedTmps();
+  NFA_RETURN_NOT_OK(EnsureManifestLocked());
+
+  for (const auto& entry : manifest_->live()) {
+    const ManifestRecord& record = entry.second;
+    if (!ValidName(record.name)) continue;  // defensive: never build a path
+    auto slot = std::make_unique<Slot>();
+    slot->name = record.name;
+    slot->ckpt_path = options_.spill_dir + "/" + record.name + ".ckpt";
+    slot->nfa_text = record.nfa_text;
+    slot->horizon = record.horizon;
+    slot->seed = record.seed;
+    slot->eps = record.eps;
+    slot->delta = record.delta;
+    slot->symbol_classes = (record.flags & kManifestFlagSymbolClasses) != 0;
+    // Triage the checkpoint now (cheap trailer check), but defer the
+    // expensive revive/recompute to first touch — recovery of a large
+    // registry is O(checkpoint bytes), not O(table rebuild).
+    const Status valid = ValidateSessionCheckpoint(slot->ckpt_path);
+    if (valid.ok()) {
+      slot->spilled = true;
+    } else if (valid.code() != StatusCode::kNotFound) {
+      // Present but unreadable: quarantine for post-mortem, rebuild from
+      // the tuple. Recovery itself never fails on corrupt session data.
+      QuarantineCheckpointLocked(slot.get());
+      slot->spilled = false;
+    }
+    slot->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed);
+    sessions_recovered_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(map_mu_);
+    slots_.emplace(record.name, std::move(slot));
+  }
+  return Status::Ok();
+}
+
+Status SessionRegistry::SaveAll() {
+  if (options_.spill_dir.empty()) return Status::Ok();
+  std::vector<Slot*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    snapshot.reserve(slots_.size());
+    for (auto& entry : slots_) snapshot.push_back(entry.second.get());
+  }
+  Status first_failure = Status::Ok();
+  for (Slot* slot : snapshot) {
+    std::unique_lock<std::shared_mutex> ex(slot->mu);
+    if (slot->session == nullptr) continue;
+    const Status demoted = DemoteLocked(slot);
+    if (!demoted.ok() && first_failure.ok()) first_failure = demoted;
+  }
+  return first_failure;
+}
+
+Result<EngineSession> SessionRegistry::CreateFromTuple(
+    const Slot& slot) const {
+  Result<Nfa> parsed = ParseNfaText(slot.nfa_text);
+  if (!parsed.ok()) return parsed.status();
+  CountOptions co;
+  co.eps = slot.eps;
+  co.delta = slot.delta;
+  co.seed = slot.seed;
+  co.num_threads = options_.knobs.num_threads;
+  co.batch_width = options_.knobs.batch_width;
+  co.simd_kernels = options_.knobs.simd_kernels;
+  co.csr_hot_path = options_.knobs.csr_hot_path;
+  co.descent_cache_capacity = options_.knobs.descent_cache_capacity;
+  co.symbol_classes = slot.symbol_classes;
+  return EngineSession::Create(std::move(parsed).value(), slot.horizon, co);
+}
+
+void SessionRegistry::QuarantineCheckpointLocked(Slot* slot) {
+  if (slot->ckpt_path.empty()) return;
+  const std::string quarantine_path = slot->ckpt_path + ".corrupt";
+  if (std::rename(slot->ckpt_path.c_str(), quarantine_path.c_str()) == 0) {
+    checkpoints_quarantined_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 Result<SessionRegistry::Slot*> SessionRegistry::FindSlot(
@@ -80,29 +282,61 @@ Result<SessionRegistry::Slot*> SessionRegistry::FindSlot(
 Result<std::shared_lock<std::shared_mutex>> SessionRegistry::PinResident(
     Slot* slot) {
   for (;;) {
+    if (slot->dead.load(std::memory_order_acquire)) {
+      return Status::NotFound("registry: no session named '" + slot->name +
+                              "'");
+    }
     std::shared_lock<std::shared_mutex> pin(slot->mu);
     if (slot->session != nullptr) return pin;
     pin.unlock();
-    // Demoted: upgrade to exclusive and revive from the checkpoint. Another
+    // Not resident: upgrade to exclusive and revive or rebuild. Another
     // thread may win the race — re-check under the exclusive lock.
     std::unique_lock<std::shared_mutex> ex(slot->mu);
+    if (slot->dead.load(std::memory_order_acquire)) {
+      return Status::NotFound("registry: no session named '" + slot->name +
+                              "'");
+    }
     if (slot->session == nullptr) {
-      if (!slot->spilled) {
-        return Status::Internal("registry: slot '" + slot->name +
-                                "' has no session and no checkpoint");
+      if (slot->spilled) {
+        const failpoint::Eval fault = failpoint::Check("registry.revive");
+        Result<EngineSession> revived =
+            fault.fires()
+                ? Result<EngineSession>(Status::DataLoss(
+                      "failpoint registry.revive: injected failure: " +
+                      slot->ckpt_path))
+                : EngineSession::Load(slot->ckpt_path, &options_.knobs);
+        if (revived.ok()) {
+          slot->session =
+              std::make_unique<EngineSession>(std::move(revived).value());
+          slot->bytes.store(slot->session->ApproxResidentBytes(),
+                            std::memory_order_relaxed);
+          revives_.fetch_add(1, std::memory_order_relaxed);
+        } else if (revived.status().code() == StatusCode::kNotFound) {
+          // Checkpoint deleted out from under us: fall through to a
+          // tuple rebuild.
+          slot->spilled = false;
+        } else {
+          // Corrupt (or injected) checkpoint: quarantine it for
+          // post-mortem, then fall through to a tuple rebuild — the query
+          // still succeeds, only the draw cursor is lost with the
+          // checkpoint.
+          QuarantineCheckpointLocked(slot);
+          slot->spilled = false;
+        }
       }
-      Result<EngineSession> revived =
-          EngineSession::Load(slot->ckpt_path, &options_.knobs);
-      if (!revived.ok()) {
-        // A corrupted checkpoint fails THIS query only; the slot stays
-        // demoted and the registry (and daemon) keep serving.
-        return revived.status();
+      if (slot->session == nullptr && !slot->spilled) {
+        Result<EngineSession> rebuilt = CreateFromTuple(*slot);
+        if (!rebuilt.ok()) {
+          // The original Register's inputs stopped working — nothing
+          // transparent left to try; fail this query.
+          return rebuilt.status();
+        }
+        slot->session =
+            std::make_unique<EngineSession>(std::move(rebuilt).value());
+        slot->bytes.store(slot->session->ApproxResidentBytes(),
+                          std::memory_order_relaxed);
+        recomputes_.fetch_add(1, std::memory_order_relaxed);
       }
-      slot->session =
-          std::make_unique<EngineSession>(std::move(revived).value());
-      slot->bytes.store(slot->session->ApproxResidentBytes(),
-                        std::memory_order_relaxed);
-      revives_.fetch_add(1, std::memory_order_relaxed);
     }
     // Loop back to retake the lock in shared mode.
   }
@@ -301,6 +535,12 @@ void SessionRegistry::RenderStats(JsonObject* out) const {
   out->Set("revives", revives_.load(std::memory_order_relaxed));
   out->Set("demote_failures",
            demote_failures_.load(std::memory_order_relaxed));
+  out->Set("sessions_recovered",
+           sessions_recovered_.load(std::memory_order_relaxed));
+  out->Set("checkpoints_quarantined",
+           checkpoints_quarantined_.load(std::memory_order_relaxed));
+  out->Set("recomputes", recomputes_.load(std::memory_order_relaxed));
+  out->Set("tmp_swept", tmp_swept_.load(std::memory_order_relaxed));
   std::string sessions_json = "[";
   bool first = true;
   for (Slot* slot : snapshot) {

@@ -1,5 +1,7 @@
 #include "serve/server.hpp"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "util/json.hpp"
@@ -11,8 +13,8 @@ namespace {
 
 /// Short lowercase op names for the metrics JSON, indexed by MsgType value.
 const char* const kOpNames[kNumMsgTypes] = {
-    "reply",  "ping",   "register", "count", "count_state",
-    "sample", "extend", "stats",    "evict", "shutdown",
+    "reply",  "ping",   "register", "count",    "count_state", "sample",
+    "extend", "stats",  "evict",    "shutdown", "unregister",
 };
 
 }  // namespace
@@ -58,7 +60,38 @@ void ServeDaemon::RequestStop() {
 
 void ServeDaemon::Stop() {
   if (!started_.load()) return;
-  RequestStop();
+  if (!stop_requested_.load() && options_.drain_timeout_ms > 0) {
+    // Drain phase: stop accepting, cut idle connections loose, and give
+    // every in-flight request up to the deadline to finish its reply.
+    draining_.store(true);
+    listener_.ShutdownBoth();  // wakes the accept thread (see RequestStop)
+    if (accept_thread_.joinable()) accept_thread_.join();
+    WallTimer drain_timer;
+    bool all_done = false;
+    for (;;) {
+      all_done = true;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        for (auto& conn : conns_) {
+          if (conn->done.load()) continue;
+          all_done = false;
+          // A connection parked between requests has nothing in flight;
+          // shutting its socket turns the pending read into a clean close.
+          // One actively serving a request keeps its socket — the reply
+          // write is exactly what the drain is waiting for.
+          if (!conn->in_flight.load()) conn->sock.ShutdownBoth();
+        }
+      }
+      const int64_t elapsed_ms =
+          static_cast<int64_t>(drain_timer.ElapsedSeconds() * 1e3);
+      if (all_done || elapsed_ms >= options_.drain_timeout_ms) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    drained_clean_.store(all_done);
+    drain_duration_ms_.store(
+        static_cast<int64_t>(drain_timer.ElapsedSeconds() * 1e3));
+  }
+  RequestStop();  // hard-stop any stragglers past the deadline
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
   std::vector<std::unique_ptr<Connection>> conns;
@@ -69,6 +102,11 @@ void ServeDaemon::Stop() {
   for (auto& conn : conns) {
     if (conn->thread.joinable()) conn->thread.join();
   }
+  // Every thread is quiet: demote all resident sessions so the shutdown
+  // loses nothing (checkpoints carry counts, tables, and draw cursors).
+  // Failures land in the registry's demote_failures counter; a daemon
+  // going down cannot do more than try.
+  (void)registry_->SaveAll();
 }
 
 void ServeDaemon::WaitUntilStopRequested() {
@@ -76,11 +114,17 @@ void ServeDaemon::WaitUntilStopRequested() {
   stop_cv_.wait(lock, [this] { return stop_requested_.load(); });
 }
 
+bool ServeDaemon::WaitUntilStopRequestedFor(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  return stop_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [this] { return stop_requested_.load(); });
+}
+
 void ServeDaemon::AcceptLoop() {
-  while (!stop_requested_.load()) {
+  while (!stop_requested_.load() && !draining_.load()) {
     Result<SocketFd> accepted = AcceptConnection(listener_);
     if (!accepted.ok()) {
-      if (stop_requested_.load()) return;
+      if (stop_requested_.load() || draining_.load()) return;
       // Transient accept failure: keep listening.
       continue;
     }
@@ -103,7 +147,21 @@ void ServeDaemon::AcceptLoop() {
           ++i;
         }
       }
-      if (stop_requested_.load()) return;
+      if (stop_requested_.load() || draining_.load()) return;
+      if (options_.max_connections > 0 &&
+          conns_.size() >= static_cast<size_t>(options_.max_connections)) {
+        // Overload: shed with an explicit Unavailable so the client can
+        // back off (no request was read, so retrying is always safe).
+        // Dropping `conn` closes the socket after the reply flushes.
+        ByteWriter w;
+        WriteReplyStatus(
+            Status::Unavailable(
+                "serve: connection limit reached; retry with backoff"),
+            &w);
+        (void)WriteFrame(conn->sock, MsgType::kReply, w.buffer());
+        connections_shed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       Connection* raw = conn.get();
       conns_.push_back(std::move(conn));
       raw->thread = std::thread([this, raw] { ServeConnection(raw); });
@@ -136,6 +194,9 @@ void ServeDaemon::ServeConnection(Connection* conn) {
     bool stop_after_reply = false;
     const int op = static_cast<int>(frame.value().type);
     WallTimer timer;
+    // From here to the reply write this request is the drain's business:
+    // Stop() keeps the socket open until in_flight drops (or the deadline).
+    conn->in_flight.store(true);
     std::string reply = Dispatch(frame.value(), &stop_after_reply);
     if (reply.size() > kMaxPayloadBytes) {
       // WriteFrame would refuse an oversize payload and the client would
@@ -153,11 +214,13 @@ void ServeDaemon::ServeConnection(Connection* conn) {
     op_metrics_[static_cast<size_t>(op)].Record(
         ok, static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
     Status sent = WriteFrame(conn->sock, MsgType::kReply, reply);
+    conn->in_flight.store(false);
     if (!sent.ok()) break;
     if (stop_after_reply) {
       RequestStop();
       break;
     }
+    if (draining_.load()) break;  // reply delivered; the daemon is leaving
   }
   // Shutdown only — the descriptor is closed by the Connection destructor
   // after this thread is joined (reaper or Stop()), so no other thread can
@@ -273,6 +336,15 @@ std::string ServeDaemon::Dispatch(const Frame& frame, bool* stop_after_reply) {
       if (was_resident.ok()) w.U8(was_resident.value() ? 1 : 0);
       break;
     }
+    case MsgType::kUnregister: {
+      Result<UnregisterRequest> req = DecodeUnregister(frame.payload);
+      if (!req.ok()) {
+        WriteReplyStatus(req.status(), &w);
+        break;
+      }
+      WriteReplyStatus(registry_->Unregister(req.value().name), &w);
+      break;
+    }
     case MsgType::kShutdown: {
       WriteReplyStatus(Status::Ok(), &w);
       *stop_after_reply = true;
@@ -297,6 +369,22 @@ std::string ServeDaemon::StatsJson() const {
   out.Set("uptime_s", uptime);
   out.Set("requests", total);
   out.Set("qps", uptime > 0.0 ? static_cast<double>(total) / uptime : 0.0);
+  int64_t active = 0;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (!conn->done.load()) active++;
+    }
+  }
+  out.Set("active_connections", active);
+  out.Set("max_connections",
+          static_cast<int64_t>(options_.max_connections));
+  out.Set("connections_shed",
+          connections_shed_.load(std::memory_order_relaxed));
+  out.Set("draining", draining_.load());
+  out.Set("drain_duration_ms",
+          drain_duration_ms_.load(std::memory_order_relaxed));
+  out.Set("drained_clean", drained_clean_.load());
   for (int i = 1; i < kNumMsgTypes; ++i) {
     const OpMetrics& op = op_metrics_[static_cast<size_t>(i)];
     if (op.requests.load(std::memory_order_relaxed) == 0) continue;

@@ -39,6 +39,13 @@ struct ServerOptions {
   /// Per-connection receive timeout in ms; a peer that stalls mid-frame
   /// (slow loris) is cut off after this long. <= 0 disables the timeout.
   int read_timeout_ms = 10000;
+  /// How long Stop() lets in-flight requests finish before hard-stopping
+  /// the stragglers. <= 0 skips the drain phase entirely.
+  int drain_timeout_ms = 5000;
+  /// Connection cap; beyond it new connections are accepted, answered with
+  /// a status-only Unavailable reply, and closed (load-shed, never wedged
+  /// in the accept queue). 0 = unlimited.
+  int max_connections = 0;
 };
 
 /// The serve-mode daemon. Owns the listener and the connection threads;
@@ -62,13 +69,24 @@ class ServeDaemon {
   /// (it never joins). Idempotent.
   void RequestStop();
 
-  /// RequestStop() + joins the accept thread and all connection threads.
-  /// Must not be called from a connection thread.
+  /// Graceful shutdown: stops accepting, lets in-flight requests finish up
+  /// to ServerOptions::drain_timeout_ms (idle connections are cut loose
+  /// immediately), hard-stops any stragglers, joins every thread, and
+  /// finally demotes all resident sessions via the registry's SaveAll() so
+  /// a clean shutdown loses nothing — draw cursors included. The drain
+  /// phase is skipped when a stop was already requested (kShutdown request
+  /// or RequestStop()). Must not be called from a connection thread.
   void Stop();
 
   /// Blocks until RequestStop() is called (by Stop, a kShutdown request, or
-  /// a signal handler).
+  /// the main thread reacting to a signal flag).
   void WaitUntilStopRequested();
+
+  /// Waits up to `timeout_ms` for a stop request; returns whether one
+  /// arrived. The polling primitive for an async-signal-safe main loop:
+  /// the signal handler only sets a flag, and the main thread alternates
+  /// between checking the flag and this bounded wait.
+  bool WaitUntilStopRequestedFor(int timeout_ms);
 
   /// The bound TCP port (valid after Start()).
   uint16_t port() const { return port_; }
@@ -87,6 +105,9 @@ class ServeDaemon {
     SocketFd sock;
     std::thread thread;
     std::atomic<bool> done{false};
+    /// The connection thread is between "request decoded" and "reply
+    /// written" — the work a graceful drain waits for.
+    std::atomic<bool> in_flight{false};
   };
 
   /// Per-connection loop body: frames in, replies out, until the peer
@@ -102,6 +123,12 @@ class ServeDaemon {
   std::thread accept_thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_requested_{false};
+  /// Stop() is draining: no new connections, each live connection finishes
+  /// its current request (and one reply) and hangs up.
+  std::atomic<bool> draining_{false};
+  std::atomic<int64_t> connections_shed_{0};
+  std::atomic<int64_t> drain_duration_ms_{-1};  ///< -1 until a drain ran
+  std::atomic<bool> drained_clean_{false};
   mutable std::mutex stop_mu_;
   std::condition_variable stop_cv_;
   mutable std::mutex conns_mu_;  ///< guards conns_

@@ -1,0 +1,179 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace nfacount {
+namespace failpoint {
+namespace {
+
+struct Arming {
+  Action action = Action::kOff;
+  int64_t arg = 0;
+  int64_t remaining = -1;  // firings left before self-disarm; -1 = unlimited
+  int64_t hits = 0;        // survives disarm so tests can assert fire counts
+};
+
+struct State {
+  std::mutex mu;
+  std::map<std::string, Arming> points;
+  // Count of points whose action != kOff. Check() reads this without the
+  // mutex so unarmed call sites cost one relaxed load.
+  std::atomic<int64_t> armed{0};
+};
+
+State& state() {
+  static State* s = new State();  // leaked: failpoints outlive static dtors
+  return *s;
+}
+
+bool ParseSpec(const std::string& spec, Arming* out) {
+  // Grammar: action[(arg)][:count] with action in {off, error, short-write}.
+  std::string body = spec;
+  int64_t count = -1;
+  const size_t colon = body.rfind(':');
+  if (colon != std::string::npos && body.find(')', colon) == std::string::npos) {
+    const std::string count_text = body.substr(colon + 1);
+    if (count_text.empty()) return false;
+    char* end = nullptr;
+    count = std::strtoll(count_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || count < 0) return false;
+    body = body.substr(0, colon);
+  }
+  std::string action = body;
+  int64_t arg = 0;
+  const size_t paren = body.find('(');
+  if (paren != std::string::npos) {
+    if (body.empty() || body.back() != ')') return false;
+    const std::string arg_text = body.substr(paren + 1, body.size() - paren - 2);
+    if (arg_text.empty()) return false;
+    char* end = nullptr;
+    arg = std::strtoll(arg_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || arg < 0) return false;
+    action = body.substr(0, paren);
+  }
+  if (action == "off") {
+    out->action = Action::kOff;
+  } else if (action == "error") {
+    out->action = Action::kError;
+  } else if (action == "short-write") {
+    out->action = Action::kShortWrite;
+  } else {
+    return false;
+  }
+  out->arg = arg;
+  out->remaining = count;
+  return true;
+}
+
+// Folds NFACOUNT_FAILPOINTS into the registry exactly once per process,
+// before the first Set/Check/Clear takes effect. Malformed env entries are
+// ignored (a daemon must not fail to start over a typo'd chaos schedule);
+// tests exercising the parser go through Set, which does report errors.
+void LoadEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("NFACOUNT_FAILPOINTS");
+    if (env == nullptr) return;
+    State& s = state();
+    std::string text(env);
+    size_t pos = 0;
+    while (pos <= text.size()) {
+      size_t end = text.find_first_of(",;", pos);
+      if (end == std::string::npos) end = text.size();
+      const std::string item = text.substr(pos, end - pos);
+      pos = end + 1;
+      if (item.empty()) continue;
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) continue;
+      Arming arming;
+      if (!ParseSpec(item.substr(eq + 1), &arming)) continue;
+      std::lock_guard<std::mutex> lock(s.mu);
+      Arming& slot = s.points[item.substr(0, eq)];
+      if (slot.action != Action::kOff) s.armed.fetch_sub(1, std::memory_order_relaxed);
+      const int64_t hits = slot.hits;
+      slot = arming;
+      slot.hits = hits;
+      if (slot.action != Action::kOff) s.armed.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+}
+
+}  // namespace
+
+Status Set(const std::string& name, const std::string& spec) {
+  LoadEnvOnce();
+  if (name.empty()) return Status::Invalid("failpoint name is empty");
+  Arming arming;
+  if (!ParseSpec(spec, &arming)) {
+    return Status::Invalid("bad failpoint spec '" + spec + "' for '" +
+                                   name + "' (want action[(arg)][:count])");
+  }
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  Arming& slot = s.points[name];
+  if (slot.action != Action::kOff) s.armed.fetch_sub(1, std::memory_order_relaxed);
+  const int64_t hits = slot.hits;
+  slot = arming;
+  slot.hits = hits;
+  if (slot.action != Action::kOff) s.armed.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void Clear(const std::string& name) {
+  LoadEnvOnce();
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.points.find(name);
+  if (it == s.points.end()) return;
+  if (it->second.action != Action::kOff) {
+    s.armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  it->second.action = Action::kOff;
+}
+
+void ClearAll() {
+  LoadEnvOnce();
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& entry : s.points) {
+    if (entry.second.action != Action::kOff) {
+      s.armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+    entry.second.action = Action::kOff;
+  }
+}
+
+Eval Check(const char* name) {
+  LoadEnvOnce();
+  State& s = state();
+  if (s.armed.load(std::memory_order_relaxed) == 0) return Eval{};
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.points.find(name);
+  if (it == s.points.end() || it->second.action == Action::kOff) return Eval{};
+  Arming& arming = it->second;
+  Eval eval;
+  eval.action = arming.action;
+  eval.arg = arming.arg;
+  arming.hits++;
+  if (arming.remaining > 0 && --arming.remaining == 0) {
+    arming.action = Action::kOff;
+    s.armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return eval;
+}
+
+int64_t Hits(const std::string& name) {
+  LoadEnvOnce();
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.points.find(name);
+  return it == s.points.end() ? 0 : it->second.hits;
+}
+
+bool EnvScheduleActive() { return std::getenv("NFACOUNT_FAILPOINTS") != nullptr; }
+
+}  // namespace failpoint
+}  // namespace nfacount

@@ -1,0 +1,92 @@
+// Named failpoints — the project's one fault-injection mechanism. A
+// failpoint is an instrumented site on an I/O or recovery path that a test
+// (or an operator, via the environment) can arm with an action:
+//
+//   error             the site fails outright without side effects
+//   short-write(N)    the site performs only the first N bytes of its write
+//                     and then fails exactly like a crash / full disk
+//
+// Sites are identified by dotted names. The ones wired today:
+//
+//   checkpoint.write   SaveSessionCheckpoint's temp-file write
+//                      (fpras/checkpoint.cpp)
+//   manifest.append    registry-manifest journal appends (serve/manifest.cpp)
+//   net.write          serve-mode frame writes (serve/protocol.cpp)
+//   registry.revive    checkpoint revival inside SessionRegistry::PinResident
+//                      (serve/registry.cpp; error action only)
+//
+// Arming, per test:
+//
+//   ASSERT_TRUE(failpoint::Set("checkpoint.write", "short-write(16):1").ok());
+//   ... run the scenario ...
+//   failpoint::ClearAll();
+//
+// or for a whole process via the environment (parsed once, lazily):
+//
+//   NFACOUNT_FAILPOINTS=checkpoint.write=short-write(16):1,net.write=error
+//
+// The spec grammar is `action[(arg)][:count]` — `count` is how many times
+// the point fires before disarming itself (absent = every time). Multiple
+// assignments are comma- or semicolon-separated; programmatic Set overrides
+// an env entry of the same name.
+//
+// Concurrency: Check() is safe from any thread while another thread arms or
+// clears (the serve daemon's connection threads race test threads; the
+// registry map is mutex-guarded and the not-armed fast path is one relaxed
+// atomic load, so unarmed hot paths stay allocation- and lock-free).
+
+#ifndef NFACOUNT_UTIL_FAILPOINT_HPP_
+#define NFACOUNT_UTIL_FAILPOINT_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace nfacount {
+namespace failpoint {
+
+/// What an armed failpoint does to its site when it fires.
+enum class Action {
+  kOff = 0,     ///< not armed (or exhausted): the site proceeds normally
+  kError,       ///< fail outright, no side effects
+  kShortWrite,  ///< perform only the first `arg` bytes, then fail
+};
+
+/// One evaluation of a failpoint at its site.
+struct Eval {
+  Action action = Action::kOff;  ///< kOff = proceed normally
+  int64_t arg = 0;               ///< short-write byte budget
+
+  /// True when the site should inject its fault.
+  bool fires() const { return action != Action::kOff; }
+};
+
+/// Arms failpoint `name` from a spec string (`error`, `error:2`,
+/// `short-write(16)`, `short-write(16):1`, or `off`). Replaces any existing
+/// arming of the same name. InvalidArgument on a malformed spec.
+Status Set(const std::string& name, const std::string& spec);
+
+/// Disarms failpoint `name` (no-op when not armed).
+void Clear(const std::string& name);
+
+/// Disarms every failpoint, including env-armed ones (test teardown).
+void ClearAll();
+
+/// Evaluates failpoint `name` at its site: returns the armed action (and
+/// consumes one firing of a counted arming) or kOff. The first call in a
+/// process also folds in NFACOUNT_FAILPOINTS from the environment.
+Eval Check(const char* name);
+
+/// Times failpoint `name` has fired so far (0 when never armed).
+int64_t Hits(const std::string& name);
+
+/// True when NFACOUNT_FAILPOINTS is present in the environment — tests use
+/// this to relax assertions that a chaos schedule legitimately perturbs
+/// (draw-stream positions; never counts).
+bool EnvScheduleActive();
+
+}  // namespace failpoint
+}  // namespace nfacount
+
+#endif  // NFACOUNT_UTIL_FAILPOINT_HPP_

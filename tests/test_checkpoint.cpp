@@ -20,6 +20,7 @@
 #include "fpras/fpras.hpp"
 #include "test_seed.hpp"
 #include "test_tables.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 #ifndef NFACOUNT_TEST_DATA_DIR
@@ -311,12 +312,14 @@ bool FileExists(const std::string& path) {
   return true;
 }
 
-/// RAII reset of the save fault-injection hook.
+/// RAII arming of the checkpoint.write failpoint's short-write action.
 struct WriteLimitGuard {
   explicit WriteLimitGuard(int64_t limit) {
-    internal::g_checkpoint_write_limit = limit;
+    EXPECT_TRUE(failpoint::Set("checkpoint.write",
+                               "short-write(" + std::to_string(limit) + ")")
+                    .ok());
   }
-  ~WriteLimitGuard() { internal::g_checkpoint_write_limit = -1; }
+  ~WriteLimitGuard() { failpoint::Clear("checkpoint.write"); }
 };
 
 TEST(CheckpointCrashSafety, FailedSaveLeavesExistingCheckpointIntact) {

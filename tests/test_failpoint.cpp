@@ -1,0 +1,157 @@
+// Unit tests for util/failpoint.hpp — spec parsing, arming/disarming,
+// counted firings, the environment schedule, and Check() under concurrent
+// arming (the daemon's connection threads race test threads in the chaos
+// suites, so the registry itself must be race-free).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/failpoint.hpp"
+
+namespace nfacount {
+namespace failpoint {
+namespace {
+
+// MUST run first in this binary: the environment schedule is folded in
+// lazily on the first Set/Check/Clear of the process, so this test owns
+// that first call. Later tests only exercise programmatic arming.
+TEST(Failpoint, EnvScheduleFoldsInOnFirstUse) {
+  const char* old = std::getenv("NFACOUNT_FAILPOINTS");
+  const std::string saved = old == nullptr ? "" : old;
+  // One counted arming, one malformed entry (ignored), one empty item.
+  ASSERT_EQ(0, ::setenv("NFACOUNT_FAILPOINTS",
+                        "env.point=error:2,,bogus,also=not-an-action", 1));
+  EXPECT_TRUE(EnvScheduleActive());
+
+  Eval first = Check("env.point");
+  EXPECT_EQ(Action::kError, first.action);
+  EXPECT_EQ(Action::kError, Check("env.point").action);
+  EXPECT_EQ(Action::kOff, Check("env.point").action);  // count exhausted
+  EXPECT_EQ(2, Hits("env.point"));
+  EXPECT_EQ(Action::kOff, Check("also").action);  // malformed spec dropped
+
+  if (old == nullptr) {
+    ASSERT_EQ(0, ::unsetenv("NFACOUNT_FAILPOINTS"));
+    EXPECT_FALSE(EnvScheduleActive());
+  } else {
+    ASSERT_EQ(0, ::setenv("NFACOUNT_FAILPOINTS", saved.c_str(), 1));
+  }
+  ClearAll();
+}
+
+TEST(Failpoint, UnarmedCheckIsOff) {
+  EXPECT_FALSE(Check("never.armed").fires());
+  EXPECT_EQ(0, Hits("never.armed"));
+}
+
+TEST(Failpoint, SpecParsing) {
+  // Accepted shapes.
+  EXPECT_TRUE(Set("p", "error").ok());
+  EXPECT_TRUE(Set("p", "error:3").ok());
+  EXPECT_TRUE(Set("p", "short-write(16)").ok());
+  EXPECT_TRUE(Set("p", "short-write(16):1").ok());
+  EXPECT_TRUE(Set("p", "off").ok());
+  // Rejected shapes — each reports Invalid instead of arming garbage.
+  EXPECT_FALSE(Set("p", "").ok());
+  EXPECT_FALSE(Set("p", "nonsense").ok());
+  EXPECT_FALSE(Set("p", "error:").ok());
+  EXPECT_FALSE(Set("p", "error:-1").ok());
+  EXPECT_FALSE(Set("p", "error:x").ok());
+  EXPECT_FALSE(Set("p", "short-write()").ok());
+  EXPECT_FALSE(Set("p", "short-write(abc)").ok());
+  EXPECT_FALSE(Set("p", "short-write(-5)").ok());
+  EXPECT_FALSE(Set("", "error").ok());
+  ClearAll();
+}
+
+TEST(Failpoint, ErrorActionFiresUntilCleared) {
+  ASSERT_TRUE(Set("a.b", "error").ok());
+  EXPECT_EQ(Action::kError, Check("a.b").action);
+  EXPECT_EQ(Action::kError, Check("a.b").action);
+  Clear("a.b");
+  EXPECT_FALSE(Check("a.b").fires());
+  EXPECT_EQ(2, Hits("a.b"));  // hit count survives the disarm
+  ClearAll();
+}
+
+TEST(Failpoint, ShortWriteCarriesItsByteBudget) {
+  ASSERT_TRUE(Set("w", "short-write(23)").ok());
+  Eval eval = Check("w");
+  EXPECT_EQ(Action::kShortWrite, eval.action);
+  EXPECT_EQ(23, eval.arg);
+  ClearAll();
+}
+
+TEST(Failpoint, CountedArmingSelfDisarms) {
+  ASSERT_TRUE(Set("c", "error:3").ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(Check("c").fires()) << "firing " << i;
+  }
+  EXPECT_FALSE(Check("c").fires());
+  EXPECT_FALSE(Check("c").fires());
+  EXPECT_EQ(3, Hits("c"));
+  ClearAll();
+}
+
+TEST(Failpoint, SetReplacesExistingArming) {
+  ASSERT_TRUE(Set("r", "error").ok());
+  ASSERT_TRUE(Set("r", "short-write(4):1").ok());
+  Eval eval = Check("r");
+  EXPECT_EQ(Action::kShortWrite, eval.action);
+  EXPECT_EQ(4, eval.arg);
+  EXPECT_FALSE(Check("r").fires());
+  // Re-arming after exhaustion works and keeps accumulating hits.
+  ASSERT_TRUE(Set("r", "error:1").ok());
+  EXPECT_TRUE(Check("r").fires());
+  EXPECT_EQ(2, Hits("r"));
+  ClearAll();
+}
+
+TEST(Failpoint, ClearAllDisarmsEverything) {
+  ASSERT_TRUE(Set("x", "error").ok());
+  ASSERT_TRUE(Set("y", "short-write(8)").ok());
+  ClearAll();
+  EXPECT_FALSE(Check("x").fires());
+  EXPECT_FALSE(Check("y").fires());
+}
+
+// Exactly `count` firings total even when many threads race the point, and
+// concurrent Set/Clear of other points never corrupts the registry. Run
+// under TSan in CI.
+TEST(Failpoint, CountedFiringsAreExactUnderConcurrency) {
+  ASSERT_TRUE(Set("race", "error:100").ok());
+  constexpr int kThreads = 8;
+  constexpr int kChecksPerThread = 1000;
+  std::vector<int64_t> fired(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &fired] {
+      for (int i = 0; i < kChecksPerThread; ++i) {
+        if (Check("race").fires()) fired[static_cast<size_t>(t)]++;
+      }
+    });
+  }
+  // One more thread churns an unrelated point the whole time.
+  threads.emplace_back([] {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(Set("churn", "error").ok());
+      Check("churn");
+      Clear("churn");
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  int64_t total = 0;
+  for (int64_t f : fired) total += f;
+  EXPECT_EQ(100, total);
+  EXPECT_EQ(100, Hits("race"));
+  ClearAll();
+}
+
+}  // namespace
+}  // namespace failpoint
+}  // namespace nfacount

@@ -24,6 +24,7 @@
 #include "serve/server.hpp"
 #include "test_seed.hpp"
 #include "test_tables.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace nfacount {
@@ -240,6 +241,11 @@ TEST(Serve, EvictionReviveRoundTripBitIdentical) {
     ASSERT_TRUE(registry.CountAtLength("b", length).ok());
   }
   EXPECT_GT(registry.demotions(), 0);
+  // A NFACOUNT_FAILPOINTS chaos schedule may force every revive onto the
+  // recompute path (counts above stay bit-identical regardless — that is
+  // the point); revive counters and checkpoint-carried draw cursors are
+  // only meaningful without one.
+  if (failpoint::EnvScheduleActive()) return;
   EXPECT_GT(registry.revives(), 0);
 
   // Draw-stream continuity across an explicit evict: 2 words, demote +
@@ -271,10 +277,12 @@ TEST(Serve, EvictWithoutSpillDirIsFailedPrecondition) {
   EXPECT_EQ(0, registry.demotions());
 }
 
-// A corrupted checkpoint must fail only the query that hits it (DataLoss),
-// never the daemon: other sessions keep answering and the connection
-// machinery stays up.
-TEST(Serve, ReviveFromCorruptedCheckpointIsDataLossDaemonSurvives) {
+// A corrupted checkpoint must never take down the daemon OR the session:
+// the revive path quarantines the bad file (<name>.ckpt.corrupt) and
+// transparently recomputes the session from its registration tuple, so the
+// query succeeds — bit-identical to the pre-corruption answer — and other
+// sessions never notice.
+TEST(Serve, ReviveFromCorruptedCheckpointQuarantinesAndRecomputes) {
   const int kHorizon = 6;
   const std::string text = TestNfaText(TestSeed(951), 6);
   RegistryOptions options;
@@ -286,7 +294,8 @@ TEST(Serve, ReviveFromCorruptedCheckpointIsDataLossDaemonSurvives) {
   ASSERT_TRUE(
       registry.Register("hale", text, kHorizon, TestSeed(953), 0.3, 0.2)
           .ok());
-  ASSERT_TRUE(registry.CountAtLength("frail", kHorizon).ok());
+  Result<double> want = registry.CountAtLength("frail", kHorizon);
+  ASSERT_TRUE(want.ok());
 
   ServeDaemon daemon(&registry, ServerOptions());
   ASSERT_TRUE(daemon.Start().ok());
@@ -310,13 +319,16 @@ TEST(Serve, ReviveFromCorruptedCheckpointIsDataLossDaemonSurvives) {
   }
 
   Result<double> got = client->CountAtLength("frail", kHorizon);
-  EXPECT_FALSE(got.ok());
-  EXPECT_EQ(StatusCode::kDataLoss, got.status().code());
-  // Same connection, same daemon: the healthy session still answers and the
-  // corrupted one keeps failing cleanly rather than wedging anything.
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(want.value(), got.value());
+  EXPECT_EQ(1, registry.checkpoints_quarantined());
+  EXPECT_GE(registry.recomputes(), 1);
+  // The bad file moved aside for postmortems instead of being clobbered.
+  std::FILE* corrupt = std::fopen((ckpt + ".corrupt").c_str(), "rb");
+  EXPECT_NE(nullptr, corrupt);
+  if (corrupt != nullptr) std::fclose(corrupt);
+  // Same connection, same daemon: everything else is untouched.
   EXPECT_TRUE(client->CountAtLength("hale", kHorizon).ok());
-  EXPECT_EQ(StatusCode::kDataLoss,
-            client->CountAtLength("frail", kHorizon).status().code());
   EXPECT_TRUE(client->Ping().ok());
   daemon.Stop();
 }

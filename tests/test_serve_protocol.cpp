@@ -19,6 +19,7 @@
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "test_seed.hpp"
+#include "util/failpoint.hpp"
 #include "util/net.hpp"
 #include "util/rng.hpp"
 
@@ -185,12 +186,13 @@ TEST_F(ServeProtocolTest, ClientDeathMidFrameViaInjectedFault) {
     serve::CountRequest req;
     req.name = "s";
     req.length = 3;
-    // The injection hook truncates our request frame partway, simulating a
-    // peer process dying mid-send.
-    serve::internal::g_frame_write_limit.store(15, std::memory_order_relaxed);
+    // The net.write failpoint truncates our request frame partway,
+    // simulating a peer process dying mid-send.
+    ASSERT_TRUE(failpoint::Set("net.write", "short-write(15):1").ok());
     Status sent = WriteFrame(sock, MsgType::kCount, serve::EncodeCount(req));
-    serve::internal::g_frame_write_limit.store(-1, std::memory_order_relaxed);
+    failpoint::Clear("net.write");
     EXPECT_EQ(StatusCode::kUnavailable, sent.code());
+    EXPECT_GE(failpoint::Hits("net.write"), 1);
   }  // close with the daemon mid-read of our frame
   ExpectDaemonAlive();
 }
