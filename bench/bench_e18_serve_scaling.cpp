@@ -1,0 +1,297 @@
+// E18 — Serve-mode scaling: event-driven reactor + worker pool vs the PR 7
+// thread-per-connection baseline.
+//
+// Serving scenario: N clients hammer warm counts against one registered
+// session, optionally pipelining P requests per connection. The legacy
+// runtime pays one OS thread per connection and serial read→dispatch→write;
+// the reactor runtime multiplexes every socket onto one event loop and a
+// bounded worker pool, so connection count stops being a thread count and
+// pipelined requests overlap with writeback. Measured on the E3 family
+// (RandomNfa(64, 0.3, 0.25), seed 2024) at horizon 12 over the grid
+// runtime {reactor, legacy} × clients {1, 4, 16, 64} × pipeline {1, 8},
+// ~2000 warm requests per cell, every answer asserted bit-identical to a
+// single-threaded reference session.
+//
+// Speedup is hardware-bound, like E12: on a single-core container the
+// reactor cannot beat the baseline on raw qps (there is one CPU to share no
+// matter how the runtime schedules it) — the wins measurable there are the
+// thread-count reduction and pipelining. Record the host's nproc with the
+// numbers; on a multi-core host expect the reactor to pull ahead from 16
+// clients up.
+//
+// Metrics per cell:
+//   qps         warm requests/sec across all clients in the cell
+//   p50/p99_us  client-observed per-request latency percentiles (with
+//               pipelining this includes queueing behind the window)
+//   identical   every reply equals the reference count, bit for bit
+//
+// Plus one cross-runtime invariant asserted outside the grid: the raw reply
+// bytes for a pipelined request train are identical at workers=1 and
+// workers=4 (the pool must be invisible on the wire).
+//
+// Emits BENCH_e18.json via --json (the committed copy is refreshed by the
+// command in bench/README.md).
+
+#include <atomic>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/generators.hpp"
+#include "automata/io.hpp"
+#include "bench_common.hpp"
+#include "fpras/fpras.hpp"
+#include "serve/client.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "util/metrics.hpp"
+
+using namespace nfacount;
+using namespace nfacount::bench;
+
+namespace {
+
+constexpr int kM = 64;
+constexpr int kHorizon = 12;
+constexpr int kRequestsPerCell = 2000;
+constexpr uint64_t kSeed = 2024;
+
+/// The E3 time-scaling automaton (same constructor as bench_e3/e14/e16).
+Nfa E3Automaton(int m) {
+  Rng rng(2024);
+  return RandomNfa(m, 0.3, 0.25, rng);
+}
+
+struct E18Row {
+  std::string runtime;
+  int clients = 0;
+  int pipeline = 0;
+  double qps = 0.0;
+  int64_t p50_us = 0;
+  int64_t p99_us = 0;
+  bool identical = false;
+};
+
+/// One client connection's share of a cell: a sliding window of `pipeline`
+/// count requests on the wire, replies read in order and checked against
+/// the reference.
+void CellClient(uint16_t port, int client_index, long long requests,
+                int pipeline, const std::vector<double>& want,
+                LatencyHistogram* latency, std::atomic<bool>* failed) {
+  Result<serve::ServeClient> connected = serve::ServeClient::Connect(port);
+  if (!connected.ok()) {
+    failed->store(true);
+    return;
+  }
+  serve::ServeClient client = std::move(connected).value();
+  std::deque<std::pair<int, WallTimer>> window;  // (length asked, timer)
+  long long to_send = requests;
+  long long to_read = requests;
+  long long sent = 0;
+  while (to_read > 0) {
+    while (to_send > 0 && window.size() < static_cast<size_t>(pipeline)) {
+      const int length =
+          static_cast<int>((sent + client_index) % (kHorizon + 1));
+      if (!client.SendCount("e18", length).ok()) {
+        failed->store(true);
+        return;
+      }
+      window.emplace_back(length, WallTimer());
+      ++sent;
+      --to_send;
+    }
+    Result<double> got = client.ReadCountReply();
+    const int length = window.front().first;
+    latency->Record(
+        static_cast<int64_t>(window.front().second.ElapsedSeconds() * 1e6));
+    window.pop_front();
+    --to_read;
+    if (!got.ok() || got.value() != want[static_cast<size_t>(length)]) {
+      failed->store(true);
+    }
+  }
+}
+
+/// Runs one (clients, pipeline) cell against an already-warm daemon.
+E18Row RunCell(const serve::ServeDaemon& daemon, const std::string& runtime,
+               int clients, int pipeline, const std::vector<double>& want) {
+  E18Row row;
+  row.runtime = runtime;
+  row.clients = clients;
+  row.pipeline = pipeline;
+  LatencyHistogram latency;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  WallTimer timer;
+  for (int c = 0; c < clients; ++c) {
+    const long long share = kRequestsPerCell / clients +
+                            (c < kRequestsPerCell % clients ? 1 : 0);
+    if (share == 0) continue;
+    threads.emplace_back(CellClient, daemon.port(), c, share, pipeline,
+                         std::cref(want), &latency, &failed);
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = timer.ElapsedSeconds();
+  row.qps = seconds > 0.0 ? kRequestsPerCell / seconds : 0.0;
+  row.p50_us = latency.PercentileMicros(0.50);
+  row.p99_us = latency.PercentileMicros(0.99);
+  row.identical = !failed.load();
+  return row;
+}
+
+/// Starts a daemon over `registry` with the named session already extended
+/// to the horizon, serving with `legacy` or the reactor at `workers`.
+std::unique_ptr<serve::ServeDaemon> StartDaemon(
+    serve::SessionRegistry* registry, bool legacy, int workers) {
+  serve::ServerOptions options;
+  options.legacy_threads = legacy;
+  options.workers = workers;
+  auto daemon = std::make_unique<serve::ServeDaemon>(registry, options);
+  if (!daemon->Start().ok()) return nullptr;
+  return daemon;
+}
+
+/// The pool-invisibility invariant: the raw reply bytes for one pipelined
+/// request train are identical at workers=1 and workers=4.
+bool ReplyBytesIdenticalAcrossWorkers(serve::SessionRegistry* registry) {
+  std::vector<std::string> transcripts;
+  for (int workers : {1, 4}) {
+    std::unique_ptr<serve::ServeDaemon> daemon =
+        StartDaemon(registry, /*legacy=*/false, workers);
+    if (!daemon) return false;
+    Result<SocketFd> sock = ConnectLoopback(daemon->port());
+    if (!sock.ok()) return false;
+    for (int length = 0; length <= kHorizon; ++length) {
+      serve::CountRequest req;
+      req.name = "e18";
+      req.length = length;
+      if (!serve::WriteFrame(sock.value(), serve::MsgType::kCount,
+                             serve::EncodeCount(req))
+               .ok()) {
+        return false;
+      }
+    }
+    std::string transcript;
+    for (int length = 0; length <= kHorizon; ++length) {
+      Result<serve::Frame> reply = serve::ReadFrame(sock.value());
+      if (!reply.ok() || reply.value().type != serve::MsgType::kReply) {
+        return false;
+      }
+      transcript += reply.value().payload;
+      transcript.push_back('\n');
+    }
+    transcripts.push_back(std::move(transcript));
+    daemon->Stop();
+  }
+  return transcripts[0] == transcripts[1];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t cores =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  BenchReport report("e18_serve_scaling");
+  report.config()
+      .Set("family", "E3 RandomNfa(m, 0.3, 0.25) seed 2024")
+      .Set("m", int64_t{kM})
+      .Set("horizon", int64_t{kHorizon})
+      .Set("requests_per_cell", int64_t{kRequestsPerCell})
+      .Set("eps", 0.3)
+      .Set("delta", 0.2)
+      .Set("seed", static_cast<int64_t>(kSeed))
+      .Set("host_cores", cores);
+
+  // Reference counts and a warm shared registry.
+  const Nfa nfa = E3Automaton(kM);
+  CountOptions opts = DefaultOptions(kSeed);
+  Result<EngineSession> reference = EngineSession::Create(nfa, kHorizon, opts);
+  if (!reference.ok()) return 1;
+  std::vector<double> want(kHorizon + 1);
+  for (int length = 0; length <= kHorizon; ++length) {
+    Result<double> w = reference->CountAtLength(length);
+    if (!w.ok()) return 1;
+    want[static_cast<size_t>(length)] = *w;
+  }
+  serve::SessionRegistry registry((serve::RegistryOptions()));
+  if (!registry
+           .Register("e18", NfaToText(nfa), kHorizon, kSeed, opts.eps,
+                     opts.delta)
+           .ok()) {
+    return 1;
+  }
+  Result<int> warmed = registry.ExtendTo("e18", kHorizon);
+  if (!warmed.ok() || warmed.value() != kHorizon) return 1;
+
+  Section("E18: serve runtime scaling, reactor vs thread-per-connection");
+  Row({"runtime", "clients", "pipeline", "qps", "p50_us", "p99_us",
+       "identical"});
+  double reactor_16c = 0.0;
+  double legacy_16c = 0.0;
+  double reactor_1c = 0.0;
+  double legacy_1c = 0.0;
+  for (const bool legacy : {false, true}) {
+    const std::string runtime = legacy ? "legacy" : "reactor";
+    std::unique_ptr<serve::ServeDaemon> daemon =
+        StartDaemon(&registry, legacy, /*workers=*/0);
+    if (!daemon) return 1;
+    for (const int clients : {1, 4, 16, 64}) {
+      for (const int pipeline : {1, 8}) {
+        E18Row row = RunCell(*daemon, runtime, clients, pipeline, want);
+        Row({row.runtime, FmtInt(row.clients), FmtInt(row.pipeline),
+             Fmt(row.qps), FmtInt(row.p50_us), FmtInt(row.p99_us),
+             row.identical ? "yes" : "NO"});
+        JsonObject json_row;
+        json_row.Set("runtime", row.runtime)
+            .Set("clients", int64_t{row.clients})
+            .Set("pipeline", int64_t{row.pipeline})
+            .Set("qps", row.qps)
+            .Set("p50_us", row.p50_us)
+            .Set("p99_us", row.p99_us)
+            .Set("identical", row.identical);
+        report.AddRow("scaling", std::move(json_row));
+        if (!row.identical) {
+          std::fprintf(stderr, "e18: answers diverged (%s, %d clients)\n",
+                       runtime.c_str(), row.clients);
+          return 1;
+        }
+        if (row.pipeline == 1 && row.clients == 16) {
+          (legacy ? legacy_16c : reactor_16c) = row.qps;
+        }
+        if (row.pipeline == 1 && row.clients == 1) {
+          (legacy ? legacy_1c : reactor_1c) = row.qps;
+        }
+      }
+    }
+    daemon->Stop();
+  }
+
+  const bool pool_invisible = ReplyBytesIdenticalAcrossWorkers(&registry);
+  if (!pool_invisible) {
+    std::fprintf(stderr, "e18: reply bytes differ across worker counts\n");
+    return 1;
+  }
+
+  const double ratio_16c =
+      legacy_16c > 0.0 ? reactor_16c / legacy_16c : 0.0;
+  const double ratio_1c = legacy_1c > 0.0 ? reactor_1c / legacy_1c : 0.0;
+  report.metrics()
+      .Set("reactor_qps_16c", reactor_16c)
+      .Set("legacy_qps_16c", legacy_16c)
+      .Set("reactor_over_legacy_16c", ratio_16c)
+      .Set("reactor_over_legacy_1c", ratio_1c)
+      .Set("pool_invisible_on_wire", pool_invisible);
+  std::printf(
+      "\nheadline (16 clients, pipeline 1): reactor %.4g qps vs legacy %.4g "
+      "qps (%.2fx) on a %lld-core host\n",
+      reactor_16c, legacy_16c, ratio_16c, static_cast<long long>(cores));
+  if (cores <= 1) {
+    std::printf(
+        "note: single-core host — qps is physics-capped at every runtime; "
+        "re-run on a multi-core host to see the reactor separation\n");
+  }
+  if (!report.WriteTo(JsonPathArg(argc, argv))) return 1;
+  return 0;
+}

@@ -6,7 +6,8 @@
 //   nfa_serve [--port <p>] [--spill-dir <dir>] [--budget-bytes <b>]
 //             [--threads <k>] [--batch-width <w>] [--no-simd]
 //             [--read-timeout-ms <t>] [--drain-timeout-ms <t>]
-//             [--max-connections <n>]
+//             [--max-connections <n>] [--workers <k>]
+//             [--max-inflight <n>] [--legacy-threads]
 //
 //   --port <p>            TCP port; 0 (default) picks an ephemeral port
 //   --spill-dir <dir>     where demoted sessions checkpoint; required for
@@ -21,8 +22,18 @@
 //   --drain-timeout-ms <t>
 //                         how long graceful shutdown lets in-flight
 //                         requests finish (<= 0 hard-stops immediately)
-//   --max-connections <n> load-shed cap; excess connections get a
-//                         status-only Unavailable reply (0 = unlimited)
+//   --max-connections <n> connection cap. Reactor runtime: the listener
+//                         parks at the cap and excess connects queue in the
+//                         kernel backlog (accept backpressure). Legacy
+//                         runtime: excess connections get a status-only
+//                         Unavailable reply (load shedding). 0 = unlimited
+//   --workers <k>         reactor worker-pool size (0 = one per hardware
+//                         thread, the default)
+//   --max-inflight <n>    per-connection cap on decoded-but-unanswered
+//                         pipelined requests; the reactor stops reading a
+//                         connection at the cap (0 = unbounded; default 32)
+//   --legacy-threads      serve with the PR 7 thread-per-connection runtime
+//                         instead of the reactor + worker pool
 //
 // With --spill-dir the daemon replays the directory's MANIFEST journal at
 // startup and revives every surviving session (crash recovery; see
@@ -59,7 +70,8 @@ int Usage() {
                "                 [--batch-width <w>] [--no-simd]\n"
                "                 [--read-timeout-ms <t>]\n"
                "                 [--drain-timeout-ms <t>]\n"
-               "                 [--max-connections <n>]\n");
+               "                 [--max-connections <n>] [--workers <k>]\n"
+               "                 [--max-inflight <n>] [--legacy-threads]\n");
   return 2;
 }
 
@@ -114,6 +126,12 @@ int main(int argc, char** argv) {
       server_options.drain_timeout_ms = std::atoi(next("--drain-timeout-ms"));
     } else if (arg == "--max-connections") {
       server_options.max_connections = std::atoi(next("--max-connections"));
+    } else if (arg == "--workers") {
+      server_options.workers = std::atoi(next("--workers"));
+    } else if (arg == "--max-inflight") {
+      server_options.max_inflight_per_conn = std::atoi(next("--max-inflight"));
+    } else if (arg == "--legacy-threads") {
+      server_options.legacy_threads = true;
     } else {
       return Usage();
     }

@@ -70,9 +70,11 @@ Result<ServeClient> ServeClient::ConnectWithRetry(uint16_t port,
                    : last;
 }
 
-Result<std::string> ServeClient::RoundTrip(MsgType type,
-                                           const std::string& payload) {
-  NFA_RETURN_NOT_OK(WriteFrame(sock_, type, payload));
+Status ServeClient::SendRequest(MsgType type, const std::string& payload) {
+  return WriteFrame(sock_, type, payload);
+}
+
+Result<std::string> ServeClient::ReadReplyBody() {
   Result<Frame> reply = ReadFrame(sock_);
   if (!reply.ok()) {
     // A clean close where a reply was due means the request died in flight.
@@ -92,6 +94,29 @@ Result<std::string> ServeClient::RoundTrip(MsgType type,
                        (reply.value().payload.size() - r.remaining()),
                    r.remaining());
   return body;
+}
+
+Status ServeClient::SendCount(const std::string& name, int length) {
+  CountRequest req;
+  req.name = name;
+  req.length = length;
+  return SendRequest(MsgType::kCount, EncodeCount(req));
+}
+
+Result<double> ServeClient::ReadCountReply() {
+  Result<std::string> body = ReadReplyBody();
+  if (!body.ok()) return body.status();
+  ByteReader r(body.value().data(), body.value().size());
+  double estimate = 0.0;
+  NFA_RETURN_NOT_OK(r.F64(&estimate));
+  NFA_RETURN_NOT_OK(RejectTrailing(r));
+  return estimate;
+}
+
+Result<std::string> ServeClient::RoundTrip(MsgType type,
+                                           const std::string& payload) {
+  NFA_RETURN_NOT_OK(SendRequest(type, payload));
+  return ReadReplyBody();
 }
 
 Status ServeClient::Ping() {

@@ -1,7 +1,9 @@
 // ServeClient — a blocking, single-connection client for the serve-mode
-// wire protocol (serve/protocol.hpp). One request in flight at a time;
-// open several clients for concurrency (the daemon serves each connection
-// on its own thread). Used by tests, bench_e16_serve, and the nfa_client
+// wire protocol (serve/protocol.hpp). The typed helpers run one request at
+// a time; the Send*/Read* split lets a caller pipeline N requests onto the
+// wire before reading the N replies back (the daemon answers in request
+// order). Open several clients for connection-level concurrency. Used by
+// tests, bench_e16_serve, bench_e18_serve_scaling, and the nfa_client
 // example binary.
 
 #ifndef NFACOUNT_SERVE_CLIENT_HPP_
@@ -74,16 +76,33 @@ class ServeClient {
   /// Asks the daemon to stop (it replies OK first).
   Status Shutdown();
 
+  /// @name Pipelined API
+  /// Send any number of requests back-to-back, then read the replies in the
+  /// same order. The daemon's reactor answers each connection strictly in
+  /// request order, so the k-th ReadReplyBody() matches the k-th send.
+  /// Interleaving with the typed round-trip helpers is fine as long as every
+  /// outstanding reply is read first.
+  /// @{
+  /// Writes one request frame; does not wait for the reply.
+  Status SendRequest(MsgType type, const std::string& payload);
+  /// Reads the next kReply frame: propagates transport errors and non-OK
+  /// reply statuses; on OK returns the reply body (the bytes after the
+  /// status block).
+  Result<std::string> ReadReplyBody();
+  /// Sends a kCount request for |L(A_length)| (pair with ReadCountReply).
+  Status SendCount(const std::string& name, int length);
+  /// Reads a kCount reply and decodes the F64 estimate.
+  Result<double> ReadCountReply();
+  /// @}
+
   /// The underlying socket — exposed so fault-injection tests can push raw
-  /// malformed bytes at the daemon.
+  /// malformed bytes at the daemon (and half-close via ShutdownWrite()).
   SocketFd& socket() { return sock_; }
 
  private:
   explicit ServeClient(SocketFd sock) : sock_(std::move(sock)) {}
 
-  /// Sends one request frame and reads the kReply: propagates transport
-  /// errors and non-OK reply statuses; on OK returns the reply body (the
-  /// bytes after the status block).
+  /// SendRequest + ReadReplyBody: one blocking request/reply exchange.
   Result<std::string> RoundTrip(MsgType type, const std::string& payload);
 
   SocketFd sock_;

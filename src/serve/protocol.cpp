@@ -23,8 +23,7 @@ Status RejectTrailing(const ByteReader& r) {
 
 }  // namespace
 
-Status WriteFrame(const SocketFd& sock, MsgType type,
-                  const std::string& payload) {
+Result<std::string> EncodeFrame(MsgType type, const std::string& payload) {
   if (payload.size() > kMaxPayloadBytes) {
     return Status::Invalid("frame payload exceeds the protocol limit");
   }
@@ -38,7 +37,50 @@ Status WriteFrame(const SocketFd& sock, MsgType type,
   w.U8(static_cast<uint8_t>(type_bits >> 8));
   w.U32(static_cast<uint32_t>(payload.size()));
   w.Bytes(payload.data(), payload.size());
-  const std::string& bytes = w.buffer();
+  return std::move(w.buffer());
+}
+
+Status DecodeFrameHeader(const char* data, size_t size, MsgType* type,
+                         uint32_t* payload_len) {
+  if (size < kFrameHeaderBytes) {
+    return Status::Invalid("frame: header shorter than kFrameHeaderBytes");
+  }
+  if (std::memcmp(data, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::Invalid("frame: bad magic");
+  }
+  ByteReader r(data + sizeof(kFrameMagic),
+               kFrameHeaderBytes - sizeof(kFrameMagic));
+  uint8_t lo = 0;
+  uint8_t hi = 0;
+  NFA_RETURN_NOT_OK(r.U8(&lo));
+  NFA_RETURN_NOT_OK(r.U8(&hi));
+  const uint16_t version = static_cast<uint16_t>(lo | (hi << 8));
+  if (version != kProtocolVersion) {
+    return Status::Invalid("frame: unsupported protocol version " +
+                           std::to_string(version));
+  }
+  NFA_RETURN_NOT_OK(r.U8(&lo));
+  NFA_RETURN_NOT_OK(r.U8(&hi));
+  const uint16_t type_bits = static_cast<uint16_t>(lo | (hi << 8));
+  if (type_bits >= kNumMsgTypes) {
+    return Status::Invalid("frame: unknown message type " +
+                           std::to_string(type_bits));
+  }
+  uint32_t declared = 0;
+  NFA_RETURN_NOT_OK(r.U32(&declared));
+  if (declared > kMaxPayloadBytes) {
+    return Status::Invalid("frame: declared payload length exceeds limit");
+  }
+  *type = static_cast<MsgType>(type_bits);
+  *payload_len = declared;
+  return Status::Ok();
+}
+
+Status WriteFrame(const SocketFd& sock, MsgType type,
+                  const std::string& payload) {
+  Result<std::string> encoded = EncodeFrame(type, payload);
+  NFA_RETURN_NOT_OK(encoded.status());
+  const std::string& bytes = encoded.value();
   const failpoint::Eval fault = failpoint::Check("net.write");
   if (fault.action == failpoint::Action::kError) {
     return Status::Unavailable("failpoint net.write: injected failure");
@@ -57,34 +99,10 @@ Status WriteFrame(const SocketFd& sock, MsgType type,
 Result<Frame> ReadFrame(const SocketFd& sock) {
   char header[kFrameHeaderBytes];
   NFA_RETURN_NOT_OK(ReadFull(sock, header, sizeof(header)));
-  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
-    return Status::Invalid("frame: bad magic");
-  }
-  ByteReader r(header + sizeof(kFrameMagic),
-               sizeof(header) - sizeof(kFrameMagic));
-  uint8_t lo = 0;
-  uint8_t hi = 0;
-  NFA_RETURN_NOT_OK(r.U8(&lo));
-  NFA_RETURN_NOT_OK(r.U8(&hi));
-  const uint16_t version = static_cast<uint16_t>(lo | (hi << 8));
-  if (version != kProtocolVersion) {
-    return Status::Invalid("frame: unsupported protocol version " +
-                           std::to_string(version));
-  }
-  NFA_RETURN_NOT_OK(r.U8(&lo));
-  NFA_RETURN_NOT_OK(r.U8(&hi));
-  const uint16_t type_bits = static_cast<uint16_t>(lo | (hi << 8));
-  if (type_bits >= kNumMsgTypes) {
-    return Status::Invalid("frame: unknown message type " +
-                           std::to_string(type_bits));
-  }
-  uint32_t payload_len = 0;
-  NFA_RETURN_NOT_OK(r.U32(&payload_len));
-  if (payload_len > kMaxPayloadBytes) {
-    return Status::Invalid("frame: declared payload length exceeds limit");
-  }
   Frame frame;
-  frame.type = static_cast<MsgType>(type_bits);
+  uint32_t payload_len = 0;
+  NFA_RETURN_NOT_OK(
+      DecodeFrameHeader(header, sizeof(header), &frame.type, &payload_len));
   frame.payload.resize(payload_len);
   if (payload_len > 0) {
     Status read = ReadFull(sock, frame.payload.data(), payload_len);

@@ -118,6 +118,20 @@ struct UnregisterRequest {
   std::string name;  ///< session name
 };
 
+/// Builds the full wire image of one frame (header + payload). Payloads
+/// larger than kMaxPayloadBytes are refused (InvalidArgument). This is the
+/// single encoder shared by the blocking WriteFrame path and the reactor's
+/// buffered writeback — both emit byte-identical frames.
+Result<std::string> EncodeFrame(MsgType type, const std::string& payload);
+
+/// Validates a frame header sitting in a caller-owned buffer (the reactor's
+/// per-connection read buffer). `size` must be >= kFrameHeaderBytes. On OK
+/// stores the message type and declared payload length; classification
+/// matches ReadFrame: bad magic / version / unknown type / oversize are all
+/// InvalidArgument.
+Status DecodeFrameHeader(const char* data, size_t size, MsgType* type,
+                         uint32_t* payload_len);
+
 /// Writes one frame (header + payload) to `sock`. Payloads larger than
 /// kMaxPayloadBytes are refused (InvalidArgument). Honors the `net.write`
 /// failpoint (util/failpoint.hpp): the short-write action sends only a

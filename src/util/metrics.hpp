@@ -45,25 +45,37 @@ class LatencyHistogram {
   std::atomic<int64_t> count_{0};
 };
 
-/// One serve operation's counters: requests served, failures, and latency.
-/// Same concurrency contract as LatencyHistogram.
+/// One serve operation's counters: requests served, failures, service
+/// latency, and — for the pooled runtime — how long decoded requests sat in
+/// the worker queue before a worker picked them up. Queue wait is kept
+/// separate from service latency so saturation (deep queues) is visible even
+/// when per-request service time stays flat. Same concurrency contract as
+/// LatencyHistogram.
 struct OpMetrics {
   std::atomic<int64_t> requests{0};  ///< completed requests (ok + error)
   std::atomic<int64_t> errors{0};    ///< requests answered with an error
-  LatencyHistogram latency;          ///< wall latency per request
+  LatencyHistogram latency;          ///< service time per request
+  LatencyHistogram queue_wait;       ///< decode → worker-pickup wait
 
-  /// Folds one completed request into the counters.
-  void Record(bool ok, int64_t micros) {
+  /// Folds one completed request into the counters. `queue_wait_us` is the
+  /// time the decoded request spent waiting for a worker (0 in the legacy
+  /// thread-per-connection runtime, where there is no queue).
+  void Record(bool ok, int64_t service_us, int64_t queue_wait_us = 0) {
     requests.fetch_add(1, std::memory_order_relaxed);
     if (!ok) errors.fetch_add(1, std::memory_order_relaxed);
-    latency.Record(micros);
+    latency.Record(service_us);
+    queue_wait.Record(queue_wait_us);
   }
 
-  /// Renders {"requests", "errors", latency fields} into `out`.
+  /// Renders {"requests", "errors", latency fields, "queue_wait": {...}}
+  /// into `out`.
   void RenderInto(JsonObject* out) const {
     out->Set("requests", requests.load(std::memory_order_relaxed));
     out->Set("errors", errors.load(std::memory_order_relaxed));
     latency.RenderInto(out);
+    JsonObject wait;
+    queue_wait.RenderInto(&wait);
+    out->SetRaw("queue_wait", wait.Render());
   }
 };
 

@@ -6,6 +6,7 @@ namespace nfacount {
 
 void SocketFd::Close() { fd_.store(-1); }
 void SocketFd::ShutdownBoth() {}
+void SocketFd::ShutdownWrite() {}
 
 Result<SocketFd> ListenLoopback(uint16_t, uint16_t*) {
   return Status::Unimplemented("net: POSIX sockets only");
@@ -25,6 +26,41 @@ Status ReadFull(const SocketFd&, void*, size_t) {
 Status WriteFull(const SocketFd&, const void*, size_t) {
   return Status::Unimplemented("net: POSIX sockets only");
 }
+Status SetNonBlocking(const SocketFd&, bool) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+Status TryAccept(const SocketFd&, SocketFd*) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+Status ReadSome(const SocketFd&, void*, size_t, size_t*) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+Status WriteSome(const SocketFd&, const void*, size_t, size_t*) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+
+Poller::Poller() = default;
+Poller::~Poller() = default;
+bool Poller::valid() const { return false; }
+Status Poller::Add(int, uint32_t, uint64_t) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+Status Poller::Modify(int, uint32_t, uint64_t) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+Status Poller::Remove(int) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+Result<size_t> Poller::Wait(std::vector<Event>*, size_t, int) {
+  return Status::Unimplemented("net: POSIX sockets only");
+}
+
+WakePipe::WakePipe() = default;
+WakePipe::~WakePipe() = default;
+bool WakePipe::valid() const { return false; }
+int WakePipe::fd() const { return -1; }
+void WakePipe::Signal() {}
+void WakePipe::Drain() {}
 
 }  // namespace nfacount
 
@@ -34,11 +70,19 @@ Status WriteFull(const SocketFd&, const void*, size_t) {
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
+
+#if defined(__linux__) && !defined(NFACOUNT_FORCE_POLL)
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#define NFACOUNT_NET_EPOLL 1
+#endif
 
 namespace nfacount {
 
@@ -66,6 +110,11 @@ void SocketFd::Close() {
 void SocketFd::ShutdownBoth() {
   const int fd = fd_.load();
   if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void SocketFd::ShutdownWrite() {
+  const int fd = fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_WR);
 }
 
 Result<SocketFd> ListenLoopback(uint16_t port, uint16_t* bound_port) {
@@ -176,6 +225,279 @@ Status WriteFull(const SocketFd& sock, const void* data, size_t size) {
   }
   return Status::Ok();
 }
+
+Status SetNonBlocking(const SocketFd& sock, bool nonblocking) {
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  if (flags < 0) return Status::Invalid(ErrnoMessage("net: F_GETFL"));
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(sock.fd(), F_SETFL, next) != 0) {
+    return Status::Invalid(ErrnoMessage("net: F_SETFL"));
+  }
+  return Status::Ok();
+}
+
+Status TryAccept(const SocketFd& listener, SocketFd* out) {
+  *out = SocketFd();
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      *out = SocketFd(fd);
+      return Status::Ok();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::Ok();
+    // ECONNABORTED: the peer gave up while queued in the backlog — not an
+    // error for the listener; report "nothing to accept" and move on.
+    if (errno == ECONNABORTED) return Status::Ok();
+    if (errno == EBADF || errno == EINVAL) {
+      return Status::Unavailable("net: listener closed");
+    }
+    return Status::Invalid(ErrnoMessage("net: accept"));
+  }
+}
+
+Status ReadSome(const SocketFd& sock, void* out, size_t size, size_t* n) {
+  *n = 0;
+  for (;;) {
+    const ssize_t got = ::recv(sock.fd(), out, size, 0);
+    if (got > 0) {
+      *n = static_cast<size_t>(got);
+      return Status::Ok();
+    }
+    if (got == 0) return Status::NotFound("net: end of stream");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::Ok();
+    return Status::DataLoss(ErrnoMessage("net: recv"));
+  }
+}
+
+Status WriteSome(const SocketFd& sock, const void* data, size_t size,
+                 size_t* n) {
+  *n = 0;
+  for (;;) {
+    const ssize_t put = ::send(sock.fd(), data, size, MSG_NOSIGNAL);
+    if (put >= 0) {
+      *n = static_cast<size_t>(put);
+      return Status::Ok();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::Ok();
+    return Status::Unavailable(ErrnoMessage("net: send"));
+  }
+}
+
+#ifdef NFACOUNT_NET_EPOLL
+
+Poller::Poller() : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool Poller::valid() const { return epoll_fd_ >= 0; }
+
+namespace {
+
+uint32_t ToEpollMask(uint32_t events) {
+  uint32_t mask = 0;
+  if (events & Poller::kReadable) mask |= EPOLLIN;
+  if (events & Poller::kWritable) mask |= EPOLLOUT;
+  return mask;
+}
+
+uint32_t FromEpollMask(uint32_t mask) {
+  uint32_t events = 0;
+  if (mask & (EPOLLIN | EPOLLRDHUP)) events |= Poller::kReadable;
+  if (mask & EPOLLOUT) events |= Poller::kWritable;
+  if (mask & (EPOLLERR | EPOLLHUP)) {
+    // Error/hangup must be observed via a read even when the owner only
+    // asked for writability, or a dead connection spins forever.
+    events |= Poller::kError | Poller::kReadable;
+  }
+  return events;
+}
+
+}  // namespace
+
+Status Poller::Add(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = ToEpollMask(events);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::Invalid(ErrnoMessage("net: epoll_ctl add"));
+  }
+  return Status::Ok();
+}
+
+Status Poller::Modify(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = ToEpollMask(events);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::Invalid(ErrnoMessage("net: epoll_ctl mod"));
+  }
+  return Status::Ok();
+}
+
+Status Poller::Remove(int fd) {
+  epoll_event ev{};  // ignored but required pre-2.6.9
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev) != 0) {
+    return Status::Invalid(ErrnoMessage("net: epoll_ctl del"));
+  }
+  return Status::Ok();
+}
+
+Result<size_t> Poller::Wait(std::vector<Event>* out, size_t max_events,
+                            int timeout_ms) {
+  out->clear();
+  if (max_events == 0) return size_t{0};
+  scratch_.resize(max_events * sizeof(epoll_event));
+  epoll_event* evs = reinterpret_cast<epoll_event*>(scratch_.data());
+  for (;;) {
+    const int got =
+        ::epoll_wait(epoll_fd_, evs, static_cast<int>(max_events), timeout_ms);
+    if (got >= 0) {
+      out->reserve(static_cast<size_t>(got));
+      for (int i = 0; i < got; ++i) {
+        Event e;
+        e.tag = evs[i].data.u64;
+        e.events = FromEpollMask(evs[i].events);
+        out->push_back(e);
+      }
+      return static_cast<size_t>(got);
+    }
+    if (errno == EINTR) continue;
+    return Status::Invalid(ErrnoMessage("net: epoll_wait"));
+  }
+}
+
+WakePipe::WakePipe() {
+  const int fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  read_fd_ = fd;
+  write_fd_ = fd;
+}
+
+WakePipe::~WakePipe() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+}
+
+bool WakePipe::valid() const { return read_fd_ >= 0; }
+int WakePipe::fd() const { return read_fd_; }
+
+void WakePipe::Signal() {
+  const uint64_t one = 1;
+  // EAGAIN means the counter is saturated — a wakeup is already pending.
+  (void)!::write(write_fd_, &one, sizeof(one));
+}
+
+void WakePipe::Drain() {
+  uint64_t count = 0;
+  (void)!::read(read_fd_, &count, sizeof(count));
+}
+
+#else  // poll(2) fallback
+
+Poller::Poller() = default;
+Poller::~Poller() = default;
+bool Poller::valid() const { return true; }
+
+Status Poller::Add(int fd, uint32_t events, uint64_t tag) {
+  for (const Entry& e : entries_) {
+    if (e.fd == fd) return Status::Invalid("net: poller fd already added");
+  }
+  entries_.push_back(Entry{fd, events, tag});
+  return Status::Ok();
+}
+
+Status Poller::Modify(int fd, uint32_t events, uint64_t tag) {
+  for (Entry& e : entries_) {
+    if (e.fd == fd) {
+      e.events = events;
+      e.tag = tag;
+      return Status::Ok();
+    }
+  }
+  return Status::Invalid("net: poller fd not registered");
+}
+
+Status Poller::Remove(int fd) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].fd == fd) {
+      entries_[i] = entries_.back();
+      entries_.pop_back();
+      return Status::Ok();
+    }
+  }
+  return Status::Invalid("net: poller fd not registered");
+}
+
+Result<size_t> Poller::Wait(std::vector<Event>* out, size_t max_events,
+                            int timeout_ms) {
+  out->clear();
+  if (max_events == 0) return size_t{0};
+  scratch_.resize(entries_.size() * sizeof(pollfd));
+  pollfd* fds = reinterpret_cast<pollfd*>(scratch_.data());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    fds[i].fd = entries_[i].fd;
+    fds[i].events = 0;
+    if (entries_[i].events & kReadable) fds[i].events |= POLLIN;
+    if (entries_[i].events & kWritable) fds[i].events |= POLLOUT;
+    fds[i].revents = 0;
+  }
+  for (;;) {
+    const int got =
+        ::poll(fds, static_cast<nfds_t>(entries_.size()), timeout_ms);
+    if (got >= 0) {
+      for (size_t i = 0; i < entries_.size() && out->size() < max_events;
+           ++i) {
+        if (fds[i].revents == 0) continue;
+        Event e;
+        e.tag = entries_[i].tag;
+        if (fds[i].revents & POLLIN) e.events |= kReadable;
+        if (fds[i].revents & POLLOUT) e.events |= kWritable;
+        if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+          e.events |= kError | kReadable;
+        }
+        out->push_back(e);
+      }
+      return out->size();
+    }
+    if (errno == EINTR) continue;
+    return Status::Invalid(ErrnoMessage("net: poll"));
+  }
+}
+
+WakePipe::WakePipe() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    read_fd_ = fds[0];
+    write_fd_ = fds[1];
+  }
+}
+
+WakePipe::~WakePipe() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+}
+
+bool WakePipe::valid() const { return read_fd_ >= 0 && write_fd_ >= 0; }
+int WakePipe::fd() const { return read_fd_; }
+
+void WakePipe::Signal() {
+  const char one = 1;
+  // EAGAIN (pipe full) means a wakeup is already pending; that is enough.
+  (void)!::write(write_fd_, &one, 1);
+}
+
+void WakePipe::Drain() {
+  char buf[256];
+  while (::read(read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+#endif  // NFACOUNT_NET_EPOLL
 
 }  // namespace nfacount
 

@@ -9,8 +9,10 @@
 #define NFACOUNT_UTIL_NET_HPP_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/status.hpp"
 
@@ -54,6 +56,10 @@ class SocketFd {
   /// parked in a read on this socket (used for daemon stop). No-op when
   /// empty.
   void ShutdownBoth();
+  /// Half-close: shuts down the write direction only, signalling EOF to the
+  /// peer while this side keeps reading replies (a pipelining client that
+  /// has sent its last request). No-op when empty.
+  void ShutdownWrite();
 
  private:
   std::atomic<int> fd_{-1};
@@ -85,6 +91,116 @@ Status ReadFull(const SocketFd& sock, void* out, size_t size);
 /// Writes exactly `size` bytes, retrying on EINTR and short writes.
 /// A failed or broken-pipe write is Unavailable.
 Status WriteFull(const SocketFd& sock, const void* data, size_t size);
+
+// ---------------------------------------------------------------------------
+// Nonblocking primitives for the event-driven serve runtime (serve/server.cpp
+// reactor thread). All of these are POSIX-only like the rest of this header.
+// ---------------------------------------------------------------------------
+
+/// Switches `sock` between blocking and nonblocking mode (fcntl O_NONBLOCK).
+Status SetNonBlocking(const SocketFd& sock, bool nonblocking);
+
+/// Nonblocking accept. On success stores the new connection in *out; when no
+/// connection is pending (EAGAIN) returns Ok with *out left empty — callers
+/// must check out->valid(). Unavailable when the listener was closed or shut
+/// down underneath the call.
+Status TryAccept(const SocketFd& listener, SocketFd* out);
+
+/// Reads up to `size` bytes into `out` without blocking; *n receives the byte
+/// count (0 when the socket had nothing ready — EAGAIN is Ok, not an error).
+/// A clean peer close is NotFound ("end of stream"); other errors DataLoss.
+Status ReadSome(const SocketFd& sock, void* out, size_t size, size_t* n);
+
+/// Writes up to `size` bytes without blocking; *n receives the byte count
+/// (0 when the send buffer is full — EAGAIN is Ok). A broken pipe or other
+/// send failure is Unavailable. Uses MSG_NOSIGNAL like WriteFull.
+Status WriteSome(const SocketFd& sock, const void* data, size_t size,
+                 size_t* n);
+
+/// Readiness multiplexer: epoll(7) on Linux, poll(2) elsewhere, always
+/// level-triggered. Each registered descriptor carries a caller-chosen
+/// 64-bit tag that comes back in the Event — the reactor uses it to map
+/// readiness to a connection without a descriptor lookup table.
+///
+/// Not thread-safe: the reactor thread owns the Poller exclusively; other
+/// threads request attention through a WakePipe registered with it.
+class Poller {
+ public:
+  enum : uint32_t {
+    kReadable = 1u << 0,
+    kWritable = 1u << 1,
+    /// Reported (never requested): the peer hung up or the descriptor is in
+    /// an error state. Always treated as readable so the owner observes the
+    /// EOF/error from the next read.
+    kError = 1u << 2,
+  };
+
+  struct Event {
+    uint64_t tag = 0;
+    uint32_t events = 0;
+  };
+
+  Poller();
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// False when the backing epoll descriptor could not be created (Linux
+  /// only; the poll(2) fallback cannot fail to construct).
+  bool valid() const;
+
+  /// Registers `fd` for `events` (kReadable/kWritable mask) under `tag`.
+  Status Add(int fd, uint32_t events, uint64_t tag);
+  /// Changes the interest mask (and tag) of a registered descriptor.
+  Status Modify(int fd, uint32_t events, uint64_t tag);
+  /// Deregisters `fd`. Must be called before the descriptor is closed.
+  Status Remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = forever, 0 = poll) for readiness and
+  /// appends up to `max_events` results to *out (cleared first). Returns the
+  /// number of events; 0 means the timeout elapsed. EINTR retries.
+  Result<size_t> Wait(std::vector<Event>* out, size_t max_events,
+                      int timeout_ms);
+
+ private:
+#if defined(__linux__) && !defined(NFACOUNT_FORCE_POLL)
+  int epoll_fd_ = -1;
+  std::vector<char> scratch_;  // epoll_event buffer, sized lazily in Wait
+#else
+  struct Entry {
+    int fd;
+    uint32_t events;
+    uint64_t tag;
+  };
+  std::vector<Entry> entries_;
+  std::vector<char> scratch_;  // pollfd buffer rebuilt per Wait
+#endif
+};
+
+/// Cross-thread wakeup channel for a Poller: eventfd(2) on Linux, a
+/// self-pipe elsewhere. Any thread may Signal(); the reactor registers fd()
+/// for kReadable and calls Drain() when it fires. Signal coalescing is fine —
+/// one drain observes any number of signals.
+class WakePipe {
+ public:
+  WakePipe();
+  ~WakePipe();
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  bool valid() const;
+  /// The descriptor to register with a Poller for kReadable.
+  int fd() const;
+  /// Wakes the poller. Safe from any thread; never blocks (a full pipe
+  /// already guarantees a pending wakeup).
+  void Signal();
+  /// Consumes all pending signals. Reactor-thread only.
+  void Drain();
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;  // == read_fd_ for eventfd
+};
 
 }  // namespace nfacount
 

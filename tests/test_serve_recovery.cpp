@@ -571,6 +571,9 @@ TEST(Shedding, OverCapConnectionsGetUnavailableAndRetryConverges) {
   SessionRegistry registry((RegistryOptions()));
   ServerOptions server_options;
   server_options.max_connections = 1;
+  // Connect-time shedding is the legacy runtime's behavior; the reactor
+  // parks the listener instead (covered in test_serve_pipeline.cpp).
+  server_options.legacy_threads = true;
   ServeDaemon daemon(&registry, server_options);
   ASSERT_TRUE(daemon.Start().ok());
 
